@@ -1,0 +1,71 @@
+// Command bibgen generates the TaMix bib library document (Section 4.3) and
+// either exports it as XML or stores it as a reopenable XTC document file.
+//
+// Usage:
+//
+//	bibgen -scale 0.01                   # print a small bib as XML
+//	bibgen -scale 0.1 -out bib.xtc       # store a document file
+//	bibgen -scale 0.1 -out bib.xtc -stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pagestore"
+	"repro/internal/tamix"
+)
+
+func main() {
+	var (
+		scale = flag.Float64("scale", 0.01, "document scale (1.0 = the paper's 2000 books)")
+		out   = flag.String("out", "", "store as an XTC document file instead of printing XML")
+		stats = flag.Bool("stats", false, "print document statistics")
+		seed  = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	cfg := tamix.Scaled(*scale)
+	cfg.Seed = *seed
+
+	var backend pagestore.Backend
+	if *out != "" {
+		fb, err := pagestore.OpenFile(*out)
+		if err != nil {
+			fatal(err)
+		}
+		backend = fb
+	} else {
+		backend = pagestore.NewMemBackend()
+	}
+
+	doc, cat, err := tamix.GenerateBib(backend, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer doc.Close()
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "bib: %d nodes, %d topics, %d books, %d persons, %d vocabulary names\n",
+			doc.Size(), len(cat.TopicIDs), cat.Books, len(cat.PersonIDs), doc.Vocabulary().Len())
+	}
+	if *out != "" {
+		if err := doc.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bibgen: stored %d nodes in %s\n", doc.Size(), *out)
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := doc.ExportXML(w, doc.Root()); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bibgen:", err)
+	os.Exit(1)
+}

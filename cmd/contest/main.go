@@ -1,0 +1,62 @@
+// Command contest runs the headline experiment in one shot: CLUSTER1 at
+// isolation level repeatable under all 11 lock protocols, printed as a
+// ranking table — the "contest" of the paper's title.
+//
+// Usage:
+//
+//	contest                  # quick, scaled-down run
+//	contest -depth 5 -doc 0.05 -time 0.005
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"repro/internal/protocol"
+	"repro/internal/tamix"
+	"repro/internal/tx"
+)
+
+func main() {
+	var (
+		depth    = flag.Int("depth", 5, "lock depth for depth-aware protocols")
+		docScale = flag.Float64("doc", 0.02, "document scale (1.0 = 2000 books)")
+		timeSc   = flag.Float64("time", 0.002, "timing scale (1.0 = 5-minute runs)")
+		seed     = flag.Int64("seed", 0, "workload seed offset")
+	)
+	flag.Parse()
+
+	type row struct {
+		proto   string
+		group   string
+		result  *tamix.Result
+		ranking float64
+	}
+	var rows []row
+	for _, p := range protocol.All() {
+		cfg := tamix.Cluster1Config(p.Name(), tx.LevelRepeatable, *depth, *docScale, *timeSc)
+		cfg.Seed += *seed
+		fmt.Fprintf(os.Stderr, "running %-10s ...", p.Name())
+		res, err := tamix.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, " %6.1f tx/5min, %d deadlocks\n", res.Throughput(), res.Deadlocks)
+		rows = append(rows, row{p.Name(), p.Group(), res, res.Throughput()})
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].ranking > rows[j].ranking })
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rank\tprotocol\tgroup\tthroughput\tcommitted\taborted\tdeadlocks\tconv-deadlocks\tlock requests")
+	for i, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\n",
+			i+1, r.proto, r.group, r.result.Throughput(),
+			r.result.Committed, r.result.Aborted,
+			r.result.Deadlocks, r.result.ConversionDeadlocks, r.result.LockRequests)
+	}
+	w.Flush()
+}

@@ -1,0 +1,142 @@
+// Command tamix regenerates the figures of "Contest of XML Lock Protocols"
+// (VLDB 2006) by running the TaMix benchmark framework against the embedded
+// XTC-style engine.
+//
+// Usage:
+//
+//	tamix -fig 9                     # quick, scaled-down run of Figure 9
+//	tamix -fig 7 -doc 0.05 -time 0.01
+//	tamix -fig all -csv out/         # everything, CSV files per figure
+//	tamix -fig 9 -doc 1 -time 1      # the paper's full setting (hours!)
+//
+// Scaling: -doc scales the bib document (1.0 = 2000 books), -time scales
+// the run-control intervals (1.0 = 5-minute runs). Throughput is always
+// normalized to the paper's 5-minute interval.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/figures"
+	"repro/internal/tamix"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure to regenerate: 7, 8, 9, 10, 11, or all")
+		docScale = flag.Float64("doc", 0.02, "document scale (1.0 = the paper's 2000 books)")
+		timeSc   = flag.Float64("time", 0.002, "timing scale (1.0 = 5-minute runs)")
+		depths   = flag.String("depths", "0,1,2,3,4,5,6,7", "comma-separated lock depths")
+		runs     = flag.Int("runs", 3, "TAdelBook repetitions for figure 11")
+		avg      = flag.Int("avg", 1, "repetitions averaged per CLUSTER1 configuration (the paper used 4)")
+		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
+		seed     = flag.Int64("seed", 0, "workload seed offset")
+	)
+	flag.Parse()
+
+	ds, err := parseDepths(*depths)
+	if err != nil {
+		fatal(err)
+	}
+	opt := figures.Options{DocScale: *docScale, TimeScale: *timeSc, Depths: ds, Runs: *avg, Seed: *seed}
+
+	want := map[string]bool{}
+	if *fig == "all" {
+		for _, f := range []string{"7", "8", "9", "10", "11"} {
+			want[f] = true
+		}
+	} else {
+		for _, f := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+
+	if want["7"] {
+		fmt.Println("== Figure 7: CLUSTER1 under taDOM3+ — influence of isolation level ==")
+		tp, dl, err := figures.Figure7(opt)
+		if err != nil {
+			fatal(err)
+		}
+		figures.RenderSeries(os.Stdout, "Figure 7 (left)", "throughput", tp)
+		figures.RenderSeries(os.Stdout, "Figure 7 (right)", "deadlocks", dl)
+		writeCSV(*csvDir, "figure7.csv", tp)
+		fmt.Println()
+	}
+	if want["8"] {
+		fmt.Println("== Figure 8: CLUSTER1 under the *-2PL group ==")
+		rows, err := figures.Figure8(opt)
+		if err != nil {
+			fatal(err)
+		}
+		figures.RenderFigure8(os.Stdout, rows)
+		fmt.Println()
+	}
+	if want["9"] || want["10"] {
+		fmt.Println("== Sweeping CLUSTER1 over all depth-aware protocols (figures 9 and 10) ==")
+		sweep, err := figures.Cluster1Sweep(figures.DepthProtocols(), opt)
+		if err != nil {
+			fatal(err)
+		}
+		if want["9"] {
+			tp, dl := figures.Figure9(sweep, opt)
+			figures.RenderSeries(os.Stdout, "Figure 9 (left)", "throughput", tp)
+			figures.RenderSeries(os.Stdout, "Figure 9 (right)", "deadlocks", dl)
+			writeCSV(*csvDir, "figure9.csv", tp)
+			fmt.Println()
+		}
+		if want["10"] {
+			panels := figures.Figure10(sweep, opt)
+			for i, typ := range []tamix.TxType{tamix.TAqueryBook, tamix.TAchapter, tamix.TAlendAndReturn, tamix.TArenameTopic} {
+				title := fmt.Sprintf("Figure 10%c: %v", 'a'+i, typ)
+				figures.RenderSeries(os.Stdout, title, "throughput", panels[typ])
+				writeCSV(*csvDir, fmt.Sprintf("figure10%c.csv", 'a'+i), panels[typ])
+			}
+			fmt.Println()
+		}
+	}
+	if want["11"] {
+		fmt.Println("== Figure 11: CLUSTER2 — TAdelBook execution times ==")
+		rows, err := figures.Figure11(opt, *runs)
+		if err != nil {
+			fatal(err)
+		}
+		figures.RenderFigure11(os.Stdout, rows)
+	}
+}
+
+func parseDepths(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad depth %q: %w", part, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func writeCSV(dir, name string, series []figures.Series) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	figures.WriteSeriesCSV(f, series)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tamix:", err)
+	os.Exit(1)
+}

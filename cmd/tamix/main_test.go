@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestParseDepths(t *testing.T) {
+	ds, err := parseDepths("0,1, 2,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 4 || ds[0] != 0 || ds[3] != 7 {
+		t.Errorf("ds = %v", ds)
+	}
+	if _, err := parseDepths("0,x"); err == nil {
+		t.Error("bad depth should fail")
+	}
+	if _, err := parseDepths(""); err == nil {
+		t.Error("empty list should fail")
+	}
+}

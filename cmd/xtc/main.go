@@ -1,0 +1,133 @@
+// Command xtc inspects XTC document files and XML documents through the
+// storage layer: node statistics, SPLID sizes, B*-tree shapes, vocabulary,
+// and optional subtree dumps.
+//
+// Usage:
+//
+//	xtc -load doc.xml -stats             # import XML, print statistics
+//	xtc -open bib.xtc -stats             # inspect a stored document file
+//	xtc -open bib.xtc -dump 1.17.17      # export one subtree as XML
+//	xtc -open bib.xtc -id b42            # resolve an id attribute
+//	xtc -load doc.xml -verify            # run the structural verifier
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/btree"
+	"repro/internal/pagestore"
+	"repro/internal/splid"
+	"repro/internal/storage"
+)
+
+func main() {
+	var (
+		load   = flag.String("load", "", "XML file to import into a fresh in-memory document")
+		open   = flag.String("open", "", "XTC document file to open")
+		stats  = flag.Bool("stats", false, "print document statistics")
+		verify = flag.Bool("verify", false, "run the structural verifier")
+		dump   = flag.String("dump", "", "SPLID of a subtree to export as XML (\"root\" for everything)")
+		id     = flag.String("id", "", "resolve an id attribute value to its element")
+	)
+	flag.Parse()
+
+	var doc *storage.Document
+	var err error
+	switch {
+	case *load != "" && *open != "":
+		fatal(fmt.Errorf("-load and -open are mutually exclusive"))
+	case *load != "":
+		f, ferr := os.Open(*load)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		doc, err = storage.Create(pagestore.NewMemBackend(), "doc", storage.Options{})
+		if err == nil {
+			err = doc.ImportXML(bufio.NewReader(f))
+		}
+		f.Close()
+	case *open != "":
+		fb, ferr := pagestore.OpenFile(*open)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		doc, err = storage.Open(fb, storage.Options{})
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	defer doc.Close()
+
+	if *stats {
+		st, err := doc.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("nodes:      %d elements, %d texts, %d attributes (%d roots), %d strings\n",
+			st.Elements, st.Texts, st.Attributes, st.AttrRoots, st.Strings)
+		fmt.Printf("depth:      %d levels (incl. virtual attribute/string nodes)\n", st.MaxDepth)
+		fmt.Printf("SPLIDs:     %.2f bytes average (%d total)\n", st.AvgSplid(), st.SplidBytes)
+		fmt.Printf("content:    %d bytes of character data\n", st.ValueBytes)
+		fmt.Printf("vocabulary: %d names\n", doc.Vocabulary().Len())
+		fmt.Printf("doc tree:   depth %d, %d leaf + %d internal pages, %d keys, separators %.1fB avg\n",
+			st.DocTree.Depth, st.DocTree.LeafPages, st.DocTree.InternalPages, st.DocTree.Keys, avgSep(st.DocTree))
+		if st.DocTree.Keys > 0 {
+			fmt.Printf("key store:  %.2f bytes/key after page prefix compression (logical %.2f)\n",
+				float64(st.DocTree.KeyBytes+st.DocTree.PrefixBytes)/float64(st.DocTree.Keys),
+				st.AvgSplid())
+		}
+		fmt.Printf("elem index: depth %d, %d keys\n", st.ElemTree.Depth, st.ElemTree.Keys)
+		fmt.Printf("id index:   depth %d, %d keys\n", st.IDTree.Depth, st.IDTree.Keys)
+		bs := doc.Store().Stats()
+		fmt.Printf("buffer:     %d hits, %d misses, %d evictions\n", bs.Hits, bs.Misses, bs.Evictions)
+	}
+	if *verify {
+		if err := doc.Verify(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("verify: ok")
+	}
+	if *id != "" {
+		el, err := doc.ElementByID([]byte(*id))
+		if err != nil {
+			fatal(err)
+		}
+		n, err := doc.GetNode(el)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("id %q -> %s element at %v\n", *id, doc.Vocabulary().Name(n.Name), el)
+	}
+	if *dump != "" {
+		target := doc.Root()
+		if *dump != "root" {
+			target, err = splid.Parse(*dump)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		if err := doc.ExportXML(w, target); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func avgSep(st btree.TreeStats) float64 {
+	if st.Separators == 0 {
+		return 0
+	}
+	return float64(st.SeparatorBytes) / float64(st.Separators)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xtc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,597 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/pagestore"
+)
+
+// Get returns a copy of the value stored under key, or ErrNotFound.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, err := t.findLeaf(key)
+	if err != nil {
+		return nil, err
+	}
+	defer t.store.Unfix(f)
+	slot, found := search(f.Data(), key)
+	if !found {
+		return nil, ErrNotFound
+	}
+	_, v := cellAt(f.Data(), slot)
+	return append([]byte(nil), v...), nil
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) (bool, error) {
+	_, err := t.Get(key)
+	if err == ErrNotFound {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// findLeaf descends to the leaf page covering key and returns it pinned.
+func (t *Tree) findLeaf(key []byte) (*pagestore.Frame, error) {
+	id := t.root
+	for {
+		f, err := t.store.Fix(id)
+		if err != nil {
+			return nil, err
+		}
+		p := f.Data()
+		if pageKind(p) == kindLeaf {
+			return f, nil
+		}
+		id = childPage(p, childIndexFor(p, key))
+		t.store.Unfix(f)
+	}
+}
+
+// findEdgeLeaf descends to the first (dir < 0) or last (dir > 0) leaf.
+func (t *Tree) findEdgeLeaf(dir int) (*pagestore.Frame, error) {
+	id := t.root
+	for {
+		f, err := t.store.Fix(id)
+		if err != nil {
+			return nil, err
+		}
+		p := f.Data()
+		if pageKind(p) == kindLeaf {
+			return f, nil
+		}
+		if dir < 0 || nCells(p) == 0 {
+			id = child0(p)
+		} else {
+			id = childAt(p, nCells(p)-1)
+		}
+		t.store.Unfix(f)
+	}
+}
+
+// Insert stores val under key, replacing any existing value (upsert).
+func (t *Tree) Insert(key, val []byte) error {
+	if len(key) == 0 {
+		return fmt.Errorf("btree: empty key")
+	}
+	if len(key) > MaxKeyLen {
+		return fmt.Errorf("%w (%d bytes)", ErrKeyTooLong, len(key))
+	}
+	if len(val) > MaxValueLen {
+		return fmt.Errorf("%w (%d bytes)", ErrValueTooLong, len(val))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sep, newID, added, err := t.insertRec(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if added {
+		t.size++
+	}
+	if newID != pagestore.InvalidPage {
+		rf, err := t.newPage(kindInternal)
+		if err != nil {
+			return err
+		}
+		p := rf.Data()
+		setChild0(p, t.root)
+		if !insertCell(p, 0, sep, encodeChild(newID)) {
+			panic("btree: root separator does not fit an empty page")
+		}
+		t.root = rf.ID()
+		t.store.Unfix(rf)
+	}
+	return nil
+}
+
+func encodeChild(id pagestore.PageID) []byte {
+	return []byte{byte(id >> 24), byte(id >> 16), byte(id >> 8), byte(id)}
+}
+
+// insertRec inserts into the subtree at id. When the page splits, it returns
+// the separator key and the new right sibling's page ID.
+func (t *Tree) insertRec(id pagestore.PageID, key, val []byte) (sep []byte, newID pagestore.PageID, added bool, err error) {
+	f, err := t.store.Fix(id)
+	if err != nil {
+		return nil, pagestore.InvalidPage, false, err
+	}
+	defer t.store.Unfix(f)
+	p := f.Data()
+
+	if pageKind(p) == kindLeaf {
+		slot, found := search(p, key)
+		if found {
+			if replaceCellValue(p, slot, key, val) {
+				f.MarkDirty()
+				return nil, pagestore.InvalidPage, false, nil
+			}
+			// The larger value did not fit even after compaction;
+			// replaceCellValue has already removed the old cell, so split
+			// and place the new one.
+			f.MarkDirty()
+			sep, newID, err := t.splitLeafAndInsert(f, key, val)
+			return sep, newID, false, err
+		}
+		if insertCell(p, slot, key, val) {
+			f.MarkDirty()
+			return nil, pagestore.InvalidPage, true, nil
+		}
+		sep, newID, err := t.splitLeafAndInsert(f, key, val)
+		return sep, newID, true, err
+	}
+
+	idx := childIndexFor(p, key)
+	childSep, childNew, added, err := t.insertRec(childPage(p, idx), key, val)
+	if err != nil || childNew == pagestore.InvalidPage {
+		return nil, pagestore.InvalidPage, added, err
+	}
+	slot, _ := search(p, childSep)
+	if insertCell(p, slot, childSep, encodeChild(childNew)) {
+		f.MarkDirty()
+		return nil, pagestore.InvalidPage, added, nil
+	}
+	sep, newID, err = t.splitInternalAndInsert(f, childSep, childNew)
+	return sep, newID, added, err
+}
+
+// splitLeafAndInsert splits the full leaf in frame f and inserts (key, val)
+// into the proper half. It returns the separator (first key of the right
+// page) and the right page's ID.
+func (t *Tree) splitLeafAndInsert(f *pagestore.Frame, key, val []byte) ([]byte, pagestore.PageID, error) {
+	p := f.Data()
+	rf, err := t.newPage(kindLeaf)
+	if err != nil {
+		return nil, pagestore.InvalidPage, err
+	}
+	defer t.store.Unfix(rf)
+	rp := rf.Data()
+
+	n := nCells(p)
+	mid := splitPoint(p)
+	// The right page adopts the left prefix so the moved cells keep their
+	// size; both halves then recompress to their own best prefix.
+	adoptPrefix(rp, p)
+	var kbuf []byte
+	for i := mid; i < n; i++ {
+		kbuf = fullKey(p, i, kbuf[:0])
+		_, v := cellAt(p, i)
+		if !insertCell(rp, i-mid, kbuf, v) {
+			panic("btree: right half does not fit an empty page")
+		}
+	}
+	setNCells(p, mid)
+	compact(p)
+	recompress(p)
+	recompress(rp)
+	f.MarkDirty()
+	rf.MarkDirty()
+
+	// Chain links: left <-> right <-> old next.
+	oldNext := leafNext(p)
+	setLeafNext(p, rf.ID())
+	setLeafPrev(rp, f.ID())
+	setLeafNext(rp, oldNext)
+	if oldNext != pagestore.InvalidPage {
+		nf, err := t.store.Fix(oldNext)
+		if err != nil {
+			return nil, pagestore.InvalidPage, err
+		}
+		setLeafPrev(nf.Data(), rf.ID())
+		nf.MarkDirty()
+		t.store.Unfix(nf)
+	}
+
+	sep := fullKey(rp, 0, nil)
+	target, tp := f, p
+	if bytes.Compare(key, sep) >= 0 {
+		target, tp = rf, rp
+	}
+	slot, _ := search(tp, key)
+	if !insertCell(tp, slot, key, val) {
+		return nil, pagestore.InvalidPage, fmt.Errorf("btree: cell of %d+%d bytes does not fit a half-empty page", len(key), len(val))
+	}
+	target.MarkDirty()
+	// The separator may have changed if key landed at slot 0 of the right
+	// page. Truncate it to the shortest byte string that still separates the
+	// halves — separator truncation complements the page prefix compression
+	// in keeping internal pages dense.
+	leftLast := fullKey(p, nCells(p)-1, nil)
+	newSep := fullKey(rp, 0, nil)
+	return shortestSeparator(leftLast, newSep), rf.ID(), nil
+}
+
+// shortestSeparator returns the shortest byte string s with left < s <=
+// right, given left < right: the shared prefix plus right's first
+// distinguishing byte. Routing stays correct for any such s because an
+// internal cell's child covers keys >= its separator.
+func shortestSeparator(left, right []byte) []byte {
+	cpl := 0
+	for cpl < len(left) && cpl < len(right) && left[cpl] == right[cpl] {
+		cpl++
+	}
+	if cpl >= len(right) {
+		// left is a strict prefix... impossible for left < right; be safe.
+		return append([]byte(nil), right...)
+	}
+	return append([]byte(nil), right[:cpl+1]...)
+}
+
+// splitInternalAndInsert splits a full internal page and inserts the
+// (sep, child) pair. The middle separator moves up to the caller.
+func (t *Tree) splitInternalAndInsert(f *pagestore.Frame, sep []byte, child pagestore.PageID) ([]byte, pagestore.PageID, error) {
+	p := f.Data()
+	rf, err := t.newPage(kindInternal)
+	if err != nil {
+		return nil, pagestore.InvalidPage, err
+	}
+	defer t.store.Unfix(rf)
+	rp := rf.Data()
+
+	n := nCells(p)
+	mid := n / 2
+	up := fullKey(p, mid, nil)
+	setChild0(rp, childAt(p, mid))
+	adoptPrefix(rp, p)
+	var kbuf []byte
+	for i := mid + 1; i < n; i++ {
+		kbuf = fullKey(p, i, kbuf[:0])
+		_, v := cellAt(p, i)
+		if !insertCell(rp, i-mid-1, kbuf, v) {
+			panic("btree: right half does not fit an empty internal page")
+		}
+	}
+	setNCells(p, mid)
+	compact(p)
+	recompress(p)
+	recompress(rp)
+	f.MarkDirty()
+	rf.MarkDirty()
+
+	// Insert the pending separator into the correct half.
+	target, tp := f, p
+	if bytes.Compare(sep, up) >= 0 {
+		target, tp = rf, rp
+	}
+	slot, _ := search(tp, sep)
+	if !insertCell(tp, slot, sep, encodeChild(child)) {
+		return nil, pagestore.InvalidPage, fmt.Errorf("btree: separator does not fit a half-empty page")
+	}
+	target.MarkDirty()
+	return up, rf.ID(), nil
+}
+
+// splitPoint picks the slot index splitting the page's cell bytes roughly in
+// half, keeping at least one cell on each side.
+func splitPoint(p []byte) int {
+	n := nCells(p)
+	if n < 2 {
+		panic("btree: splitting a page with fewer than 2 cells")
+	}
+	total := liveBytes(p)
+	acc := 0
+	for i := 0; i < n-1; i++ {
+		k, v := cellAt(p, i)
+		acc += cellHeaderLen + len(k) + len(v)
+		if acc >= total/2 {
+			return i + 1
+		}
+	}
+	return n - 1
+}
+
+// Delete removes key, returning ErrNotFound if absent.
+func (t *Tree) Delete(key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed, _, err := t.deleteRec(t.root, key)
+	if err != nil {
+		return err
+	}
+	if !removed {
+		return ErrNotFound
+	}
+	t.size--
+	t.collapseRoot()
+	return nil
+}
+
+// collapseRoot replaces an internal root that has a single child.
+func (t *Tree) collapseRoot() {
+	for {
+		f, err := t.store.Fix(t.root)
+		if err != nil {
+			return
+		}
+		p := f.Data()
+		if pageKind(p) != kindInternal || nCells(p) != 0 {
+			t.store.Unfix(f)
+			return
+		}
+		old := t.root
+		t.root = child0(p)
+		t.store.Unfix(f)
+		t.free = append(t.free, old)
+	}
+}
+
+// deleteRec removes key from the subtree at id. emptied reports that the
+// page at id holds no data anymore and was detached from leaf chains; the
+// caller must drop its pointer and reclaim the page.
+func (t *Tree) deleteRec(id pagestore.PageID, key []byte) (removed, emptied bool, err error) {
+	f, err := t.store.Fix(id)
+	if err != nil {
+		return false, false, err
+	}
+	defer t.store.Unfix(f)
+	p := f.Data()
+
+	if pageKind(p) == kindLeaf {
+		slot, found := search(p, key)
+		if !found {
+			return false, false, nil
+		}
+		removeCell(p, slot)
+		f.MarkDirty()
+		if nCells(p) > 0 || id == t.root {
+			return true, false, nil
+		}
+		if err := t.unlinkLeaf(p); err != nil {
+			return true, false, err
+		}
+		return true, true, nil
+	}
+
+	idx := childIndexFor(p, key)
+	childID := childPage(p, idx)
+	removed, childEmptied, err := t.deleteRec(childID, key)
+	if err != nil || !childEmptied {
+		return removed, false, err
+	}
+	t.free = append(t.free, childID)
+	if idx < 0 {
+		// child0 vanished: promote the first cell's child.
+		if nCells(p) == 0 {
+			f.MarkDirty()
+			return removed, id != t.root, nil
+		}
+		setChild0(p, childAt(p, 0))
+		removeCell(p, 0)
+	} else {
+		removeCell(p, idx)
+	}
+	f.MarkDirty()
+	return removed, false, nil
+}
+
+// unlinkLeaf splices an emptied leaf out of the doubly linked leaf chain.
+func (t *Tree) unlinkLeaf(p []byte) error {
+	prev, next := leafPrev(p), leafNext(p)
+	if prev != pagestore.InvalidPage {
+		pf, err := t.store.Fix(prev)
+		if err != nil {
+			return err
+		}
+		setLeafNext(pf.Data(), next)
+		pf.MarkDirty()
+		t.store.Unfix(pf)
+	}
+	if next != pagestore.InvalidPage {
+		nf, err := t.store.Fix(next)
+		if err != nil {
+			return err
+		}
+		setLeafPrev(nf.Data(), prev)
+		nf.MarkDirty()
+		t.store.Unfix(nf)
+	}
+	return nil
+}
+
+// Ascend visits keys in [start, limit) in ascending order. A nil start
+// begins at the first key; a nil limit runs to the end. fn's slices alias
+// page memory and are only valid during the callback; return false to stop.
+func (t *Tree) Ascend(start, limit []byte, fn func(key, val []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var f *pagestore.Frame
+	var err error
+	if start == nil {
+		f, err = t.findEdgeLeaf(-1)
+	} else {
+		f, err = t.findLeaf(start)
+	}
+	if err != nil {
+		return err
+	}
+	slot := 0
+	if start != nil {
+		slot, _ = search(f.Data(), start)
+	}
+	var kbuf []byte
+	for {
+		p := f.Data()
+		for ; slot < nCells(p); slot++ {
+			kbuf = fullKey(p, slot, kbuf[:0])
+			_, v := cellAt(p, slot)
+			if limit != nil && bytes.Compare(kbuf, limit) >= 0 {
+				t.store.Unfix(f)
+				return nil
+			}
+			if !fn(kbuf, v) {
+				t.store.Unfix(f)
+				return nil
+			}
+		}
+		next := leafNext(p)
+		t.store.Unfix(f)
+		if next == pagestore.InvalidPage {
+			return nil
+		}
+		f, err = t.store.Fix(next)
+		if err != nil {
+			return err
+		}
+		slot = 0
+	}
+}
+
+// Descend visits keys strictly below high in descending order, stopping
+// before keys below low. A nil high begins at the last key (inclusive); a
+// nil low runs to the first key. fn's slices alias page memory; return
+// false to stop.
+func (t *Tree) Descend(high, low []byte, fn func(key, val []byte) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var f *pagestore.Frame
+	var err error
+	var slot int
+	if high == nil {
+		f, err = t.findEdgeLeaf(1)
+		if err != nil {
+			return err
+		}
+		slot = nCells(f.Data()) - 1
+	} else {
+		f, err = t.findLeaf(high)
+		if err != nil {
+			return err
+		}
+		s, _ := search(f.Data(), high)
+		slot = s - 1
+	}
+	var kbuf []byte
+	for {
+		p := f.Data()
+		for ; slot >= 0; slot-- {
+			kbuf = fullKey(p, slot, kbuf[:0])
+			_, v := cellAt(p, slot)
+			if low != nil && bytes.Compare(kbuf, low) < 0 {
+				t.store.Unfix(f)
+				return nil
+			}
+			if !fn(kbuf, v) {
+				t.store.Unfix(f)
+				return nil
+			}
+		}
+		prev := leafPrev(p)
+		t.store.Unfix(f)
+		if prev == pagestore.InvalidPage {
+			return nil
+		}
+		f, err = t.store.Fix(prev)
+		if err != nil {
+			return err
+		}
+		slot = nCells(f.Data()) - 1
+	}
+}
+
+// SeekGE returns copies of the first key-value pair with key >= target, or
+// ErrNotFound when no such key exists.
+func (t *Tree) SeekGE(target []byte) (key, val []byte, err error) {
+	err = ErrNotFound
+	serr := t.Ascend(target, nil, func(k, v []byte) bool {
+		key = append([]byte(nil), k...)
+		val = append([]byte(nil), v...)
+		err = nil
+		return false
+	})
+	if serr != nil {
+		return nil, nil, serr
+	}
+	return key, val, err
+}
+
+// SeekGT returns the first pair with key strictly greater than target.
+func (t *Tree) SeekGT(target []byte) (key, val []byte, err error) {
+	err = ErrNotFound
+	serr := t.Ascend(target, nil, func(k, v []byte) bool {
+		if bytes.Equal(k, target) {
+			return true
+		}
+		key = append([]byte(nil), k...)
+		val = append([]byte(nil), v...)
+		err = nil
+		return false
+	})
+	if serr != nil {
+		return nil, nil, serr
+	}
+	return key, val, err
+}
+
+// SeekLT returns the last pair with key strictly less than target; a nil
+// target seeks the greatest key in the tree.
+func (t *Tree) SeekLT(target []byte) (key, val []byte, err error) {
+	err = ErrNotFound
+	serr := t.Descend(target, nil, func(k, v []byte) bool {
+		key = append([]byte(nil), k...)
+		val = append([]byte(nil), v...)
+		err = nil
+		return false
+	})
+	if serr != nil {
+		return nil, nil, serr
+	}
+	return key, val, err
+}
+
+// SeekLE returns the last pair with key <= target.
+func (t *Tree) SeekLE(target []byte) (key, val []byte, err error) {
+	v, gerr := t.Get(target)
+	if gerr == nil {
+		return append([]byte(nil), target...), v, nil
+	}
+	if gerr != ErrNotFound {
+		return nil, nil, gerr
+	}
+	return t.SeekLT(target)
+}
+
+// DeleteRange removes all keys in [start, limit) and returns how many were
+// deleted. It is the bulk operation behind subtree deletion.
+func (t *Tree) DeleteRange(start, limit []byte) (int, error) {
+	// Collect first (cheap: keys only), then delete; avoids mutating pages
+	// under the iterator.
+	var keys [][]byte
+	err := t.Ascend(start, limit, func(k, _ []byte) bool {
+		keys = append(keys, append([]byte(nil), k...))
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range keys {
+		if err := t.Delete(k); err != nil {
+			return 0, fmt.Errorf("btree: DeleteRange at %x: %w", k, err)
+		}
+	}
+	return len(keys), nil
+}

@@ -1,0 +1,142 @@
+package lock
+
+// Deadlock detection: the manager maintains no explicit wait-for graph;
+// instead, each time a transaction blocks, the graph is derived on the fly
+// from the lock table and searched for a cycle through the new waiter. A
+// cycle can only come into existence when its last edge appears, and edges
+// only appear when a transaction starts waiting, so checking at block time
+// finds every deadlock exactly once.
+//
+// Edges of a waiting transaction w:
+//   - to every holder of w's awaited resource whose granted mode is
+//     incompatible with w's requested (converted) mode, and
+//   - to every transaction queued ahead of w on that resource (the FIFO
+//     queue makes w wait for them too).
+//
+// The victim is the youngest member of the cycle (largest TxID), matching
+// the usual "least work lost" heuristic. The victim's pending request fails
+// with ErrDeadlockVictim; its held locks are freed when the transaction
+// layer aborts it.
+
+// resolveDeadlocksLocked breaks every cycle through tx, returning true when
+// tx itself was aborted as a victim. Caller holds m.mu.
+func (m *Manager) resolveDeadlocksLocked(tx *Tx) bool {
+	for {
+		cycle := m.findCycleLocked(tx)
+		if cycle == nil {
+			return false
+		}
+		victim := cycle[0]
+		for _, member := range cycle {
+			if member.id > victim.id {
+				victim = member
+			}
+		}
+		info := DeadlockInfo{Victim: victim.id}
+		for _, member := range cycle {
+			info.Members = append(info.Members, member.id)
+			if member.waiting != nil {
+				info.Resources = append(info.Resources, member.waiting.res)
+				if member.waiting.conversion {
+					info.Conversion = true
+				}
+			} else {
+				info.Resources = append(info.Resources, "")
+			}
+		}
+		m.deadlocks.Add(1)
+		if info.Conversion {
+			m.conversionDeadlocks.Add(1)
+		} else {
+			m.subtreeDeadlocks.Add(1)
+		}
+		if m.onDL != nil {
+			m.onDL(info)
+		}
+		m.abortVictimLocked(victim)
+		if victim == tx {
+			return true
+		}
+	}
+}
+
+// findCycleLocked searches for a wait-for cycle through start and returns
+// its members (start first), or nil.
+func (m *Manager) findCycleLocked(start *Tx) []*Tx {
+	// Iterative DFS keeping the current path for cycle reconstruction.
+	type frame struct {
+		tx    *Tx
+		succs []*Tx
+		next  int
+	}
+	visited := map[TxID]bool{}
+	stack := []frame{{tx: start, succs: m.successorsLocked(start)}}
+	onPath := map[TxID]bool{start.id: true}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next >= len(f.succs) {
+			onPath[f.tx.id] = false
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		succ := f.succs[f.next]
+		f.next++
+		if succ == start {
+			cycle := make([]*Tx, 0, len(stack))
+			for i := range stack {
+				cycle = append(cycle, stack[i].tx)
+			}
+			return cycle
+		}
+		if visited[succ.id] || onPath[succ.id] {
+			continue
+		}
+		visited[succ.id] = true
+		onPath[succ.id] = true
+		stack = append(stack, frame{tx: succ, succs: m.successorsLocked(succ)})
+	}
+	return nil
+}
+
+// successorsLocked returns the transactions w is waiting for.
+func (m *Manager) successorsLocked(w *Tx) []*Tx {
+	if w.waiting == nil {
+		return nil
+	}
+	req := w.waiting
+	h := m.locks[req.res]
+	if h == nil {
+		return nil
+	}
+	var out []*Tx
+	seen := map[TxID]bool{w.id: true}
+	for id, e := range h.granted {
+		if id == w.id || seen[id] {
+			continue
+		}
+		if !m.table.Compatible(e.mode, req.target) {
+			seen[id] = true
+			out = append(out, e.tx)
+		}
+	}
+	for _, r := range h.queue {
+		if r == req {
+			break
+		}
+		if !seen[r.tx.id] {
+			seen[r.tx.id] = true
+			out = append(out, r.tx)
+		}
+	}
+	return out
+}
+
+// abortVictimLocked dooms the victim and fails its pending request.
+func (m *Manager) abortVictimLocked(victim *Tx) {
+	victim.doomed = true
+	if req := victim.waiting; req != nil {
+		victim.waiting = nil
+		m.removeRequestLocked(req)
+		req.result <- ErrDeadlockVictim
+	}
+}

@@ -1,0 +1,116 @@
+package lock
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Diagnostics: snapshot and render the live lock table — the kind of
+// information the paper's XTCdeadlockDetector gathers when a deadlock
+// strikes (active transactions, locks held, state of the wait-for graph).
+
+// HolderInfo describes one granted lock in a snapshot.
+type HolderInfo struct {
+	Tx    TxID
+	Mode  string
+	Short bool
+}
+
+// WaiterInfo describes one queued request in a snapshot.
+type WaiterInfo struct {
+	Tx         TxID
+	Mode       string
+	Conversion bool
+}
+
+// ResourceState is the snapshot of one lock-table entry.
+type ResourceState struct {
+	Resource Resource
+	Holders  []HolderInfo
+	Waiters  []WaiterInfo
+}
+
+// WaitEdge is one edge of the derived wait-for graph.
+type WaitEdge struct {
+	From, To TxID
+}
+
+// Snapshot captures the entire lock table and the derived wait-for graph at
+// one instant. It is consistent (taken under the table mutex) but
+// immediately stale; use it for diagnostics only.
+type Snapshot struct {
+	Taken     time.Time
+	Resources []ResourceState
+	WaitFor   []WaitEdge
+}
+
+// Snapshot captures the current lock-table state.
+func (m *Manager) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	snap := Snapshot{Taken: time.Now()}
+	for res, h := range m.locks {
+		rs := ResourceState{Resource: res}
+		for _, e := range h.granted {
+			rs.Holders = append(rs.Holders, HolderInfo{
+				Tx: e.tx.id, Mode: m.table.Name(e.mode), Short: e.short,
+			})
+		}
+		sort.Slice(rs.Holders, func(i, j int) bool { return rs.Holders[i].Tx < rs.Holders[j].Tx })
+		for _, r := range h.queue {
+			rs.Waiters = append(rs.Waiters, WaiterInfo{
+				Tx: r.tx.id, Mode: m.table.Name(r.target), Conversion: r.conversion,
+			})
+			for _, succ := range m.successorsLocked(r.tx) {
+				snap.WaitFor = append(snap.WaitFor, WaitEdge{From: r.tx.id, To: succ.id})
+			}
+		}
+		snap.Resources = append(snap.Resources, rs)
+	}
+	sort.Slice(snap.Resources, func(i, j int) bool {
+		return snap.Resources[i].Resource < snap.Resources[j].Resource
+	})
+	sort.Slice(snap.WaitFor, func(i, j int) bool {
+		if snap.WaitFor[i].From != snap.WaitFor[j].From {
+			return snap.WaitFor[i].From < snap.WaitFor[j].From
+		}
+		return snap.WaitFor[i].To < snap.WaitFor[j].To
+	})
+	return snap
+}
+
+// Render writes a human-readable dump of the snapshot.
+func (s Snapshot) Render(w io.Writer) {
+	fmt.Fprintf(w, "lock table snapshot (%d resources, %d wait edges)\n",
+		len(s.Resources), len(s.WaitFor))
+	for _, rs := range s.Resources {
+		fmt.Fprintf(w, "  %q:", string(rs.Resource))
+		for _, h := range rs.Holders {
+			dur := ""
+			if h.Short {
+				dur = " short"
+			}
+			fmt.Fprintf(w, " held(tx%d %s%s)", h.Tx, h.Mode, dur)
+		}
+		for _, q := range rs.Waiters {
+			conv := ""
+			if q.Conversion {
+				conv = " conv"
+			}
+			fmt.Fprintf(w, " wait(tx%d %s%s)", q.Tx, q.Mode, conv)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, e := range s.WaitFor {
+		fmt.Fprintf(w, "  tx%d -> tx%d\n", e.From, e.To)
+	}
+}
+
+// ActiveResources returns the number of resources currently carrying locks.
+func (m *Manager) ActiveResources() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.locks)
+}

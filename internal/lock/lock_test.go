@@ -1,0 +1,580 @@
+package lock
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A classic multi-granularity table (IS, IX, S, U, X) for exercising the
+// manager independent of the XML protocols.
+const (
+	tIS Mode = iota + 1
+	tIX
+	tS
+	tU
+	tX
+)
+
+func testTable() *Table {
+	names := []string{"-", "IS", "IX", "S", "U", "X"}
+	// compat[held][requested]
+	y, n := true, false
+	compat := [][]bool{
+		{n, n, n, n, n, n},
+		{n, y, y, y, y, n}, // IS
+		{n, y, y, n, n, n}, // IX
+		{n, y, n, y, y, n}, // S  (U compatible with held S per Gray/Reuter)
+		{n, y, n, n, n, n}, // U: once U is held, further S waits
+		{n, n, n, n, n, n}, // X
+	}
+	mm := func(m Mode) []Mode { return []Mode{ModeNone, m, m, m, m, m} }
+	_ = mm
+	conv := [][]Mode{
+		{ModeNone, tIS, tIX, tS, tU, tX},
+		{ModeNone, tIS, tIX, tS, tU, tX}, // IS
+		{ModeNone, tIX, tIX, tX, tX, tX}, // IX (no SIX mode in this small table)
+		{ModeNone, tS, tX, tS, tU, tX},   // S
+		{ModeNone, tU, tX, tU, tU, tX},   // U
+		{ModeNone, tX, tX, tX, tX, tX},   // X
+	}
+	return NewTable(names, compat, conv)
+}
+
+func newMgr(t testing.TB, opts Options) *Manager {
+	t.Helper()
+	return NewManager(testTable(), opts)
+}
+
+func TestImmediateGrantAndSharing(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1, t2 := m.Begin(), m.Begin()
+	if err := m.Lock(t1, "n1", tS, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(t2, "n1", tS, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HeldMode(t1, "n1"); got != tS {
+		t.Errorf("t1 holds %v", got)
+	}
+	st := m.Stats()
+	if st.ImmediateGrants != 2 || st.Waits != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	m.ReleaseAll(t1)
+	m.ReleaseAll(t2)
+}
+
+func TestRepeatLockIsNoop(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1 := m.Begin()
+	for i := 0; i < 3; i++ {
+		if err := m.Lock(t1, "n1", tS, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.HeldCount(t1) != 1 {
+		t.Errorf("held %d resources", m.HeldCount(t1))
+	}
+	m.ReleaseAll(t1)
+}
+
+func TestConflictBlocksUntilRelease(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1, t2 := m.Begin(), m.Begin()
+	if err := m.Lock(t1, "n1", tX, false); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(t2, "n1", tS, false) }()
+	select {
+	case err := <-got:
+		t.Fatalf("t2 acquired S while t1 holds X: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(t1)
+	if err := <-got; err != nil {
+		t.Fatalf("t2 lock after release: %v", err)
+	}
+	if m.HeldMode(t2, "n1") != tS {
+		t.Error("t2 should hold S")
+	}
+	m.ReleaseAll(t2)
+}
+
+func TestConversionUpgrade(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1 := m.Begin()
+	if err := m.Lock(t1, "n1", tS, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(t1, "n1", tX, false); err != nil {
+		t.Fatal(err)
+	}
+	if m.HeldMode(t1, "n1") != tX {
+		t.Errorf("mode after upgrade = %v", m.HeldMode(t1, "n1"))
+	}
+	if m.HeldCount(t1) != 1 {
+		t.Error("upgrade must not duplicate entries")
+	}
+	m.ReleaseAll(t1)
+}
+
+func TestConversionWaitsForReaders(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1, t2 := m.Begin(), m.Begin()
+	m.Lock(t1, "n1", tS, false)
+	m.Lock(t2, "n1", tS, false)
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(t1, "n1", tX, false) }()
+	select {
+	case err := <-got:
+		t.Fatalf("conversion granted while t2 reads: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.ReleaseAll(t2)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	if m.HeldMode(t1, "n1") != tX {
+		t.Error("t1 should hold X after conversion")
+	}
+	m.ReleaseAll(t1)
+}
+
+func TestConversionOvertakesQueue(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1, t2, t3 := m.Begin(), m.Begin(), m.Begin()
+	m.Lock(t1, "n1", tS, false)
+	m.Lock(t2, "n1", tS, false)
+	// t3 queues for X (blocked by both readers).
+	t3got := make(chan error, 1)
+	go func() { t3got <- m.Lock(t3, "n1", tX, false) }()
+	waitForQueue(t, m, "n1", 1)
+	// t1 requests conversion to X: goes ahead of t3 in the queue.
+	t1got := make(chan error, 1)
+	go func() { t1got <- m.Lock(t1, "n1", tX, false) }()
+	waitForQueue(t, m, "n1", 2)
+	// Release the other reader: the conversion must win.
+	m.ReleaseAll(t2)
+	if err := <-t1got; err != nil {
+		t.Fatalf("conversion: %v", err)
+	}
+	select {
+	case err := <-t3got:
+		t.Fatalf("t3 should still wait, got %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(t1)
+	if err := <-t3got; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(t3)
+}
+
+func waitForQueue(t *testing.T, m *Manager, res Resource, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for m.QueueLength(res) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue on %s never reached %d", res, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFIFOPreventsStarvation(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1, t2, t3 := m.Begin(), m.Begin(), m.Begin()
+	m.Lock(t1, "n1", tX, false)
+	order := make(chan int, 2)
+	go func() {
+		if m.Lock(t2, "n1", tX, false) == nil {
+			order <- 2
+			m.ReleaseAll(t2)
+		}
+	}()
+	waitForQueue(t, m, "n1", 1)
+	go func() {
+		if m.Lock(t3, "n1", tS, false) == nil {
+			order <- 3
+			m.ReleaseAll(t3)
+		}
+	}()
+	waitForQueue(t, m, "n1", 2)
+	m.ReleaseAll(t1)
+	if first := <-order; first != 2 {
+		t.Errorf("queue jumped: %d won first", first)
+	}
+	<-order
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	var infos []DeadlockInfo
+	var mu sync.Mutex
+	m := newMgr(t, Options{OnDeadlock: func(i DeadlockInfo) {
+		mu.Lock()
+		infos = append(infos, i)
+		mu.Unlock()
+	}})
+	t1, t2 := m.Begin(), m.Begin()
+	m.Lock(t1, "a", tX, false)
+	m.Lock(t2, "b", tX, false)
+	// Each transaction releases its locks as soon as its request resolves —
+	// a victim's abort is what unblocks the survivor.
+	request := func(tx *Tx, res Resource, out chan<- error) {
+		err := m.Lock(tx, res, tX, false)
+		m.ReleaseAll(tx)
+		out <- err
+	}
+	errs := make(chan error, 2)
+	go request(t1, "b", errs)
+	waitForQueue(t, m, "b", 1)
+	go request(t2, "a", errs)
+
+	e1, e2 := <-errs, <-errs
+	victims := 0
+	if errors.Is(e1, ErrDeadlockVictim) {
+		victims++
+	}
+	if errors.Is(e2, ErrDeadlockVictim) {
+		victims++
+	}
+	if victims != 1 {
+		t.Fatalf("exactly one victim expected: %v, %v", e1, e2)
+	}
+	st := m.Stats()
+	if st.Deadlocks != 1 {
+		t.Errorf("Deadlocks = %d", st.Deadlocks)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(infos) != 1 {
+		t.Fatalf("OnDeadlock calls = %d", len(infos))
+	}
+	// Youngest (t2) is the victim.
+	if infos[0].Victim != t2.ID() {
+		t.Errorf("victim = %d, want %d", infos[0].Victim, t2.ID())
+	}
+	if infos[0].Conversion {
+		t.Error("plain crossing is not a conversion deadlock")
+	}
+}
+
+func TestConversionDeadlockClassified(t *testing.T) {
+	var infos []DeadlockInfo
+	var mu sync.Mutex
+	m := newMgr(t, Options{OnDeadlock: func(i DeadlockInfo) {
+		mu.Lock()
+		infos = append(infos, i)
+		mu.Unlock()
+	}})
+	t1, t2 := m.Begin(), m.Begin()
+	m.Lock(t1, "n", tS, false)
+	m.Lock(t2, "n", tS, false)
+	request := func(tx *Tx, out chan<- error) {
+		err := m.Lock(tx, "n", tX, false)
+		m.ReleaseAll(tx)
+		out <- err
+	}
+	errs := make(chan error, 2)
+	go request(t1, errs)
+	waitForQueue(t, m, "n", 1)
+	go request(t2, errs)
+	e1, e2 := <-errs, <-errs
+	if (e1 == nil) == (e2 == nil) {
+		t.Fatalf("one conversion must fail: %v / %v", e1, e2)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(infos) != 1 || !infos[0].Conversion {
+		t.Fatalf("expected one conversion deadlock, got %+v", infos)
+	}
+	st := m.Stats()
+	if st.ConversionDeadlocks != 1 || st.SubtreeDeadlocks != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	m := newMgr(t, Options{})
+	txs := []*Tx{m.Begin(), m.Begin(), m.Begin()}
+	res := []Resource{"a", "b", "c"}
+	for i, tx := range txs {
+		if err := m.Lock(tx, res[i], tX, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, 3)
+	for i, tx := range txs {
+		i, tx := i, tx
+		go func() {
+			err := m.Lock(tx, res[(i+1)%3], tX, false)
+			m.ReleaseAll(tx) // victim abort or post-grant completion
+			errs <- err
+		}()
+		if i < 2 {
+			// Deterministic edge order; the third request resolves the
+			// cycle synchronously, so its queue entry may never be visible.
+			waitForQueue(t, m, res[(i+1)%3], 1)
+		}
+	}
+	victims, grants := 0, 0
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-errs:
+			switch {
+			case errors.Is(err, ErrDeadlockVictim):
+				victims++
+			case err == nil:
+				grants++
+			default:
+				t.Fatalf("unexpected error: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("deadlock not resolved")
+		}
+	}
+	if victims != 1 || grants != 2 {
+		t.Errorf("victims = %d, grants = %d; want 1 and 2", victims, grants)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	m := newMgr(t, Options{Timeout: 50 * time.Millisecond})
+	t1, t2 := m.Begin(), m.Begin()
+	m.Lock(t1, "n1", tX, false)
+	start := time.Now()
+	err := m.Lock(t2, "n1", tX, false)
+	if !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Errorf("returned too early: %v", d)
+	}
+	if m.Stats().Timeouts != 1 {
+		t.Errorf("Timeouts = %d", m.Stats().Timeouts)
+	}
+	m.ReleaseAll(t1)
+	m.ReleaseAll(t2)
+}
+
+func TestShortRelease(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1 := m.Begin()
+	m.Lock(t1, "r-short", tS, true)
+	m.Lock(t1, "r-long", tX, false)
+	m.Lock(t1, "r-upgraded", tS, true)
+	m.Lock(t1, "r-upgraded", tS, false) // long request upgrades duration
+	m.ReleaseShort(t1)
+	if m.HeldMode(t1, "r-short") != ModeNone {
+		t.Error("short lock survived ReleaseShort")
+	}
+	if m.HeldMode(t1, "r-long") != tX {
+		t.Error("long lock lost")
+	}
+	if m.HeldMode(t1, "r-upgraded") != tS {
+		t.Error("duration-upgraded lock lost")
+	}
+	m.ReleaseAll(t1)
+	if m.HeldCount(t1) != 0 {
+		t.Error("locks survive ReleaseAll")
+	}
+}
+
+func TestLockAfterDone(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1 := m.Begin()
+	m.ReleaseAll(t1)
+	if err := m.Lock(t1, "n", tS, false); !errors.Is(err, ErrTxDone) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReleaseWakesQueue(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1 := m.Begin()
+	m.Lock(t1, "n", tX, false)
+	const waiters = 5
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tx := m.Begin()
+			errs[i] = m.Lock(tx, "n", tS, false)
+			m.ReleaseAll(tx)
+		}(i)
+	}
+	waitForQueue(t, m, "n", waiters)
+	m.ReleaseAll(t1)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("waiter %d: %v", i, err)
+		}
+	}
+	if m.QueueLength("n") != 0 {
+		t.Error("queue not drained")
+	}
+}
+
+// TestStressInvariant hammers the manager with random lock patterns and
+// verifies that no two transactions ever hold incompatible modes on the same
+// resource simultaneously.
+func TestStressInvariant(t *testing.T) {
+	m := newMgr(t, Options{Timeout: 2 * time.Second})
+	table := m.Table()
+	const (
+		goroutines = 16
+		resources  = 8
+		rounds     = 200
+	)
+	// Shadow state for invariant checking.
+	var shadowMu sync.Mutex
+	shadow := map[Resource]map[TxID]Mode{}
+	acquire := func(res Resource, id TxID, mode Mode) {
+		shadowMu.Lock()
+		defer shadowMu.Unlock()
+		if shadow[res] == nil {
+			shadow[res] = map[TxID]Mode{}
+		}
+		for other, held := range shadow[res] {
+			if other == id {
+				continue
+			}
+			if !table.Compatible(held, mode) {
+				t.Errorf("incompatible grant on %s: tx%d holds %s, tx%d granted %s",
+					res, other, table.Name(held), id, table.Name(mode))
+			}
+		}
+		shadow[res][id] = mode
+	}
+	releaseAll := func(id TxID) {
+		shadowMu.Lock()
+		defer shadowMu.Unlock()
+		for _, holders := range shadow {
+			delete(holders, id)
+		}
+	}
+
+	modes := []Mode{tIS, tIX, tS, tU, tX}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for r := 0; r < rounds; r++ {
+				tx := m.Begin()
+				ok := true
+				for i := 0; i < 1+rng.Intn(4); i++ {
+					res := Resource(fmt.Sprintf("res-%d", rng.Intn(resources)))
+					mode := modes[rng.Intn(len(modes))]
+					if err := m.Lock(tx, res, mode, false); err != nil {
+						ok = false
+						break
+					}
+					acquire(res, tx.ID(), m.HeldMode(tx, res))
+				}
+				_ = ok
+				releaseAll(tx.ID())
+				m.ReleaseAll(tx)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if m.Stats().Timeouts > 0 {
+		t.Errorf("stress run hit %d timeouts (likely lost wakeup)", m.Stats().Timeouts)
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-reflexive conversion must panic")
+		}
+	}()
+	NewTable(
+		[]string{"-", "A"},
+		[][]bool{{false, false}, {false, true}},
+		[][]Mode{{0, 1}, {0, 0}}, // Convert(A, A) == none: invalid
+	)
+}
+
+func BenchmarkUncontendedLock(b *testing.B) {
+	m := NewManager(testTable(), Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := m.Begin()
+		m.Lock(tx, "r", tS, false)
+		m.ReleaseAll(tx)
+	}
+}
+
+func BenchmarkSharedLockFanout(b *testing.B) {
+	m := NewManager(testTable(), Options{})
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tx := m.Begin()
+			m.Lock(tx, "hot", tS, false)
+			m.ReleaseAll(tx)
+		}
+	})
+}
+
+func TestSnapshotAndRender(t *testing.T) {
+	m := newMgr(t, Options{})
+	t1, t2 := m.Begin(), m.Begin()
+	m.Lock(t1, "res-a", tX, false)
+	m.Lock(t1, "res-b", tS, true)
+	go m.Lock(t2, "res-a", tS, false)
+	waitForQueue(t, m, "res-a", 1)
+
+	snap := m.Snapshot()
+	if len(snap.Resources) != 2 {
+		t.Fatalf("resources = %d", len(snap.Resources))
+	}
+	var resA *ResourceState
+	for i := range snap.Resources {
+		if snap.Resources[i].Resource == "res-a" {
+			resA = &snap.Resources[i]
+		}
+	}
+	if resA == nil || len(resA.Holders) != 1 || len(resA.Waiters) != 1 {
+		t.Fatalf("res-a state = %+v", resA)
+	}
+	if resA.Holders[0].Tx != t1.ID() || resA.Holders[0].Mode != "X" {
+		t.Errorf("holder = %+v", resA.Holders[0])
+	}
+	if resA.Waiters[0].Tx != t2.ID() || resA.Waiters[0].Conversion {
+		t.Errorf("waiter = %+v", resA.Waiters[0])
+	}
+	// The wait-for graph has the one edge t2 -> t1.
+	if len(snap.WaitFor) != 1 || snap.WaitFor[0].From != t2.ID() || snap.WaitFor[0].To != t1.ID() {
+		t.Errorf("wait-for = %+v", snap.WaitFor)
+	}
+	var buf bytes.Buffer
+	snap.Render(&buf)
+	out := buf.String()
+	for _, frag := range []string{"res-a", "held(tx1 X)", "wait(tx2 S)", "tx2 -> tx1", "short"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	if m.ActiveResources() != 2 {
+		t.Errorf("ActiveResources = %d", m.ActiveResources())
+	}
+	m.ReleaseAll(t1)
+	m.ReleaseAll(t2)
+	if m.ActiveResources() != 0 {
+		t.Error("resources should be garbage-collected after release")
+	}
+}

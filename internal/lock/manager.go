@@ -1,0 +1,412 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TxID identifies a transaction within one Manager.
+type TxID uint64
+
+// Resource is an opaque lockable name. Protocols derive resource names from
+// SPLIDs (node locks) and from SPLID+edge-kind pairs (edge locks).
+type Resource string
+
+// ErrDeadlockVictim is returned from Lock when the transaction was chosen as
+// the victim of a deadlock cycle. The caller must abort the transaction.
+var ErrDeadlockVictim = errors.New("lock: transaction aborted as deadlock victim")
+
+// ErrLockTimeout is returned when a lock request waited longer than the
+// manager's timeout. The caller should abort the transaction.
+var ErrLockTimeout = errors.New("lock: request timed out")
+
+// ErrTxDone is returned when locking on behalf of a finished transaction.
+var ErrTxDone = errors.New("lock: transaction already finished")
+
+// DefaultTimeout bounds lock waits when Options.Timeout is zero.
+const DefaultTimeout = 10 * time.Second
+
+// Tx is the lock manager's view of a transaction: the set of locks it holds
+// and its wait state. Create with Manager.Begin; a Tx must be used by one
+// goroutine at a time (the usual one-goroutine-per-transaction discipline).
+type Tx struct {
+	id  TxID
+	mgr *Manager
+
+	// All fields below are guarded by mgr.mu.
+	held    map[Resource]*holderEntry
+	waiting *request
+	doomed  bool
+	done    bool
+}
+
+// ID returns the transaction's identifier (monotonic: larger = younger).
+func (tx *Tx) ID() TxID { return tx.id }
+
+type holderEntry struct {
+	tx    *Tx
+	mode  Mode
+	short bool // true while only short-duration requests produced this lock
+}
+
+type request struct {
+	tx         *Tx
+	res        Resource
+	target     Mode // effective mode after grant (converted for conversions)
+	short      bool
+	conversion bool
+	result     chan error
+}
+
+type lockHead struct {
+	granted map[TxID]*holderEntry
+	queue   []*request
+}
+
+// Stats are monotonic counters describing lock-manager activity. They feed
+// the paper's performance metrics (lock requests, blocks, deadlocks).
+type Stats struct {
+	Requests            uint64
+	ImmediateGrants     uint64
+	Waits               uint64
+	Conversions         uint64
+	Deadlocks           uint64
+	ConversionDeadlocks uint64
+	SubtreeDeadlocks    uint64
+	Timeouts            uint64
+}
+
+// DeadlockInfo describes one detected cycle; it is passed to the OnDeadlock
+// observer (the XTCdeadlockDetector role from Section 4.2).
+type DeadlockInfo struct {
+	// Victim is the aborted transaction.
+	Victim TxID
+	// Members are the transactions on the cycle, starting with the requester
+	// whose wait closed it.
+	Members []TxID
+	// Resources are the resources each member was waiting for, aligned with
+	// Members (running transactions contribute an empty resource).
+	Resources []Resource
+	// Conversion reports whether any member was waiting on a lock
+	// conversion — the paper's "frequent" deadlock class, as opposed to
+	// rare cycles between separate subtrees.
+	Conversion bool
+}
+
+// Options configure a Manager.
+type Options struct {
+	// Timeout bounds each lock wait; DefaultTimeout when zero.
+	Timeout time.Duration
+	// OnDeadlock, when non-nil, observes every detected deadlock. It runs
+	// with internal locks held and must return quickly without calling back
+	// into the Manager.
+	OnDeadlock func(DeadlockInfo)
+}
+
+// Manager is the lock manager: one lock table shared by all transactions of
+// an engine instance.
+type Manager struct {
+	table   ModeTable
+	timeout time.Duration
+	onDL    func(DeadlockInfo)
+
+	mu     sync.Mutex
+	locks  map[Resource]*lockHead
+	nextTx uint64
+
+	requests            atomic.Uint64
+	immediateGrants     atomic.Uint64
+	waits               atomic.Uint64
+	conversions         atomic.Uint64
+	deadlocks           atomic.Uint64
+	conversionDeadlocks atomic.Uint64
+	subtreeDeadlocks    atomic.Uint64
+	timeouts            atomic.Uint64
+}
+
+// NewManager builds a Manager for one protocol's mode table.
+func NewManager(table ModeTable, opts Options) *Manager {
+	to := opts.Timeout
+	if to <= 0 {
+		to = DefaultTimeout
+	}
+	return &Manager{
+		table:   table,
+		timeout: to,
+		onDL:    opts.OnDeadlock,
+		locks:   make(map[Resource]*lockHead),
+	}
+}
+
+// Table returns the manager's mode table.
+func (m *Manager) Table() ModeTable { return m.table }
+
+// Begin registers a new transaction.
+func (m *Manager) Begin() *Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextTx++
+	return &Tx{id: TxID(m.nextTx), mgr: m, held: make(map[Resource]*holderEntry)}
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Requests:            m.requests.Load(),
+		ImmediateGrants:     m.immediateGrants.Load(),
+		Waits:               m.waits.Load(),
+		Conversions:         m.conversions.Load(),
+		Deadlocks:           m.deadlocks.Load(),
+		ConversionDeadlocks: m.conversionDeadlocks.Load(),
+		SubtreeDeadlocks:    m.subtreeDeadlocks.Load(),
+		Timeouts:            m.timeouts.Load(),
+	}
+}
+
+func (m *Manager) head(res Resource) *lockHead {
+	h := m.locks[res]
+	if h == nil {
+		h = &lockHead{granted: make(map[TxID]*holderEntry)}
+		m.locks[res] = h
+	}
+	return h
+}
+
+// compatibleWithOthers reports whether mode can coexist with every granted
+// entry on h other than tx's own.
+func (m *Manager) compatibleWithOthers(h *lockHead, self TxID, mode Mode) bool {
+	for id, e := range h.granted {
+		if id == self {
+			continue
+		}
+		if !m.table.Compatible(e.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lock acquires res in mode for tx, blocking until granted, deadlock abort,
+// or timeout. short marks the request as releasable at operation end
+// (committed-read isolation); a long request on the same resource upgrades
+// the entry to long duration.
+func (m *Manager) Lock(tx *Tx, res Resource, mode Mode, short bool) error {
+	if mode == ModeNone {
+		return fmt.Errorf("lock: cannot request ModeNone on %q", res)
+	}
+	m.requests.Add(1)
+	m.mu.Lock()
+	if tx.done {
+		m.mu.Unlock()
+		return ErrTxDone
+	}
+	if tx.doomed {
+		m.mu.Unlock()
+		return ErrDeadlockVictim
+	}
+	h := m.head(res)
+	var req *request
+	if entry := tx.held[res]; entry != nil {
+		target := m.table.Convert(entry.mode, mode)
+		if !short {
+			entry.short = false
+		}
+		if target == entry.mode {
+			m.mu.Unlock()
+			m.immediateGrants.Add(1)
+			return nil
+		}
+		m.conversions.Add(1)
+		if m.compatibleWithOthers(h, tx.id, target) {
+			entry.mode = target
+			m.mu.Unlock()
+			m.immediateGrants.Add(1)
+			return nil
+		}
+		req = &request{tx: tx, res: res, target: target, short: short, conversion: true, result: make(chan error, 1)}
+		// Conversions overtake non-conversion waiters but queue FIFO among
+		// themselves.
+		pos := 0
+		for pos < len(h.queue) && h.queue[pos].conversion {
+			pos++
+		}
+		h.queue = append(h.queue, nil)
+		copy(h.queue[pos+1:], h.queue[pos:])
+		h.queue[pos] = req
+	} else {
+		if len(h.queue) == 0 && m.compatibleWithOthers(h, tx.id, mode) {
+			e := &holderEntry{tx: tx, mode: mode, short: short}
+			h.granted[tx.id] = e
+			tx.held[res] = e
+			m.mu.Unlock()
+			m.immediateGrants.Add(1)
+			return nil
+		}
+		req = &request{tx: tx, res: res, target: mode, short: short, result: make(chan error, 1)}
+		h.queue = append(h.queue, req)
+	}
+
+	tx.waiting = req
+	m.waits.Add(1)
+	victimIsMe := m.resolveDeadlocksLocked(tx)
+	m.mu.Unlock()
+	if victimIsMe {
+		// resolveDeadlocksLocked already delivered the error and removed the
+		// request; drain the channel for cleanliness.
+		return <-req.result
+	}
+
+	timer := time.NewTimer(m.timeout)
+	defer timer.Stop()
+	select {
+	case err := <-req.result:
+		return err
+	case <-timer.C:
+		m.mu.Lock()
+		select {
+		case err := <-req.result:
+			// Grant raced with the timeout; honor the grant.
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.removeRequestLocked(req)
+		tx.waiting = nil
+		m.mu.Unlock()
+		m.timeouts.Add(1)
+		return ErrLockTimeout
+	}
+}
+
+// removeRequestLocked drops req from its queue (if still present).
+func (m *Manager) removeRequestLocked(req *request) {
+	h := m.locks[req.res]
+	if h == nil {
+		return
+	}
+	for i, r := range h.queue {
+		if r == req {
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			break
+		}
+	}
+	// Removing a waiter may unblock those behind it.
+	m.sweepLocked(h)
+}
+
+// sweepLocked grants queued requests from the front for as long as they are
+// compatible, preserving FIFO fairness (the first non-grantable waiter
+// blocks everything behind it).
+func (m *Manager) sweepLocked(h *lockHead) {
+	for len(h.queue) > 0 {
+		req := h.queue[0]
+		if req.tx.doomed || req.tx.done {
+			h.queue = h.queue[1:]
+			req.tx.waiting = nil
+			req.result <- ErrDeadlockVictim
+			continue
+		}
+		if req.conversion {
+			entry := h.granted[req.tx.id]
+			if entry == nil {
+				// The holder aborted between enqueue and sweep; treat as a
+				// fresh request.
+				req.conversion = false
+				continue
+			}
+			if !m.compatibleWithOthers(h, req.tx.id, req.target) {
+				return
+			}
+			entry.mode = req.target
+			if !req.short {
+				entry.short = false
+			}
+		} else {
+			if !m.compatibleWithOthers(h, req.tx.id, req.target) {
+				return
+			}
+			e := &holderEntry{tx: req.tx, mode: req.target, short: req.short}
+			h.granted[req.tx.id] = e
+			req.tx.held[req.res] = e
+		}
+		h.queue = h.queue[1:]
+		req.tx.waiting = nil
+		req.result <- nil
+	}
+}
+
+// ReleaseAll releases every lock tx holds and marks it finished. It is the
+// commit/abort release for isolation level repeatable read.
+func (m *Manager) ReleaseAll(tx *Tx) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tx.done = true
+	if tx.waiting != nil {
+		m.removeRequestLocked(tx.waiting)
+		tx.waiting = nil
+	}
+	for res := range tx.held {
+		h := m.locks[res]
+		delete(h.granted, tx.id)
+		delete(tx.held, res)
+		m.sweepLocked(h)
+		m.maybeDropHeadLocked(res, h)
+	}
+}
+
+// ReleaseShort releases the locks tx acquired only with short duration —
+// the end-of-operation release for isolation levels uncommitted and
+// committed read.
+func (m *Manager) ReleaseShort(tx *Tx) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for res, e := range tx.held {
+		if !e.short {
+			continue
+		}
+		h := m.locks[res]
+		delete(h.granted, tx.id)
+		delete(tx.held, res)
+		m.sweepLocked(h)
+		m.maybeDropHeadLocked(res, h)
+	}
+}
+
+// maybeDropHeadLocked garbage-collects empty lock heads so the table does
+// not grow with every node ever touched.
+func (m *Manager) maybeDropHeadLocked(res Resource, h *lockHead) {
+	if len(h.granted) == 0 && len(h.queue) == 0 {
+		delete(m.locks, res)
+	}
+}
+
+// HeldMode returns the mode tx holds on res (ModeNone if none) — a test and
+// debugging aid.
+func (m *Manager) HeldMode(tx *Tx, res Resource) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := tx.held[res]; e != nil {
+		return e.mode
+	}
+	return ModeNone
+}
+
+// HeldCount returns how many locks tx currently holds.
+func (m *Manager) HeldCount(tx *Tx) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(tx.held)
+}
+
+// QueueLength returns the number of waiters on res (test aid).
+func (m *Manager) QueueLength(res Resource) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.locks[res]; h != nil {
+		return len(h.queue)
+	}
+	return 0
+}

@@ -1,0 +1,192 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/tx"
+	"repro/internal/xmlmodel"
+)
+
+// TestChaosAllProtocols runs a storm of random transactions (reads, writes,
+// structural changes, renames, deliberate aborts) against every protocol
+// and verifies afterwards that the document store survived with all
+// invariants intact — the strongest end-to-end check in the suite.
+func TestChaosAllProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos test")
+	}
+	for _, name := range protocol.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			chaosRun(t, name, tx.LevelRepeatable)
+		})
+	}
+}
+
+// TestChaosWeakIsolation runs the same storm under the weaker levels, where
+// transactions take fewer (or no) locks: logical anomalies are expected,
+// physical corruption is not.
+func TestChaosWeakIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long chaos test")
+	}
+	for _, iso := range []tx.Level{tx.LevelNone, tx.LevelUncommitted, tx.LevelCommitted} {
+		iso := iso
+		t.Run(iso.String(), func(t *testing.T) {
+			t.Parallel()
+			chaosRun(t, "taDOM3+", iso)
+		})
+	}
+}
+
+func chaosRun(t *testing.T, protoName string, iso tx.Level) {
+	t.Helper()
+	m := newLibrary(t, protoName, -1)
+	doc := m.Document()
+	var bookIDs []string
+	for ti := 0; ti < 2; ti++ {
+		for bi := 0; bi < 3; bi++ {
+			bookIDs = append(bookIDs, fmt.Sprintf("b-%d-%d", ti, bi))
+		}
+	}
+	var commits, aborts atomic.Int64
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(700 * time.Millisecond)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for time.Now().Before(deadline) {
+				txn := m.Begin(iso)
+				err := chaosTxn(m, txn, rng, bookIDs)
+				switch {
+				case err == nil && rng.Intn(8) == 0:
+					// Deliberate abort of a healthy transaction.
+					txn.Abort()
+					aborts.Add(1)
+				case err == nil:
+					if cerr := txn.Commit(); cerr != nil {
+						t.Errorf("commit: %v", cerr)
+						return
+					}
+					commits.Add(1)
+				case IsAbortWorthy(err) || errors.Is(err, storage.ErrNodeNotFound) ||
+					errors.Is(err, storage.ErrNodeExists):
+					txn.Abort()
+					aborts.Add(1)
+				default:
+					txn.Abort()
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if commits.Load() == 0 {
+		t.Fatalf("no transaction committed (aborts: %d)", aborts.Load())
+	}
+	if err := doc.Verify(); err != nil {
+		t.Fatalf("document corrupted after chaos (%d commits, %d aborts): %v",
+			commits.Load(), aborts.Load(), err)
+	}
+}
+
+// chaosTxn performs 1-4 random operations.
+func chaosTxn(m *Manager, txn *tx.Txn, rng *rand.Rand, bookIDs []string) error {
+	ops := 1 + rng.Intn(4)
+	for i := 0; i < ops; i++ {
+		book, err := m.JumpToID(txn, bookIDs[rng.Intn(len(bookIDs))])
+		if err != nil {
+			return err
+		}
+		switch rng.Intn(8) {
+		case 0: // fragment read
+			if _, err := m.ReadFragment(txn, book.ID, false); err != nil {
+				return err
+			}
+		case 1: // children + attributes
+			if _, err := m.GetChildren(txn, book.ID); err != nil {
+				return err
+			}
+			if _, err := m.GetAttributes(txn, book.ID); err != nil {
+				return err
+			}
+		case 2: // navigate and read a value
+			title, err := m.FirstChild(txn, book.ID)
+			if err != nil || title.ID.IsNull() {
+				return err
+			}
+			txt, err := m.FirstChild(txn, title.ID)
+			if err != nil || txt.ID.IsNull() {
+				return err
+			}
+			if txt.Kind != xmlmodel.KindText {
+				return nil
+			}
+			if _, err := m.Value(txn, txt.ID); err != nil {
+				return err
+			}
+		case 3: // content update
+			title, err := m.FirstChild(txn, book.ID)
+			if err != nil || title.ID.IsNull() {
+				return err
+			}
+			txt, err := m.FirstChild(txn, title.ID)
+			if err != nil || txt.ID.IsNull() || txt.Kind != xmlmodel.KindText {
+				return err
+			}
+			if err := m.SetValue(txn, txt.ID, []byte(fmt.Sprintf("t%d", rng.Int()))); err != nil {
+				return err
+			}
+		case 4: // lend (append + attributes)
+			hist, err := m.LastChild(txn, book.ID)
+			if err != nil || hist.ID.IsNull() {
+				return err
+			}
+			lend, err := m.AppendElement(txn, hist.ID, "lend")
+			if err != nil {
+				return err
+			}
+			if err := m.SetAttribute(txn, lend.ID, "person", []byte("p-1")); err != nil {
+				return err
+			}
+		case 5: // return (delete a lend)
+			hist, err := m.LastChild(txn, book.ID)
+			if err != nil || hist.ID.IsNull() {
+				return err
+			}
+			lends, err := m.GetChildren(txn, hist.ID)
+			if err != nil || len(lends) <= 1 {
+				return err
+			}
+			if err := m.DeleteSubtree(txn, lends[rng.Intn(len(lends))].ID); err != nil {
+				return err
+			}
+		case 6: // rename the book
+			names := []string{"book", "tome", "volume"}
+			if err := m.Rename(txn, book.ID, names[rng.Intn(len(names))]); err != nil {
+				return err
+			}
+		default: // update-intent fragment read
+			hist, err := m.LastChild(txn, book.ID)
+			if err != nil || hist.ID.IsNull() {
+				return err
+			}
+			if _, err := m.ReadFragmentForUpdate(txn, hist.ID, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tx"
+)
+
+// Isolation anomaly tests (footnote 5 of the paper): each level permits
+// exactly the anomalies above it and prevents the ones below.
+
+func TestDirtyReadOnlyUnderUncommitted(t *testing.T) {
+	m := newLibrary(t, "taDOM3+", -1)
+	book, _ := m.Document().ElementByID([]byte("b-0-0"))
+	title, _ := m.Document().FirstChild(book)
+	text, _ := m.Document().FirstChild(title.ID)
+
+	writer := m.Begin(tx.LevelRepeatable)
+	jb, err := m.JumpToID(writer, "b-0-0")
+	if err != nil || jb.ID.IsNull() {
+		t.Fatal(err)
+	}
+	if err := m.SetValue(writer, text.ID, []byte("uncommitted-value")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uncommitted read: sees the dirty value without blocking.
+	dirty := m.Begin(tx.LevelUncommitted)
+	v, err := m.Value(dirty, text.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "uncommitted-value" {
+		t.Errorf("uncommitted read = %q", v)
+	}
+	dirty.Commit()
+
+	// Committed read: blocks on the writer's long X lock (observed as a
+	// timeout with a short lock timeout).
+	committed := m.Begin(tx.LevelCommitted)
+	if _, err := m.Value(committed, text.ID); !IsAbortWorthy(err) {
+		t.Errorf("committed read under a dirty write: %v", err)
+	}
+	committed.Abort()
+	writer.Abort()
+}
+
+func TestNonRepeatableReadUnderCommitted(t *testing.T) {
+	m := newLibrary(t, "taDOM3+", -1)
+	book, _ := m.Document().ElementByID([]byte("b-0-0"))
+	title, _ := m.Document().FirstChild(book)
+	text, _ := m.Document().FirstChild(title.ID)
+
+	// Committed-level reader: its read lock is released at operation end,
+	// so a writer can change the value between two reads — the
+	// non-repeatable read anomaly the level admits.
+	reader := m.Begin(tx.LevelCommitted)
+	v1, err := m.Value(reader, text.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		writer := m.Begin(tx.LevelRepeatable)
+		if err := m.SetValue(writer, text.ID, []byte("changed-between-reads")); err != nil {
+			writer.Abort()
+			done <- err
+			return
+		}
+		done <- writer.Commit()
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer blocked although the committed-level read lock should be gone")
+	}
+
+	v2, err := m.Value(reader, text.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v1) == string(v2) {
+		t.Errorf("expected a non-repeatable read, got %q twice", v1)
+	}
+	reader.Commit()
+}
+
+func TestRepeatableReadHasNoAnomaly(t *testing.T) {
+	m := newLibrary(t, "taDOM3+", -1)
+	book, _ := m.Document().ElementByID([]byte("b-0-0"))
+	title, _ := m.Document().FirstChild(book)
+	text, _ := m.Document().FirstChild(title.ID)
+
+	reader := m.Begin(tx.LevelRepeatable)
+	v1, err := m.Value(reader, text.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent writer cannot intervene.
+	writer := m.Begin(tx.LevelRepeatable)
+	if err := m.SetValue(writer, text.ID, []byte("never-lands")); !IsAbortWorthy(err) {
+		t.Fatalf("writer error = %v", err)
+	}
+	writer.Abort()
+	v2, err := m.Value(reader, text.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v1) != string(v2) {
+		t.Errorf("repeatable read broke: %q -> %q", v1, v2)
+	}
+	reader.Commit()
+}

@@ -1,0 +1,155 @@
+// Package node implements XTC's node manager: the transactional DOM-style
+// operation layer. Every public operation issues the meta-lock requests of
+// Section 3.3 through the configured protocol before touching the document
+// store, and registers physical undo actions so aborting transactions roll
+// back cleanly while still holding their locks.
+//
+// This is the layer the paper's meta-synchronization plugs into: exchanging
+// the protocol value exchanges the complete locking mechanism underneath an
+// unchanged DOM API.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/protocol"
+	"repro/internal/splid"
+	"repro/internal/storage"
+	"repro/internal/tx"
+	"repro/internal/xmlmodel"
+)
+
+// ErrNotActive is returned when operating under a finished transaction.
+var ErrNotActive = tx.ErrNotActive
+
+// Options configure a Manager.
+type Options struct {
+	// Depth is the lock-depth parameter (negative = unlimited, i.e. always
+	// lock individual nodes; 0 = document locks).
+	Depth int
+	// LockTimeout bounds lock waits (lock.DefaultTimeout when zero).
+	LockTimeout time.Duration
+	// OnDeadlock observes detected deadlocks (the XTCdeadlockDetector hook).
+	OnDeadlock func(lock.DeadlockInfo)
+}
+
+// Manager executes transactional DOM operations on one document under one
+// lock protocol. It is safe for concurrent use; each transaction must stay
+// on a single goroutine.
+type Manager struct {
+	doc   *storage.Document
+	proto protocol.Protocol
+	lm    *lock.Manager
+	tm    *tx.Manager
+	depth int
+}
+
+// New builds a Manager for the document under the given protocol.
+func New(doc *storage.Document, proto protocol.Protocol, opts Options) *Manager {
+	lm := lock.NewManager(proto.Table(), lock.Options{
+		Timeout:    opts.LockTimeout,
+		OnDeadlock: opts.OnDeadlock,
+	})
+	return &Manager{
+		doc:   doc,
+		proto: proto,
+		lm:    lm,
+		tm:    tx.NewManager(lm),
+		depth: opts.Depth,
+	}
+}
+
+// Document exposes the underlying document (for tools and tests; access
+// through it bypasses locking).
+func (m *Manager) Document() *storage.Document { return m.doc }
+
+// Protocol returns the active lock protocol.
+func (m *Manager) Protocol() protocol.Protocol { return m.proto }
+
+// LockManager exposes the lock manager (statistics).
+func (m *Manager) LockManager() *lock.Manager { return m.lm }
+
+// TxManager exposes the transaction manager (statistics).
+func (m *Manager) TxManager() *tx.Manager { return m.tm }
+
+// Depth returns the configured lock depth.
+func (m *Manager) Depth() int { return m.depth }
+
+// Begin starts a transaction.
+func (m *Manager) Begin(iso tx.Level) *tx.Txn { return m.tm.Begin(iso) }
+
+// ctx assembles the protocol context for one transaction.
+func (m *Manager) ctx(t *tx.Txn) *protocol.Ctx {
+	return &protocol.Ctx{LM: m.lm, Txn: t, Depth: m.depth, Tree: (*treeAccess)(m)}
+}
+
+func (m *Manager) check(t *tx.Txn) error {
+	if !t.Active() {
+		return ErrNotActive
+	}
+	return nil
+}
+
+// treeAccess adapts the Manager to protocol.TreeAccess: raw physical reads
+// used by protocols while they acquire locks.
+type treeAccess Manager
+
+// Children implements protocol.TreeAccess.
+func (a *treeAccess) Children(id splid.ID) ([]splid.ID, error) {
+	var out []splid.ID
+	err := a.doc.ScanChildren(id, func(n xmlmodel.Node) bool {
+		out = append(out, n.ID)
+		return true
+	})
+	return out, err
+}
+
+// ElementsWithIDAttribute implements protocol.TreeAccess: the *-2PL IDX
+// scan — every element in the subtree owning an ID attribute, located
+// through the document store (Section 5.3's expensive path).
+func (a *treeAccess) ElementsWithIDAttribute(id splid.ID) ([]splid.ID, error) {
+	var out []splid.ID
+	idSur, ok := a.doc.Vocabulary().Lookup(storage.IDAttrName)
+	if !ok {
+		return nil, nil
+	}
+	err := a.doc.ScanSubtree(id, func(n xmlmodel.Node) bool {
+		if n.Kind == xmlmodel.KindAttribute && n.Name == idSur {
+			el := n.ID.Parent().Parent() // attribute -> attribute root -> element
+			out = append(out, el)
+		}
+		return true
+	})
+	return out, err
+}
+
+// SubtreeNodes implements protocol.TreeAccess.
+func (a *treeAccess) SubtreeNodes(id splid.ID) ([]splid.ID, error) {
+	var out []splid.ID
+	err := a.doc.ScanSubtree(id, func(n xmlmodel.Node) bool {
+		if n.Kind == xmlmodel.KindElement || n.Kind == xmlmodel.KindText {
+			out = append(out, n.ID)
+		}
+		return true
+	})
+	return out, err
+}
+
+// opErr wraps protocol/lock failures with operation context. Lock errors
+// (deadlock victim, timeout) pass through errors.Is for the caller's
+// abort-and-retry logic.
+func opErr(op string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("node: %s: %w", op, err)
+}
+
+// IsAbortWorthy reports whether err means the transaction should be aborted
+// and retried (deadlock victim or lock timeout).
+func IsAbortWorthy(err error) bool {
+	return errors.Is(err, lock.ErrDeadlockVictim) || errors.Is(err, lock.ErrLockTimeout)
+}

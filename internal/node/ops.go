@@ -1,0 +1,549 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lock"
+
+	"repro/internal/protocol"
+	"repro/internal/splid"
+	"repro/internal/storage"
+	"repro/internal/tx"
+	"repro/internal/xmlmodel"
+)
+
+// Read operations. Each public operation is one logical operation in the
+// meta-lock sense: under the weak isolation levels its short read locks are
+// released at the end (EndOperation); under repeatable read they are held
+// to commit.
+
+// GetNode reads one node by SPLID (navigational access).
+func (m *Manager) GetNode(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return xmlmodel.Node{}, err
+	}
+	defer t.EndOperation()
+	if err := m.proto.ReadNode(m.ctx(t), id, protocol.Navigate); err != nil {
+		return xmlmodel.Node{}, opErr("GetNode", err)
+	}
+	return m.doc.GetNode(id)
+}
+
+// JumpToID resolves an ID-attribute value to its element (getElementById)
+// and read-locks the target as a direct jump.
+func (m *Manager) JumpToID(t *tx.Txn, value string) (xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return xmlmodel.Node{}, err
+	}
+	defer t.EndOperation()
+	id, err := m.doc.ElementByID([]byte(value))
+	if err != nil {
+		return xmlmodel.Node{}, err
+	}
+	if err := m.proto.ReadNode(m.ctx(t), id, protocol.Jump); err != nil {
+		return xmlmodel.Node{}, opErr("JumpToID", err)
+	}
+	return m.doc.GetNode(id)
+}
+
+// navigate factors the four sibling/child axes: lock the traversed logical
+// edge, resolve it physically, then lock the target node.
+func (m *Manager) navigate(t *tx.Txn, op string, owner splid.ID, e protocol.Edge,
+	resolve func(splid.ID) (xmlmodel.Node, error)) (xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return xmlmodel.Node{}, err
+	}
+	defer t.EndOperation()
+	c := m.ctx(t)
+	if err := m.proto.ReadEdge(c, owner, e); err != nil {
+		return xmlmodel.Node{}, opErr(op, err)
+	}
+	n, err := resolve(owner)
+	if err != nil {
+		return xmlmodel.Node{}, err
+	}
+	if n.ID.IsNull() {
+		return n, nil // edge leads nowhere; the edge lock isolates that fact
+	}
+	if err := m.proto.ReadNode(c, n.ID, protocol.Navigate); err != nil {
+		return xmlmodel.Node{}, opErr(op, err)
+	}
+	return n, nil
+}
+
+// FirstChild returns the first regular child (null-ID node when none).
+func (m *Manager) FirstChild(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
+	return m.navigate(t, "FirstChild", id, protocol.EdgeFirstChild, m.doc.FirstChild)
+}
+
+// LastChild returns the last regular child.
+func (m *Manager) LastChild(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
+	return m.navigate(t, "LastChild", id, protocol.EdgeLastChild, m.doc.LastChild)
+}
+
+// NextSibling returns the following sibling.
+func (m *Manager) NextSibling(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
+	return m.navigate(t, "NextSibling", id, protocol.EdgeNextSibling, m.doc.NextSibling)
+}
+
+// PrevSibling returns the preceding sibling.
+func (m *Manager) PrevSibling(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
+	return m.navigate(t, "PrevSibling", id, protocol.EdgePrevSibling, m.doc.PrevSibling)
+}
+
+// Parent returns the parent node (null-ID node for the root).
+func (m *Manager) Parent(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return xmlmodel.Node{}, err
+	}
+	defer t.EndOperation()
+	p := id.Parent()
+	if p.IsNull() {
+		return xmlmodel.Node{}, nil
+	}
+	if err := m.proto.ReadNode(m.ctx(t), p, protocol.Navigate); err != nil {
+		return xmlmodel.Node{}, opErr("Parent", err)
+	}
+	return m.doc.GetNode(p)
+}
+
+// GetChildren returns all regular children (getChildNodes): one level-read
+// meta-lock.
+func (m *Manager) GetChildren(t *tx.Txn, id splid.ID) ([]xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return nil, err
+	}
+	defer t.EndOperation()
+	kids, err := (*treeAccess)(m).Children(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.proto.ReadLevel(m.ctx(t), id, kids); err != nil {
+		return nil, opErr("GetChildren", err)
+	}
+	out := make([]xmlmodel.Node, 0, len(kids))
+	err = m.doc.ScanChildren(id, func(n xmlmodel.Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out, err
+}
+
+// GetAttributes returns the attribute nodes of an element (getAttributes):
+// a level-read on the virtual attribute root covers them with one request.
+func (m *Manager) GetAttributes(t *tx.Txn, el splid.ID) ([]xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return nil, err
+	}
+	defer t.EndOperation()
+	ar := el.AttributeRoot()
+	ok, err := m.doc.Exists(ar)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		// Even "no attributes" must be a repeatable observation: lock the
+		// element node itself.
+		if err := m.proto.ReadNode(m.ctx(t), el, protocol.Navigate); err != nil {
+			return nil, opErr("GetAttributes", err)
+		}
+		return nil, nil
+	}
+	attrs, err := (*treeAccess)(m).Children(ar)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.proto.ReadLevel(m.ctx(t), ar, attrs); err != nil {
+		return nil, opErr("GetAttributes", err)
+	}
+	var out []xmlmodel.Node
+	err = m.doc.Attributes(el, func(n xmlmodel.Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out, err
+}
+
+// Value reads the character data of a text or attribute node.
+func (m *Manager) Value(t *tx.Txn, id splid.ID) ([]byte, error) {
+	if err := m.check(t); err != nil {
+		return nil, err
+	}
+	defer t.EndOperation()
+	if err := m.proto.ReadNode(m.ctx(t), id, protocol.Navigate); err != nil {
+		return nil, opErr("Value", err)
+	}
+	return m.doc.Value(id)
+}
+
+// AttributeValue reads one attribute of an element by name.
+func (m *Manager) AttributeValue(t *tx.Txn, el splid.ID, name string) ([]byte, error) {
+	if err := m.check(t); err != nil {
+		return nil, err
+	}
+	defer t.EndOperation()
+	a, err := m.doc.AttributeByName(el, name)
+	if err != nil {
+		return nil, err
+	}
+	if a.ID.IsNull() {
+		if err := m.proto.ReadNode(m.ctx(t), el, protocol.Navigate); err != nil {
+			return nil, opErr("AttributeValue", err)
+		}
+		return nil, nil
+	}
+	if err := m.proto.ReadNode(m.ctx(t), a.ID, protocol.Navigate); err != nil {
+		return nil, opErr("AttributeValue", err)
+	}
+	return m.doc.Value(a.ID)
+}
+
+// ReadFragment reads the whole subtree under id in document order (the
+// getFragment operation of Section 5.2), returning all regular nodes. jump
+// marks index-based access to the fragment root.
+func (m *Manager) ReadFragment(t *tx.Txn, id splid.ID, jump bool) ([]xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return nil, err
+	}
+	defer t.EndOperation()
+	acc := protocol.Navigate
+	if jump {
+		acc = protocol.Jump
+	}
+	if err := m.proto.ReadTree(m.ctx(t), id, acc); err != nil {
+		return nil, opErr("ReadFragment", err)
+	}
+	var out []xmlmodel.Node
+	err := m.doc.ScanSubtree(id, func(n xmlmodel.Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out, err
+}
+
+// --- updates ----------------------------------------------------------------
+
+// SetValue overwrites the character data of a text or attribute node.
+func (m *Manager) SetValue(t *tx.Txn, id splid.ID, value []byte) error {
+	if err := m.check(t); err != nil {
+		return err
+	}
+	defer t.EndOperation()
+	if err := m.proto.WriteNode(m.ctx(t), id); err != nil {
+		return opErr("SetValue", err)
+	}
+	old, err := m.doc.Value(id)
+	if err != nil {
+		return err
+	}
+	if err := m.doc.SetValue(id, value); err != nil {
+		return err
+	}
+	doc := m.doc
+	t.PushUndo(func() error { return doc.SetValue(id, old) })
+	return nil
+}
+
+// Rename changes an element's name (DOM level 3 renameNode).
+func (m *Manager) Rename(t *tx.Txn, id splid.ID, newName string) error {
+	if err := m.check(t); err != nil {
+		return err
+	}
+	defer t.EndOperation()
+	if err := m.proto.Rename(m.ctx(t), id); err != nil {
+		return opErr("Rename", err)
+	}
+	n, err := m.doc.GetNode(id)
+	if err != nil {
+		return err
+	}
+	oldName := m.doc.Vocabulary().Name(n.Name)
+	if err := m.doc.Rename(id, newName); err != nil {
+		return err
+	}
+	doc := m.doc
+	t.PushUndo(func() error { return doc.Rename(id, oldName) })
+	return nil
+}
+
+// AppendElement inserts a new element as the last child of parent and
+// returns it.
+func (m *Manager) AppendElement(t *tx.Txn, parent splid.ID, name string) (xmlmodel.Node, error) {
+	return m.insertChild(t, parent, func(id splid.ID) (xmlmodel.Node, error) {
+		return m.doc.InsertElement(id, name)
+	})
+}
+
+// AppendText inserts a new text node as the last child of parent.
+func (m *Manager) AppendText(t *tx.Txn, parent splid.ID, value []byte) (xmlmodel.Node, error) {
+	return m.insertChild(t, parent, func(id splid.ID) (xmlmodel.Node, error) {
+		return m.doc.InsertText(id, value)
+	})
+}
+
+// insertRetries bounds the revalidation loop of structural inserts. The
+// position stabilizes as soon as the inserter holds the boundary locks, so
+// more than a couple of iterations indicate a livelock; the transaction then
+// aborts like a timeout victim.
+const insertRetries = 8
+
+func (m *Manager) insertChild(t *tx.Txn, parent splid.ID,
+	create func(splid.ID) (xmlmodel.Node, error)) (xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return xmlmodel.Node{}, err
+	}
+	defer t.EndOperation()
+	// The append position is computed physically, then locked, then
+	// revalidated: a concurrent appender may have extended the child list
+	// while this transaction blocked on the boundary locks.
+	for attempt := 0; attempt < insertRetries; attempt++ {
+		last, err := m.doc.LastChild(parent)
+		if err != nil {
+			return xmlmodel.Node{}, err
+		}
+		newID, err := m.doc.Allocator().Between(parent, last.ID, splid.Null)
+		if err != nil {
+			return xmlmodel.Node{}, err
+		}
+		if err := m.proto.Insert(m.ctx(t), parent, newID, last.ID, splid.Null); err != nil {
+			return xmlmodel.Node{}, opErr("Append", err)
+		}
+		check, err := m.doc.LastChild(parent)
+		if err != nil {
+			return xmlmodel.Node{}, err
+		}
+		if !check.ID.Equal(last.ID) {
+			continue // position moved while blocking; relock the new slot
+		}
+		n, err := create(newID)
+		if errors.Is(err, storage.ErrNodeExists) {
+			// Under the weak isolation levels no locks serialize appenders;
+			// the storage latch rejected a racing twin. Recompute and retry.
+			continue
+		}
+		if err != nil {
+			return xmlmodel.Node{}, err
+		}
+		doc := m.doc
+		t.PushUndo(func() error {
+			_, err := doc.DeleteSubtree(newID)
+			return err
+		})
+		return n, nil
+	}
+	return xmlmodel.Node{}, opErr("Append", lock.ErrLockTimeout)
+}
+
+// InsertElementBefore inserts a new element in front of sibling `before`
+// under parent.
+func (m *Manager) InsertElementBefore(t *tx.Txn, parent, before splid.ID, name string) (xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return xmlmodel.Node{}, err
+	}
+	defer t.EndOperation()
+	for attempt := 0; attempt < insertRetries; attempt++ {
+		prev, err := m.doc.PrevSibling(before)
+		if err != nil {
+			return xmlmodel.Node{}, err
+		}
+		newID, err := m.doc.Allocator().Between(parent, prev.ID, before)
+		if err != nil {
+			return xmlmodel.Node{}, err
+		}
+		if err := m.proto.Insert(m.ctx(t), parent, newID, prev.ID, before); err != nil {
+			return xmlmodel.Node{}, opErr("InsertElementBefore", err)
+		}
+		check, err := m.doc.PrevSibling(before)
+		if err != nil {
+			return xmlmodel.Node{}, err
+		}
+		if !check.ID.Equal(prev.ID) {
+			continue
+		}
+		n, err := m.doc.InsertElement(newID, name)
+		if errors.Is(err, storage.ErrNodeExists) {
+			continue
+		}
+		if err != nil {
+			return xmlmodel.Node{}, err
+		}
+		doc := m.doc
+		t.PushUndo(func() error {
+			_, err := doc.DeleteSubtree(newID)
+			return err
+		})
+		return n, nil
+	}
+	return xmlmodel.Node{}, opErr("InsertElementBefore", lock.ErrLockTimeout)
+}
+
+// SetAttribute creates or overwrites an attribute on an element.
+func (m *Manager) SetAttribute(t *tx.Txn, el splid.ID, name string, value []byte) error {
+	if err := m.check(t); err != nil {
+		return err
+	}
+	defer t.EndOperation()
+	// Attribute updates are writes below the element's attribute root; the
+	// whole attribute compound is protected like a child insert/update.
+	existing, err := m.doc.AttributeByName(el, name)
+	if err != nil {
+		return err
+	}
+	c := m.ctx(t)
+	doc := m.doc
+	if existing.ID.IsNull() {
+		// A new attribute is a structural insert under the virtual
+		// attribute root. The SPLID is computed with the same append rule
+		// storage.SetAttribute uses, so the locked slot is the stored slot;
+		// like the other structural inserts, the position is revalidated
+		// after blocking on the boundary locks.
+		ar := el.AttributeRoot()
+		lastAttr := func() (splid.ID, error) {
+			var last splid.ID
+			err := m.doc.ScanChildren(ar, func(n xmlmodel.Node) bool {
+				last = n.ID
+				return true
+			})
+			return last, err
+		}
+		for attempt := 0; attempt < insertRetries; attempt++ {
+			last, err := lastAttr()
+			if err != nil {
+				return err
+			}
+			var newID splid.ID
+			if last.IsNull() {
+				newID = m.doc.Allocator().FirstChild(ar)
+			} else {
+				newID = m.doc.Allocator().NextSibling(last)
+			}
+			if err := m.proto.Insert(c, ar, newID, last, splid.Null); err != nil {
+				return opErr("SetAttribute", err)
+			}
+			check, err := lastAttr()
+			if err != nil {
+				return err
+			}
+			if !check.Equal(last) {
+				continue
+			}
+			if _, err := m.doc.SetAttribute(el, name, value); err != nil {
+				return err
+			}
+			t.PushUndo(func() error {
+				a, err := doc.AttributeByName(el, name)
+				if err != nil || a.ID.IsNull() {
+					return err
+				}
+				_, err = doc.DeleteSubtree(a.ID)
+				return err
+			})
+			return nil
+		}
+		return opErr("SetAttribute", lock.ErrLockTimeout)
+	}
+	if err := m.proto.WriteNode(c, existing.ID); err != nil {
+		return opErr("SetAttribute", err)
+	}
+	old, err := m.doc.Value(existing.ID)
+	if err != nil {
+		return err
+	}
+	if _, err := m.doc.SetAttribute(el, name, value); err != nil {
+		return err
+	}
+	t.PushUndo(func() error { return doc.SetValue(existing.ID, old) })
+	return nil
+}
+
+// DeleteSubtree removes the node and its whole subtree.
+func (m *Manager) DeleteSubtree(t *tx.Txn, id splid.ID) error {
+	if err := m.check(t); err != nil {
+		return err
+	}
+	defer t.EndOperation()
+	left, err := m.doc.PrevSibling(id)
+	if err != nil {
+		return err
+	}
+	right, err := m.doc.NextSibling(id)
+	if err != nil {
+		return err
+	}
+	if err := m.proto.DeleteTree(m.ctx(t), id, left.ID, right.ID); err != nil {
+		return opErr("DeleteSubtree", err)
+	}
+	// Capture the victim records for physical undo before removal.
+	var victims []xmlmodel.Node
+	if err := m.doc.ScanSubtree(id, func(n xmlmodel.Node) bool {
+		victims = append(victims, n)
+		return true
+	}); err != nil {
+		return err
+	}
+	if len(victims) == 0 {
+		return fmt.Errorf("node: DeleteSubtree: %w", storage.ErrNodeNotFound)
+	}
+	if _, err := m.doc.DeleteSubtree(id); err != nil {
+		return err
+	}
+	doc := m.doc
+	t.PushUndo(func() error { return doc.RestoreSubtree(victims) })
+	return nil
+}
+
+// ReadFragmentForUpdate reads the subtree under id like ReadFragment but
+// declares update intent: protocols with update modes (URIX's U, taDOM's
+// SU) serialize intending writers up front, which prevents the symmetric
+// read-then-convert deadlocks the paper attributes to lock conversion.
+func (m *Manager) ReadFragmentForUpdate(t *tx.Txn, id splid.ID, jump bool) ([]xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return nil, err
+	}
+	defer t.EndOperation()
+	acc := protocol.Navigate
+	if jump {
+		acc = protocol.Jump
+	}
+	if err := m.proto.UpdateTree(m.ctx(t), id, acc); err != nil {
+		return nil, opErr("ReadFragmentForUpdate", err)
+	}
+	var out []xmlmodel.Node
+	err := m.doc.ScanSubtree(id, func(n xmlmodel.Node) bool {
+		out = append(out, n)
+		return true
+	})
+	return out, err
+}
+
+// UpdateLastChildFragment navigates to the last child of id and reads its
+// whole subtree with *declared update intent in one step*: the traversed
+// edge is share-locked, then the target subtree is locked in the protocol's
+// update mode (SU/U) directly — without first taking a node read lock that
+// would make the update request conflict with other intending writers'
+// reads. This is how a transaction that knows it will modify the fragment
+// avoids the read-then-convert deadlock altogether.
+func (m *Manager) UpdateLastChildFragment(t *tx.Txn, id splid.ID) (xmlmodel.Node, []xmlmodel.Node, error) {
+	if err := m.check(t); err != nil {
+		return xmlmodel.Node{}, nil, err
+	}
+	defer t.EndOperation()
+	c := m.ctx(t)
+	if err := m.proto.ReadEdge(c, id, protocol.EdgeLastChild); err != nil {
+		return xmlmodel.Node{}, nil, opErr("UpdateLastChildFragment", err)
+	}
+	n, err := m.doc.LastChild(id)
+	if err != nil || n.ID.IsNull() {
+		return n, nil, err
+	}
+	if err := m.proto.UpdateTree(c, n.ID, protocol.Navigate); err != nil {
+		return xmlmodel.Node{}, nil, opErr("UpdateLastChildFragment", err)
+	}
+	var frag []xmlmodel.Node
+	err = m.doc.ScanSubtree(n.ID, func(fn xmlmodel.Node) bool {
+		frag = append(frag, fn)
+		return true
+	})
+	return n, frag, err
+}

@@ -1,0 +1,239 @@
+package pagestore
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats aggregates buffer-manager counters. Values are monotonically
+// increasing and may be read concurrently with operation.
+type Stats struct {
+	// Hits counts Fix calls satisfied from the buffer.
+	Hits uint64
+	// Misses counts Fix calls that had to read the backend.
+	Misses uint64
+	// Evictions counts frames recycled for another page.
+	Evictions uint64
+	// Writebacks counts dirty pages written to the backend.
+	Writebacks uint64
+}
+
+// Frame is a pinned buffer slot holding one page. It stays valid (and its
+// page stays in memory) until Unfix is called; a frame must not be used
+// afterwards.
+type Frame struct {
+	store *Store
+	id    PageID
+	data  []byte
+	pins  int32
+	dirty bool
+	elem  *list.Element // position in the LRU list when unpinned
+}
+
+// ID returns the page ID held by the frame.
+func (f *Frame) ID() PageID { return f.id }
+
+// Data returns the page bytes. Mutating them requires holding the pin and
+// calling MarkDirty before Unfix.
+func (f *Frame) Data() []byte { return f.data }
+
+// MarkDirty records that the page content changed and must be written back
+// before eviction.
+func (f *Frame) MarkDirty() {
+	f.store.mu.Lock()
+	f.dirty = true
+	f.store.mu.Unlock()
+}
+
+// Store is the buffer manager: a fixed pool of page frames over a Backend
+// with LRU replacement of unpinned frames.
+type Store struct {
+	backend Backend
+	mu      sync.Mutex
+	frames  map[PageID]*Frame
+	lru     *list.List // unpinned frames, front = least recently used
+	cap     int
+
+	hits, misses, evictions, writebacks atomic.Uint64
+}
+
+// ErrNoFrames is returned when every frame is pinned and a new page is
+// requested.
+var ErrNoFrames = errors.New("pagestore: all buffer frames pinned")
+
+// DefaultFrames is the default buffer pool capacity.
+const DefaultFrames = 1024
+
+// Open wraps backend in a buffer manager with the given frame capacity
+// (DefaultFrames if frames <= 0).
+func Open(backend Backend, frames int) *Store {
+	if frames <= 0 {
+		frames = DefaultFrames
+	}
+	return &Store{
+		backend: backend,
+		frames:  make(map[PageID]*Frame, frames),
+		lru:     list.New(),
+		cap:     frames,
+	}
+}
+
+// Backend exposes the underlying backend (used by tests and tools).
+func (s *Store) Backend() Backend { return s.backend }
+
+// Fix pins the page into a frame, reading it from the backend on a miss.
+// Every successful Fix must be paired with exactly one Unfix.
+func (s *Store) Fix(id PageID) (*Frame, error) {
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		f.pins++
+		if f.elem != nil {
+			s.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return f, nil
+	}
+	f, err := s.allocFrameLocked(id)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	// The read happens under the table lock: once the frame is mapped, a
+	// concurrent Fix for the same page would pin it and expect loaded data,
+	// so the frame must not become visible-but-empty.
+	if err := s.backend.ReadPage(id, f.data); err != nil {
+		s.dropFrameLocked(f)
+		s.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Unlock()
+	s.misses.Add(1)
+	return f, nil
+}
+
+// FixNew allocates a fresh zeroed page in the backend and pins it.
+func (s *Store) FixNew() (*Frame, error) {
+	id, err := s.backend.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.allocFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	f.dirty = true
+	return f, nil
+}
+
+// allocFrameLocked finds or evicts a frame for page id, pins it once, and
+// maps it. The caller holds s.mu. The returned frame's data is zeroed.
+func (s *Store) allocFrameLocked(id PageID) (*Frame, error) {
+	var f *Frame
+	if len(s.frames) < s.cap {
+		f = &Frame{store: s, data: make([]byte, PageSize)}
+	} else {
+		el := s.lru.Front()
+		if el == nil {
+			return nil, fmt.Errorf("%w (capacity %d)", ErrNoFrames, s.cap)
+		}
+		f = el.Value.(*Frame)
+		s.lru.Remove(el)
+		f.elem = nil
+		delete(s.frames, f.id)
+		s.evictions.Add(1)
+		if f.dirty {
+			if err := s.backend.WritePage(f.id, f.data); err != nil {
+				// Re-insert the victim so the page is not lost.
+				s.frames[f.id] = f
+				f.elem = s.lru.PushFront(f)
+				return nil, err
+			}
+			s.writebacks.Add(1)
+			f.dirty = false
+		}
+		for i := range f.data {
+			f.data[i] = 0
+		}
+	}
+	f.id = id
+	f.pins = 1
+	s.frames[id] = f
+	return f, nil
+}
+
+// dropFrameLocked removes a freshly allocated frame after a failed read.
+func (s *Store) dropFrameLocked(f *Frame) {
+	delete(s.frames, f.id)
+	f.pins = 0
+}
+
+// Unfix releases one pin. When the pin count reaches zero the frame becomes
+// eligible for eviction (dirty content is written back lazily).
+func (s *Store) Unfix(f *Frame) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f.pins <= 0 {
+		panic("pagestore: Unfix without matching Fix")
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = s.lru.PushBack(f)
+	}
+}
+
+// Flush writes all dirty buffered pages to the backend and syncs it.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	for _, f := range s.frames {
+		if f.dirty {
+			if err := s.backend.WritePage(f.id, f.data); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			s.writebacks.Add(1)
+			f.dirty = false
+		}
+	}
+	s.mu.Unlock()
+	return s.backend.Sync()
+}
+
+// Close flushes and closes the backend.
+func (s *Store) Close() error {
+	if err := s.Flush(); err != nil {
+		s.backend.Close()
+		return err
+	}
+	return s.backend.Close()
+}
+
+// Stats returns a snapshot of the buffer counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:       s.hits.Load(),
+		Misses:     s.misses.Load(),
+		Evictions:  s.evictions.Load(),
+		Writebacks: s.writebacks.Load(),
+	}
+}
+
+// PinnedFrames reports how many frames currently hold at least one pin
+// (test and debugging aid for pin-leak detection).
+func (s *Store) PinnedFrames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.frames {
+		if f.pins > 0 {
+			n++
+		}
+	}
+	return n
+}

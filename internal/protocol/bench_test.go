@@ -1,0 +1,124 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/splid"
+	"repro/internal/tx"
+)
+
+// benchTree is a static TreeAccess shaped like one bib book.
+func benchTree() *fakeTree {
+	children := map[string][]string{
+		"1.3.3": {"1.3.3.3", "1.3.3.5", "1.3.3.7", "1.3.3.9", "1.3.3.11"},
+	}
+	var subtree []string
+	subtree = append(subtree, "1.3.3")
+	for _, c := range children["1.3.3"] {
+		subtree = append(subtree, c, c+".3", c+".3.1")
+	}
+	return &fakeTree{
+		children: children,
+		idOwners: map[string][]string{"1.3.3": {"1.3.3"}},
+		subtrees: map[string][]string{"1.3.3": subtree},
+	}
+}
+
+// BenchmarkProtocolReadNode measures the lock-request overhead of one deep
+// node read per protocol — the per-operation cost the paper trades against
+// parallelism ("the advantage of higher parallelism clearly outweighs this
+// processing overhead").
+func BenchmarkProtocolReadNode(b *testing.B) {
+	target := splid.MustParse("1.3.3.5.3")
+	for _, p := range All() {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			lm := lock.NewManager(p.Table(), lock.Options{Timeout: time.Second})
+			tm := tx.NewManager(lm)
+			tree := benchTree()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				txn := tm.Begin(tx.LevelRepeatable)
+				c := &Ctx{LM: lm, Txn: txn, Depth: -1, Tree: tree}
+				if err := p.ReadNode(c, target, Navigate); err != nil {
+					b.Fatal(err)
+				}
+				txn.Commit()
+			}
+			b.ReportMetric(float64(lm.Stats().Requests)/float64(b.N), "locks/op")
+		})
+	}
+}
+
+// BenchmarkProtocolReadTree measures one fragment read: node-by-node for
+// the *-2PL group, one subtree lock for everyone else.
+func BenchmarkProtocolReadTree(b *testing.B) {
+	target := splid.MustParse("1.3.3")
+	for _, p := range All() {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			lm := lock.NewManager(p.Table(), lock.Options{Timeout: time.Second})
+			tm := tx.NewManager(lm)
+			tree := benchTree()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				txn := tm.Begin(tx.LevelRepeatable)
+				c := &Ctx{LM: lm, Txn: txn, Depth: -1, Tree: tree}
+				if err := p.ReadTree(c, target, Jump); err != nil {
+					b.Fatal(err)
+				}
+				txn.Commit()
+			}
+			b.ReportMetric(float64(lm.Stats().Requests)/float64(b.N), "locks/op")
+		})
+	}
+}
+
+// BenchmarkProtocolDeleteTree measures the CLUSTER2 locking work per
+// protocol in isolation (no storage): the *-2PL IDX/M scan versus a single
+// subtree lock.
+func BenchmarkProtocolDeleteTree(b *testing.B) {
+	target := splid.MustParse("1.3.3")
+	left, right := splid.Null, splid.MustParse("1.3.5")
+	for _, p := range All() {
+		p := p
+		b.Run(p.Name(), func(b *testing.B) {
+			lm := lock.NewManager(p.Table(), lock.Options{Timeout: time.Second})
+			tm := tx.NewManager(lm)
+			tree := benchTree()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				txn := tm.Begin(tx.LevelRepeatable)
+				c := &Ctx{LM: lm, Txn: txn, Depth: -1, Tree: tree}
+				if err := p.DeleteTree(c, target, left, right); err != nil {
+					b.Fatal(err)
+				}
+				txn.Commit()
+			}
+			b.ReportMetric(float64(lm.Stats().Requests)/float64(b.N), "locks/op")
+		})
+	}
+}
+
+// BenchmarkTableLookup measures the raw matrix operations.
+func BenchmarkTableLookup(b *testing.B) {
+	tab := TaDOM3Plus.Table()
+	n := tab.NumModes()
+	b.Run("compatible", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tab.Compatible(lock.Mode(i%n), lock.Mode((i+3)%n))
+		}
+	})
+	b.Run("convert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m1 := lock.Mode(i%(n-1)) + 1
+			m2 := lock.Mode((i+3)%(n-1)) + 1
+			tab.Convert(m1, m2)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package protocol
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/lock"
+)
+
+// Matrix literals. Protocol tables are written as whitespace-separated text
+// blocks that mirror the figures in the paper, so they can be checked
+// visually against the publication. The first header row names the
+// requested modes; each following row starts with the held mode. "+" and
+// "-" express compatibility; conversion cells name the resulting mode.
+//
+// Every parsed table is additionally extended with the three edge-lock
+// modes (ES, EU, EX) when the protocol uses edge locks; edge and node
+// resources live in disjoint namespaces, so their cross-compatibilities are
+// never consulted and are filled with permissive placeholders.
+
+// parseMatrix splits a matrix literal into header and row cells.
+func parseMatrix(s string) (header []string, rows [][]string) {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	header = strings.Fields(lines[0])
+	for _, ln := range lines[1:] {
+		f := strings.Fields(ln)
+		if len(f) == 0 {
+			continue
+		}
+		if len(f) != len(header)+1 {
+			panic(fmt.Sprintf("protocol: matrix row %q has %d cells, want %d", ln, len(f)-1, len(header)))
+		}
+		rows = append(rows, f)
+	}
+	if len(rows) != len(header) {
+		panic(fmt.Sprintf("protocol: matrix has %d rows for %d modes", len(rows), len(header)))
+	}
+	return header, rows
+}
+
+// buildTable assembles a lock.Table from textual compatibility and
+// conversion matrices over the same mode names, optionally appending the
+// standard edge modes. It returns the table and a name->Mode index.
+func buildTable(compatText, convText string, withEdges bool) (*lock.Table, map[string]lock.Mode) {
+	header, compatRows := parseMatrix(compatText)
+	convHeader, convRows := parseMatrix(convText)
+	if strings.Join(header, " ") != strings.Join(convHeader, " ") {
+		panic("protocol: compatibility and conversion matrices name different modes")
+	}
+
+	names := append([]string{"-"}, header...)
+	if withEdges {
+		names = append(names, "ES", "EU", "EX")
+	}
+	n := len(names)
+	idx := make(map[string]lock.Mode, n)
+	for i, name := range names {
+		idx[name] = lock.Mode(i)
+	}
+
+	compat := make([][]bool, n)
+	conv := make([][]lock.Mode, n)
+	for i := range compat {
+		compat[i] = make([]bool, n)
+		conv[i] = make([]lock.Mode, n)
+		for j := range conv[i] {
+			// Placeholder conversion for unrelated namespaces: keep the
+			// held mode. Real cells are overwritten below.
+			conv[i][j] = lock.Mode(i)
+			if i == 0 {
+				conv[i][j] = lock.Mode(j)
+			}
+		}
+	}
+
+	for _, row := range compatRows {
+		held, ok := idx[row[0]]
+		if !ok {
+			panic("protocol: unknown held mode " + row[0])
+		}
+		for c, cell := range row[1:] {
+			req := idx[header[c]]
+			switch cell {
+			case "+":
+				compat[held][req] = true
+			case "-":
+			default:
+				panic(fmt.Sprintf("protocol: bad compatibility cell %q", cell))
+			}
+		}
+	}
+	for _, row := range convRows {
+		held := idx[row[0]]
+		for c, cell := range row[1:] {
+			req := idx[header[c]]
+			result, ok := idx[cell]
+			if !ok {
+				panic(fmt.Sprintf("protocol: conversion result %q is not a mode", cell))
+			}
+			conv[held][req] = result
+		}
+	}
+
+	if withEdges {
+		applyEdgeModes(names, idx, compat, conv)
+	}
+	return lock.NewTable(names, compat, conv), idx
+}
+
+// applyEdgeModes wires the standard edge-lock semantics (shared, update,
+// exclusive — the "three modes for edges" of taDOM3+) into a table.
+func applyEdgeModes(names []string, idx map[string]lock.Mode, compat [][]bool, conv [][]lock.Mode) {
+	es, eu, ex := idx["ES"], idx["EU"], idx["EX"]
+	// Shared/update/exclusive with the usual asymmetric update semantics.
+	compat[es][es] = true
+	compat[es][eu] = true // held ES admits a new EU request
+	compat[eu][es] = true
+	// eu-eu, *-ex, ex-* stay false.
+	type pair struct{ held, req, res lock.Mode }
+	rules := []pair{
+		{es, es, es}, {es, eu, eu}, {es, ex, ex},
+		{eu, es, eu}, {eu, eu, eu}, {eu, ex, ex},
+		{ex, es, ex}, {ex, eu, ex}, {ex, ex, ex},
+	}
+	for _, r := range rules {
+		conv[r.held][r.req] = r.res
+	}
+	// Node modes and edge modes are used on disjoint resource namespaces;
+	// their cross products are never consulted. Leave compat false and the
+	// placeholder conversions in place.
+	_ = names
+}
+
+// modeSet is a convenience bundle of looked-up modes.
+func modes(idx map[string]lock.Mode, names ...string) []lock.Mode {
+	out := make([]lock.Mode, len(names))
+	for i, n := range names {
+		m, ok := idx[n]
+		if !ok {
+			panic("protocol: unknown mode " + n)
+		}
+		out[i] = m
+	}
+	return out
+}

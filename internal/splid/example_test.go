@@ -1,0 +1,57 @@
+package splid_test
+
+import (
+	"fmt"
+
+	"repro/internal/splid"
+)
+
+// ExampleID_Ancestors shows the property XML lock protocols depend on: the
+// complete ancestor path of a node derives from its label alone, without
+// accessing the document.
+func ExampleID_Ancestors() {
+	id := splid.MustParse("1.5.3.3.11.3")
+	for _, anc := range id.Ancestors() {
+		fmt.Println(anc)
+	}
+	// Output:
+	// 1
+	// 1.5
+	// 1.5.3
+	// 1.5.3.3
+	// 1.5.3.3.11
+}
+
+// ExampleAllocator_Between shows the overflow mechanism of Section 3.2: a
+// node inserted between 1.3.3 and 1.3.5 receives a label with an even
+// overflow division — no existing label changes.
+func ExampleAllocator_Between() {
+	a := splid.Allocator{Dist: 2}
+	parent := splid.MustParse("1.3")
+	left := splid.MustParse("1.3.3")
+	right := splid.MustParse("1.3.5")
+	mid, err := a.Between(parent, left, right)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(mid)
+	fmt.Println("level:", mid.Level(), " parent:", mid.Parent())
+	// Output:
+	// 1.3.4.3
+	// level: 3  parent: 1.3
+}
+
+// ExampleCompare shows document-order comparison: a node precedes its
+// descendants, which precede its following siblings.
+func ExampleCompare() {
+	book := splid.MustParse("1.5.3.3")
+	title := splid.MustParse("1.5.3.3.3")
+	nextBook := splid.MustParse("1.5.3.5")
+	fmt.Println(splid.Compare(book, title))
+	fmt.Println(splid.Compare(title, nextBook))
+	fmt.Println(book.IsAncestorOf(title))
+	// Output:
+	// -1
+	// -1
+	// true
+}

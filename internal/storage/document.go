@@ -1,0 +1,544 @@
+// Package storage implements XTC's taDOM document store (Sections 3.1-3.2,
+// Figure 6): an XML document kept in left-most depth-first (document) order
+// in a single B*-tree keyed by encoded SPLIDs, plus an element index (name
+// directory with node-reference indexes) and an ID-attribute index for
+// direct jumps à la getElementById.
+//
+// This layer is purely physical: it performs no concurrency control. The
+// node manager (package node) wraps every operation in the meta-lock
+// requests that the paper's 11 protocols translate into actual locks.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/pagestore"
+	"repro/internal/splid"
+	"repro/internal/xmlmodel"
+)
+
+// ErrNodeNotFound is returned for SPLIDs that label no stored node.
+var ErrNodeNotFound = errors.New("storage: node not found")
+
+// ErrNodeExists is returned when inserting a node under an occupied SPLID.
+var ErrNodeExists = errors.New("storage: node already exists")
+
+// IDAttrName is the attribute name treated as an XML ID for the ID index,
+// matching the bib document's id attributes used for direct jumps.
+const IDAttrName = "id"
+
+// Document is one stored XML document.
+type Document struct {
+	store *pagestore.Store
+	doc   *btree.Tree // SPLID -> node record, document order
+	elem  *btree.Tree // name surrogate + SPLID -> nil (element index)
+	ids   *btree.Tree // id-attribute value -> element SPLID
+	vocab *xmlmodel.Vocabulary
+	alloc splid.Allocator
+
+	mu   sync.RWMutex // guards meta-level state (vocabulary is self-locking)
+	size int          // stored node count
+
+	// latch serializes compound structural mutations. Transactional locks
+	// above this layer handle isolation; the latch only guarantees physical
+	// consistency (a check-then-insert must not interleave with another),
+	// which must hold even under isolation level none, where transactions
+	// acquire no locks at all.
+	latch sync.Mutex
+}
+
+// Options configure document creation.
+type Options struct {
+	// Dist is the SPLID labeling gap (splid.DefaultDist when zero).
+	Dist uint32
+	// BufferFrames sizes the page buffer (pagestore.DefaultFrames if zero).
+	BufferFrames int
+}
+
+// Create builds an empty document (just the root element, named rootName)
+// on the given backend.
+func Create(backend pagestore.Backend, rootName string, opts Options) (*Document, error) {
+	store := pagestore.Open(backend, opts.BufferFrames)
+	// Reserve page 0 for the metadata page before any tree allocates it.
+	if store.Backend().NumPages() == 0 {
+		meta, err := store.FixNew()
+		if err != nil {
+			return nil, err
+		}
+		store.Unfix(meta)
+	}
+	doc, err := btree.Create(store)
+	if err != nil {
+		return nil, err
+	}
+	elem, err := btree.Create(store)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := btree.Create(store)
+	if err != nil {
+		return nil, err
+	}
+	d := &Document{
+		store: store,
+		doc:   doc,
+		elem:  elem,
+		ids:   ids,
+		vocab: xmlmodel.NewVocabulary(),
+		alloc: splid.Allocator{Dist: opts.Dist},
+	}
+	sur, err := d.vocab.Intern(rootName)
+	if err != nil {
+		return nil, err
+	}
+	root := xmlmodel.Node{ID: splid.Root(), Kind: xmlmodel.KindElement, Name: sur}
+	if err := d.insertRaw(root); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Close writes the metadata page, flushes, and closes the underlying store.
+func (d *Document) Close() error {
+	if err := d.writeMeta(); err != nil {
+		d.store.Close()
+		return err
+	}
+	return d.store.Close()
+}
+
+// Vocabulary exposes the document's name vocabulary.
+func (d *Document) Vocabulary() *xmlmodel.Vocabulary { return d.vocab }
+
+// Allocator exposes the document's SPLID allocator.
+func (d *Document) Allocator() splid.Allocator { return d.alloc }
+
+// Store exposes the buffer manager (statistics, tooling).
+func (d *Document) Store() *pagestore.Store { return d.store }
+
+// Root returns the root element's SPLID.
+func (d *Document) Root() splid.ID { return splid.Root() }
+
+// Size returns the number of stored nodes (all kinds).
+func (d *Document) Size() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.size
+}
+
+// GetNode fetches the node labeled id.
+func (d *Document) GetNode(id splid.ID) (xmlmodel.Node, error) {
+	if id.IsNull() {
+		return xmlmodel.Node{}, fmt.Errorf("%w: null SPLID", ErrNodeNotFound)
+	}
+	v, err := d.doc.Get(id.Encode())
+	if err == btree.ErrNotFound {
+		return xmlmodel.Node{}, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
+	}
+	if err != nil {
+		return xmlmodel.Node{}, err
+	}
+	return xmlmodel.DecodeRecord(id, v)
+}
+
+// Exists reports whether a node is stored under id.
+func (d *Document) Exists(id splid.ID) (bool, error) {
+	if id.IsNull() {
+		return false, nil
+	}
+	return d.doc.Has(id.Encode())
+}
+
+// insertRaw stores a node and maintains the secondary indexes. The parent
+// must already exist: under isolation level none no locks prevent a racing
+// subtree delete, and an orphan insert must fail rather than corrupt the
+// tree.
+func (d *Document) insertRaw(n xmlmodel.Node) error {
+	key := n.ID.Encode()
+	if ok, err := d.doc.Has(key); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("%w: %v", ErrNodeExists, n.ID)
+	}
+	if parent := n.ID.Parent(); !parent.IsNull() {
+		if ok, err := d.doc.Has(parent.Encode()); err != nil {
+			return err
+		} else if !ok {
+			return fmt.Errorf("%w: parent %v of %v", ErrNodeNotFound, parent, n.ID)
+		}
+	}
+	if err := d.doc.Insert(key, xmlmodel.EncodeRecord(n)); err != nil {
+		return err
+	}
+	if n.Kind == xmlmodel.KindElement {
+		if err := d.elem.Insert(elemKey(n.Name, n.ID), nil); err != nil {
+			return err
+		}
+	}
+	d.mu.Lock()
+	d.size++
+	d.mu.Unlock()
+	return nil
+}
+
+// deleteRaw removes a node and its index entries. The caller is responsible
+// for subtree consistency.
+func (d *Document) deleteRaw(n xmlmodel.Node) error {
+	if err := d.doc.Delete(n.ID.Encode()); err != nil {
+		return err
+	}
+	if n.Kind == xmlmodel.KindElement {
+		if err := d.elem.Delete(elemKey(n.Name, n.ID)); err != nil && err != btree.ErrNotFound {
+			return err
+		}
+	}
+	d.mu.Lock()
+	d.size--
+	d.mu.Unlock()
+	return nil
+}
+
+// elemKey builds the element-index composite key: surrogate, then SPLID.
+func elemKey(sur xmlmodel.Sur, id splid.ID) []byte {
+	key := make([]byte, 2, 2+id.EncodedLen())
+	binary.BigEndian.PutUint16(key, uint16(sur))
+	return id.AppendEncode(key)
+}
+
+// InsertElement adds an element node labeled id.
+func (d *Document) InsertElement(id splid.ID, name string) (xmlmodel.Node, error) {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	sur, err := d.vocab.Intern(name)
+	if err != nil {
+		return xmlmodel.Node{}, err
+	}
+	n := xmlmodel.Node{ID: id, Kind: xmlmodel.KindElement, Name: sur}
+	return n, d.insertRaw(n)
+}
+
+// InsertText adds a text node labeled id with the given character data (a
+// string node child is created automatically, taDOM-style).
+func (d *Document) InsertText(id splid.ID, value []byte) (xmlmodel.Node, error) {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	n := xmlmodel.Node{ID: id, Kind: xmlmodel.KindText}
+	if err := d.insertRaw(n); err != nil {
+		return xmlmodel.Node{}, err
+	}
+	s := xmlmodel.Node{ID: id.StringNode(), Kind: xmlmodel.KindString, Value: value}
+	return n, d.insertRaw(s)
+}
+
+// SetAttribute adds (or overwrites) an attribute on element el, creating the
+// virtual attribute root on first use. It returns the attribute node.
+func (d *Document) SetAttribute(el splid.ID, name string, value []byte) (xmlmodel.Node, error) {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	sur, err := d.vocab.Intern(name)
+	if err != nil {
+		return xmlmodel.Node{}, err
+	}
+	ar := el.AttributeRoot()
+	if ok, err := d.Exists(ar); err != nil {
+		return xmlmodel.Node{}, err
+	} else if !ok {
+		if err := d.insertRaw(xmlmodel.Node{ID: ar, Kind: xmlmodel.KindAttributeRoot}); err != nil {
+			return xmlmodel.Node{}, err
+		}
+	}
+	// Find an existing attribute with this name, else append a new one.
+	var existing splid.ID
+	var last splid.ID
+	err = d.ScanChildren(ar, func(n xmlmodel.Node) bool {
+		last = n.ID
+		if n.Kind == xmlmodel.KindAttribute && n.Name == sur {
+			existing = n.ID
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return xmlmodel.Node{}, err
+	}
+	if !existing.IsNull() {
+		if name == IDAttrName {
+			if err := d.reindexID(el, existing, value); err != nil {
+				return xmlmodel.Node{}, err
+			}
+		}
+		s := xmlmodel.Node{ID: existing.StringNode(), Kind: xmlmodel.KindString, Value: value}
+		if err := d.doc.Insert(s.ID.Encode(), xmlmodel.EncodeRecord(s)); err != nil {
+			return xmlmodel.Node{}, err
+		}
+		return xmlmodel.Node{ID: existing, Kind: xmlmodel.KindAttribute, Name: sur}, nil
+	}
+	var attrID splid.ID
+	if last.IsNull() {
+		attrID = d.alloc.FirstChild(ar)
+	} else {
+		attrID = d.alloc.NextSibling(last)
+	}
+	n := xmlmodel.Node{ID: attrID, Kind: xmlmodel.KindAttribute, Name: sur}
+	if err := d.insertRaw(n); err != nil {
+		return xmlmodel.Node{}, err
+	}
+	s := xmlmodel.Node{ID: attrID.StringNode(), Kind: xmlmodel.KindString, Value: value}
+	if err := d.insertRaw(s); err != nil {
+		return xmlmodel.Node{}, err
+	}
+	if name == IDAttrName {
+		if err := d.ids.Insert(append([]byte(nil), value...), el.Encode()); err != nil {
+			return xmlmodel.Node{}, err
+		}
+	}
+	return n, nil
+}
+
+// Value returns the character data of a text or attribute node.
+func (d *Document) Value(id splid.ID) ([]byte, error) {
+	n, err := d.GetNode(id)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Kind {
+	case xmlmodel.KindText, xmlmodel.KindAttribute:
+		s, err := d.GetNode(id.StringNode())
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte(nil), s.Value...), nil
+	case xmlmodel.KindString:
+		return append([]byte(nil), n.Value...), nil
+	default:
+		return nil, fmt.Errorf("storage: node %v (%v) has no value", id, n.Kind)
+	}
+}
+
+// SetValue overwrites the character data of a text or attribute node.
+func (d *Document) SetValue(id splid.ID, value []byte) error {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	n, err := d.GetNode(id)
+	if err != nil {
+		return err
+	}
+	if n.Kind != xmlmodel.KindText && n.Kind != xmlmodel.KindAttribute {
+		return fmt.Errorf("storage: cannot set value of %v node %v", n.Kind, id)
+	}
+	if n.Kind == xmlmodel.KindAttribute && d.vocab.Name(n.Name) == IDAttrName {
+		// id attributes feed the direct-jump index: keep it in sync.
+		el := id.Parent().Parent() // attribute -> attribute root -> element
+		if err := d.reindexID(el, id, value); err != nil {
+			return err
+		}
+	}
+	s := xmlmodel.Node{ID: id.StringNode(), Kind: xmlmodel.KindString, Value: value}
+	return d.doc.Insert(s.ID.Encode(), xmlmodel.EncodeRecord(s))
+}
+
+// reindexID replaces the ID-index entry of attribute attr (on element el)
+// with a mapping for the new value.
+func (d *Document) reindexID(el, attr splid.ID, newValue []byte) error {
+	if old, err := d.Value(attr); err == nil {
+		if err := d.ids.Delete(old); err != nil && err != btree.ErrNotFound {
+			return err
+		}
+	}
+	return d.ids.Insert(append([]byte(nil), newValue...), el.Encode())
+}
+
+// Rename changes the name of an element or attribute node (the DOM level 3
+// renameNode operation exercised by TArenameTopic).
+func (d *Document) Rename(id splid.ID, newName string) error {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	n, err := d.GetNode(id)
+	if err != nil {
+		return err
+	}
+	if !n.HasName() {
+		return fmt.Errorf("storage: cannot rename %v node %v", n.Kind, id)
+	}
+	sur, err := d.vocab.Intern(newName)
+	if err != nil {
+		return err
+	}
+	if n.Kind == xmlmodel.KindElement && sur != n.Name {
+		if err := d.elem.Delete(elemKey(n.Name, n.ID)); err != nil && err != btree.ErrNotFound {
+			return err
+		}
+		if err := d.elem.Insert(elemKey(sur, n.ID), nil); err != nil {
+			return err
+		}
+	}
+	n.Name = sur
+	return d.doc.Insert(id.Encode(), xmlmodel.EncodeRecord(n))
+}
+
+// DeleteSubtree removes the node labeled id together with every descendant
+// (including virtual attribute and string nodes) and returns the number of
+// nodes removed. Secondary index entries are maintained.
+func (d *Document) DeleteSubtree(id splid.ID) (int, error) {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	if id.IsRoot() {
+		return 0, errors.New("storage: cannot delete the document root")
+	}
+	var victims []xmlmodel.Node
+	err := d.ScanSubtree(id, func(n xmlmodel.Node) bool {
+		victims = append(victims, n)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if len(victims) == 0 {
+		return 0, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
+	}
+	for _, n := range victims {
+		if n.Kind == xmlmodel.KindAttribute && d.vocab.Name(n.Name) == IDAttrName {
+			if v, err := d.Value(n.ID); err == nil {
+				if err := d.ids.Delete(v); err != nil && err != btree.ErrNotFound {
+					return 0, err
+				}
+			}
+		}
+	}
+	for _, n := range victims {
+		if err := d.deleteRaw(n); err != nil {
+			return 0, err
+		}
+	}
+	return len(victims), nil
+}
+
+// RestoreSubtree reinserts previously deleted node records (in document
+// order) and rebuilds the secondary index entries — the physical undo of
+// DeleteSubtree, run by aborting transactions that still hold their locks.
+func (d *Document) RestoreSubtree(nodes []xmlmodel.Node) error {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	for _, n := range nodes {
+		if err := d.insertRaw(n); err != nil {
+			return err
+		}
+	}
+	idSur, ok := d.vocab.Lookup(IDAttrName)
+	if !ok {
+		return nil
+	}
+	for _, n := range nodes {
+		if n.Kind == xmlmodel.KindAttribute && n.Name == idSur {
+			el := n.ID.Parent().Parent()
+			v, err := d.Value(n.ID)
+			if err != nil {
+				return err
+			}
+			if err := d.ids.Insert(v, el.Encode()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ElementByID resolves an id-attribute value to the owning element's SPLID —
+// the getElementById direct jump.
+func (d *Document) ElementByID(value []byte) (splid.ID, error) {
+	v, err := d.ids.Get(value)
+	if err == btree.ErrNotFound {
+		return splid.Null, fmt.Errorf("%w: id %q", ErrNodeNotFound, value)
+	}
+	if err != nil {
+		return splid.Null, err
+	}
+	return splid.Decode(v)
+}
+
+// ElementsByName visits the SPLIDs of all elements with the given name in
+// document order (the node-reference index of Figure 6b).
+func (d *Document) ElementsByName(name string, fn func(splid.ID) bool) error {
+	sur, ok := d.vocab.Lookup(name)
+	if !ok {
+		return nil
+	}
+	var prefix [2]byte
+	binary.BigEndian.PutUint16(prefix[:], uint16(sur))
+	limit := []byte{prefix[0], prefix[1] + 1}
+	if prefix[1] == 0xFF {
+		limit = []byte{prefix[0] + 1, 0}
+	}
+	return d.elem.Ascend(prefix[:], limit, func(k, _ []byte) bool {
+		id, err := splid.Decode(append([]byte(nil), k[2:]...))
+		if err != nil {
+			return true
+		}
+		return fn(id)
+	})
+}
+
+// DocStats summarizes a document's physical shape — the storage-density
+// numbers Section 3.2 discusses (SPLID bytes, tree depth, node mix).
+type DocStats struct {
+	// Nodes counts stored nodes by kind.
+	Elements, Texts, Attributes, AttrRoots, Strings int
+	// MaxDepth is the deepest level (root = 1), counting virtual nodes.
+	MaxDepth int
+	// SplidBytes is the total encoded size of all node labels; AvgSplid the
+	// mean per node.
+	SplidBytes int
+	// ValueBytes is the total character data volume.
+	ValueBytes int
+	// DocTree/ElemTree/IDTree are the B*-tree shapes.
+	DocTree, ElemTree, IDTree btree.TreeStats
+}
+
+// AvgSplid returns the mean encoded SPLID size in bytes.
+func (s DocStats) AvgSplid() float64 {
+	n := s.Elements + s.Texts + s.Attributes + s.AttrRoots + s.Strings
+	if n == 0 {
+		return 0
+	}
+	return float64(s.SplidBytes) / float64(n)
+}
+
+// Stats walks the document and returns its physical statistics.
+func (d *Document) Stats() (DocStats, error) {
+	var st DocStats
+	err := d.ScanDocument(func(n xmlmodel.Node) bool {
+		switch n.Kind {
+		case xmlmodel.KindElement:
+			st.Elements++
+		case xmlmodel.KindText:
+			st.Texts++
+		case xmlmodel.KindAttribute:
+			st.Attributes++
+		case xmlmodel.KindAttributeRoot:
+			st.AttrRoots++
+		case xmlmodel.KindString:
+			st.Strings++
+			st.ValueBytes += len(n.Value)
+		}
+		st.SplidBytes += n.ID.EncodedLen()
+		if l := n.ID.Level(); l > st.MaxDepth {
+			st.MaxDepth = l
+		}
+		return true
+	})
+	if err != nil {
+		return st, err
+	}
+	if st.DocTree, err = d.doc.Stats(); err != nil {
+		return st, err
+	}
+	if st.ElemTree, err = d.elem.Stats(); err != nil {
+		return st, err
+	}
+	st.IDTree, err = d.ids.Stats()
+	return st, err
+}

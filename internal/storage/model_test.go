@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/pagestore"
+	"repro/internal/splid"
+	"repro/internal/xmlmodel"
+)
+
+// modelNode is the in-memory reference model: a plain pointer tree.
+type modelNode struct {
+	name     string
+	text     string // text content for text nodes
+	isText   bool
+	attrs    map[string]string
+	children []*modelNode
+	id       splid.ID // assigned lazily from the store for comparison
+}
+
+// TestModelEquivalence drives the document store and a plain in-memory tree
+// with the same random operation sequence and compares full structure,
+// attributes, and text after every few steps — the storage layer's
+// model-based property test.
+func TestModelEquivalence(t *testing.T) {
+	d, err := Create(pagestore.NewMemBackend(), "root", Options{Dist: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	model := &modelNode{name: "root", attrs: map[string]string{}, id: d.Root()}
+	rng := rand.New(rand.NewSource(2026))
+
+	// collect returns all element model nodes (candidates for operations).
+	var collect func(n *modelNode, out []*modelNode) []*modelNode
+	collect = func(n *modelNode, out []*modelNode) []*modelNode {
+		if !n.isText {
+			out = append(out, n)
+		}
+		for _, c := range n.children {
+			out = collect(c, out)
+		}
+		return out
+	}
+
+	nameFor := func(i int) string { return fmt.Sprintf("el%d", i%7) }
+
+	for step := 0; step < 600; step++ {
+		elems := collect(model, nil)
+		target := elems[rng.Intn(len(elems))]
+		switch op := rng.Intn(10); {
+		case op < 4: // append element
+			name := nameFor(rng.Int())
+			// Model append.
+			mn := &modelNode{name: name, attrs: map[string]string{}}
+			target.children = append(target.children, mn)
+			// Store append.
+			last, err := d.LastChild(target.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, err := d.Allocator().Between(target.id, last.ID, splid.Null)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.InsertElement(id, name); err != nil {
+				t.Fatal(err)
+			}
+			mn.id = id
+		case op < 6: // append text
+			text := fmt.Sprintf("text-%d", step)
+			mn := &modelNode{isText: true, text: text}
+			target.children = append(target.children, mn)
+			last, err := d.LastChild(target.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id, err := d.Allocator().Between(target.id, last.ID, splid.Null)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.InsertText(id, []byte(text)); err != nil {
+				t.Fatal(err)
+			}
+			mn.id = id
+		case op < 7: // set attribute
+			name := fmt.Sprintf("a%d", rng.Intn(4))
+			val := fmt.Sprintf("v%d", step)
+			target.attrs[name] = val
+			if _, err := d.SetAttribute(target.id, name, []byte(val)); err != nil {
+				t.Fatal(err)
+			}
+		case op < 8: // rename
+			if target == model {
+				continue
+			}
+			name := nameFor(rng.Int() + 3)
+			target.name = name
+			if err := d.Rename(target.id, name); err != nil {
+				t.Fatal(err)
+			}
+		default: // delete subtree
+			if target == model {
+				continue
+			}
+			// Remove from the model parent.
+			removeModel(model, target)
+			if _, err := d.DeleteSubtree(target.id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if step%50 == 0 {
+			compareTrees(t, d, model)
+			if err := d.Verify(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	compareTrees(t, d, model)
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func removeModel(root, victim *modelNode) bool {
+	for i, c := range root.children {
+		if c == victim {
+			root.children = append(root.children[:i], root.children[i+1:]...)
+			return true
+		}
+		if removeModel(c, victim) {
+			return true
+		}
+	}
+	return false
+}
+
+// compareTrees checks that the stored document matches the model exactly.
+func compareTrees(t *testing.T, d *Document, m *modelNode) {
+	t.Helper()
+	var walk func(m *modelNode)
+	walk = func(m *modelNode) {
+		if m.isText {
+			n, err := d.GetNode(m.id)
+			if err != nil || n.Kind != xmlmodel.KindText {
+				t.Fatalf("text node %v: %+v, %v", m.id, n, err)
+			}
+			v, err := d.Value(m.id)
+			if err != nil || string(v) != m.text {
+				t.Fatalf("text %v = %q, want %q (%v)", m.id, v, m.text, err)
+			}
+			return
+		}
+		n, err := d.GetNode(m.id)
+		if err != nil || n.Kind != xmlmodel.KindElement {
+			t.Fatalf("element %v: %+v, %v", m.id, n, err)
+		}
+		if got := d.Vocabulary().Name(n.Name); got != m.name {
+			t.Fatalf("element %v named %q, want %q", m.id, got, m.name)
+		}
+		// Attributes.
+		got := map[string]string{}
+		if err := d.Attributes(m.id, func(a xmlmodel.Node) bool {
+			v, _ := d.Value(a.ID)
+			got[d.Vocabulary().Name(a.Name)] = string(v)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(m.attrs) {
+			t.Fatalf("element %v has %d attrs, want %d", m.id, len(got), len(m.attrs))
+		}
+		for k, v := range m.attrs {
+			if got[k] != v {
+				t.Fatalf("element %v attr %s = %q, want %q", m.id, k, got[k], v)
+			}
+		}
+		// Children in order.
+		var kids []splid.ID
+		d.ScanChildren(m.id, func(c xmlmodel.Node) bool {
+			kids = append(kids, c.ID)
+			return true
+		})
+		if len(kids) != len(m.children) {
+			t.Fatalf("element %v has %d children, want %d", m.id, len(kids), len(m.children))
+		}
+		for i, mc := range m.children {
+			if !kids[i].Equal(mc.id) {
+				t.Fatalf("element %v child %d = %v, want %v", m.id, i, kids[i], mc.id)
+			}
+			walk(mc)
+		}
+	}
+	walk(m)
+}

@@ -1,0 +1,218 @@
+package storage
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/splid"
+	"repro/internal/xmlmodel"
+)
+
+// Builder bulk-loads a document in document order, assigning gap-spaced
+// SPLIDs level by level (the paper's "initial document storage only assigns
+// odd division values"). It is not safe for concurrent use and bypasses
+// locking — use it only to construct benchmark fixtures before transactions
+// start.
+type Builder struct {
+	d     *Document
+	stack []builderFrame
+	err   error
+}
+
+type builderFrame struct {
+	id       splid.ID
+	children int
+}
+
+// NewBuilder starts building below the document root.
+func (d *Document) NewBuilder() *Builder {
+	return &Builder{d: d, stack: []builderFrame{{id: splid.Root()}}}
+}
+
+func (b *Builder) top() *builderFrame { return &b.stack[len(b.stack)-1] }
+
+// nextChildID allocates the label for the next child of the current frame.
+func (b *Builder) nextChildID() splid.ID {
+	f := b.top()
+	id := b.d.alloc.NthChild(f.id, f.children)
+	f.children++
+	return id
+}
+
+// StartElement opens a child element; calls nest.
+func (b *Builder) StartElement(name string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	id := b.nextChildID()
+	if _, err := b.d.InsertElement(id, name); err != nil {
+		b.err = err
+		return b
+	}
+	b.stack = append(b.stack, builderFrame{id: id})
+	return b
+}
+
+// EndElement closes the innermost open element.
+func (b *Builder) EndElement() *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.stack) == 1 {
+		b.err = fmt.Errorf("storage: EndElement without StartElement")
+		return b
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	return b
+}
+
+// Attribute sets an attribute on the innermost open element.
+func (b *Builder) Attribute(name, value string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if len(b.stack) == 1 {
+		b.err = fmt.Errorf("storage: Attribute outside an element")
+		return b
+	}
+	if _, err := b.d.SetAttribute(b.top().id, name, []byte(value)); err != nil {
+		b.err = err
+	}
+	return b
+}
+
+// Text appends a text node to the innermost open element.
+func (b *Builder) Text(value string) *Builder {
+	if b.err != nil {
+		return b
+	}
+	id := b.nextChildID()
+	if _, err := b.d.InsertText(id, []byte(value)); err != nil {
+		b.err = err
+	}
+	return b
+}
+
+// Element writes a leaf element with a single text child — the common
+// `<title>foo</title>` shape.
+func (b *Builder) Element(name, text string) *Builder {
+	return b.StartElement(name).Text(text).EndElement()
+}
+
+// CurrentID returns the SPLID of the innermost open element.
+func (b *Builder) CurrentID() splid.ID { return b.top().id }
+
+// Err returns the first error encountered while building.
+func (b *Builder) Err() error { return b.err }
+
+// ImportXML loads an XML byte stream below the document root. Whitespace-
+// only character data is dropped; comments and processing instructions are
+// ignored.
+func (d *Document) ImportXML(r io.Reader) error {
+	dec := xml.NewDecoder(r)
+	b := d.NewBuilder()
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("storage: ImportXML: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.StartElement(t.Name.Local)
+			for _, a := range t.Attr {
+				b.Attribute(a.Name.Local, a.Value)
+			}
+			depth++
+		case xml.EndElement:
+			b.EndElement()
+			depth--
+		case xml.CharData:
+			if s := strings.TrimSpace(string(t)); s != "" {
+				b.Text(s)
+			}
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("storage: ImportXML: unbalanced document (depth %d)", depth)
+	}
+	return b.Err()
+}
+
+// ExportXML serializes the subtree rooted at id (the whole document when id
+// is the root) as indented XML.
+func (d *Document) ExportXML(w io.Writer, id splid.ID) error {
+	n, err := d.GetNode(id)
+	if err != nil {
+		return err
+	}
+	return d.exportNode(w, n, 0)
+}
+
+func (d *Document) exportNode(w io.Writer, n xmlmodel.Node, depth int) error {
+	indent := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case xmlmodel.KindElement:
+		name := d.vocab.Name(n.Name)
+		var attrs strings.Builder
+		err := d.Attributes(n.ID, func(a xmlmodel.Node) bool {
+			v, verr := d.Value(a.ID)
+			if verr != nil {
+				return true
+			}
+			fmt.Fprintf(&attrs, " %s=%q", d.vocab.Name(a.Name), string(v))
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		var children []xmlmodel.Node
+		if err := d.ScanChildren(n.ID, func(c xmlmodel.Node) bool {
+			children = append(children, c)
+			return true
+		}); err != nil {
+			return err
+		}
+		if len(children) == 0 {
+			_, err := fmt.Fprintf(w, "%s<%s%s/>\n", indent, name, attrs.String())
+			return err
+		}
+		// Single text child renders inline.
+		if len(children) == 1 && children[0].Kind == xmlmodel.KindText {
+			v, err := d.Value(children[0].ID)
+			if err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s<%s%s>%s</%s>\n", indent, name, attrs.String(), escape(string(v)), name)
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s<%s%s>\n", indent, name, attrs.String()); err != nil {
+			return err
+		}
+		for _, c := range children {
+			if err := d.exportNode(w, c, depth+1); err != nil {
+				return err
+			}
+		}
+		_, err = fmt.Fprintf(w, "%s</%s>\n", indent, name)
+		return err
+	case xmlmodel.KindText:
+		v, err := d.Value(n.ID)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "%s%s\n", indent, escape(string(v)))
+		return err
+	default:
+		return fmt.Errorf("storage: cannot export %v node %v", n.Kind, n.ID)
+	}
+}
+
+var escaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+func escape(s string) string { return escaper.Replace(s) }

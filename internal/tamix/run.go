@@ -1,0 +1,240 @@
+package tamix
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/node"
+	"repro/internal/pagestore"
+	"repro/internal/protocol"
+	"repro/internal/tx"
+)
+
+// Config describes one TaMix benchmark run.
+type Config struct {
+	// Protocol names the lock protocol under test.
+	Protocol string
+	// Isolation is the isolation level of every transaction.
+	Isolation tx.Level
+	// Depth is the lock-depth parameter (ignored by depth-unaware
+	// protocols; negative = unlimited).
+	Depth int
+	// Clients is the number of TaMix clients (paper: 3).
+	Clients int
+	// Mix is the per-client transaction mix: how many concurrent slots of
+	// each type every client keeps active (paper CLUSTER1: 9 TAqueryBook,
+	// 5 TAchapter, 2 TArenameTopic, 8 TAlendAndReturn = 24 per client, 72
+	// total).
+	Mix map[TxType]int
+	// Duration is the measurement interval (paper: 5 minutes).
+	Duration time.Duration
+	// WaitAfterCommit is the client think time between transactions
+	// (paper: 2500 ms).
+	WaitAfterCommit time.Duration
+	// WaitAfterOperation is the pause between operations inside a
+	// transaction (paper: 100 ms).
+	WaitAfterOperation time.Duration
+	// MaxStartDelay staggers slot start-up (paper: 0-5000 ms random).
+	MaxStartDelay time.Duration
+	// LockTimeout bounds lock waits; it should comfortably exceed the
+	// expected blocking times (a timeout aborts like a deadlock victim).
+	LockTimeout time.Duration
+	// UseUpdateLocks makes TAlendAndReturn declare its write intent with
+	// update-mode locks (URIX's U, taDOM's SU) instead of converting read
+	// locks — an ablation on the paper's conversion-deadlock observation.
+	UseUpdateLocks bool
+	// Bib sizes the document.
+	Bib BibConfig
+	// Seed drives all randomness of the run.
+	Seed int64
+}
+
+// TypeStats aggregates outcomes for one transaction type — the paper's
+// per-type metrics (committed, aborted, min/max/avg duration).
+type TypeStats struct {
+	Committed int
+	Aborted   int
+	TotalDur  time.Duration
+	MinDur    time.Duration
+	MaxDur    time.Duration
+}
+
+// AvgDur returns the mean duration of committed transactions.
+func (s *TypeStats) AvgDur() time.Duration {
+	if s.Committed == 0 {
+		return 0
+	}
+	return s.TotalDur / time.Duration(s.Committed)
+}
+
+func (s *TypeStats) record(d time.Duration) {
+	s.Committed++
+	s.TotalDur += d
+	if s.MinDur == 0 || d < s.MinDur {
+		s.MinDur = d
+	}
+	if d > s.MaxDur {
+		s.MaxDur = d
+	}
+}
+
+// Result is the outcome of one TaMix run.
+type Result struct {
+	// Protocol, Isolation, and Depth echo the configuration.
+	Protocol  string
+	Isolation tx.Level
+	Depth     int
+	// Elapsed is the measured wall-clock interval.
+	Elapsed time.Duration
+	// PerType holds the per-transaction-type statistics.
+	PerType map[TxType]*TypeStats
+	// Committed and Aborted are the totals across types.
+	Committed, Aborted int
+	// Deadlocks counts detected cycles, split into the paper's two classes.
+	Deadlocks, ConversionDeadlocks, SubtreeDeadlocks uint64
+	// Timeouts counts lock waits that hit the timeout.
+	Timeouts uint64
+	// LockRequests is the total number of lock requests issued.
+	LockRequests uint64
+	// DeadlockVictims attributes deadlock aborts to the victim's
+	// transaction type (the XTCdeadlockDetector analysis of Section 4.2).
+	DeadlockVictims map[TxType]uint64
+	// DeadlockCycleLengths histograms the detected cycle sizes (index =
+	// number of transactions on the cycle; index 0 collects longer ones).
+	DeadlockCycleLengths [8]uint64
+}
+
+// Throughput returns committed transactions, normalized to the paper's
+// 5-minute interval so numbers are comparable across scaled-down runs.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Committed) * (5 * time.Minute).Seconds() / r.Elapsed.Seconds()
+}
+
+// Run executes one TaMix benchmark: it generates the bib document, starts
+// Clients×Mix transaction slots, keeps each slot running transactions of
+// its type until Duration elapses, and gathers the metrics.
+func Run(cfg Config) (*Result, error) {
+	p, err := protocol.ByName(cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	doc, cat, err := GenerateBib(pagestore.NewMemBackend(), cfg.Bib)
+	if err != nil {
+		return nil, err
+	}
+	defer doc.Close()
+
+	lockTimeout := cfg.LockTimeout
+	if lockTimeout <= 0 {
+		lockTimeout = 5 * time.Second
+	}
+	// Deadlock analysis: every lock-manager transaction is registered with
+	// its TaMix type so detected cycles can be attributed.
+	var txTypes sync.Map // lock.TxID -> TxType
+	res := &Result{
+		Protocol:        cfg.Protocol,
+		Isolation:       cfg.Isolation,
+		Depth:           cfg.Depth,
+		PerType:         make(map[TxType]*TypeStats),
+		DeadlockVictims: make(map[TxType]uint64),
+	}
+	var dlMu sync.Mutex
+	mgr := node.New(doc, p, node.Options{
+		Depth:       cfg.Depth,
+		LockTimeout: lockTimeout,
+		OnDeadlock: func(info lock.DeadlockInfo) {
+			dlMu.Lock()
+			defer dlMu.Unlock()
+			if t, ok := txTypes.Load(info.Victim); ok {
+				res.DeadlockVictims[t.(TxType)]++
+			}
+			n := len(info.Members)
+			if n >= len(res.DeadlockCycleLengths) {
+				n = 0
+			}
+			res.DeadlockCycleLengths[n]++
+		},
+	})
+	for _, t := range TxTypes {
+		res.PerType[t] = &TypeStats{}
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+
+	slot := 0
+	for client := 0; client < cfg.Clients; client++ {
+		for _, txType := range TxTypes {
+			for i := 0; i < cfg.Mix[txType]; i++ {
+				slot++
+				wg.Add(1)
+				go func(txType TxType, seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					r := &runner{m: mgr, cat: cat, rng: rng, waitOp: cfg.WaitAfterOperation, updateLocks: cfg.UseUpdateLocks}
+					if cfg.MaxStartDelay > 0 {
+						time.Sleep(time.Duration(rng.Int63n(int64(cfg.MaxStartDelay))))
+					}
+					for time.Now().Before(deadline) {
+						txn := mgr.Begin(cfg.Isolation)
+						if ltx := txn.LockTx(); ltx != nil {
+							txTypes.Store(ltx.ID(), txType)
+						}
+						t0 := time.Now()
+						err := r.run(txType, txn)
+						if err == nil {
+							err = txn.Commit()
+							if err == nil {
+								mu.Lock()
+								res.PerType[txType].record(time.Since(t0))
+								mu.Unlock()
+							}
+						} else {
+							txn.Abort()
+							if node.IsAbortWorthy(err) {
+								mu.Lock()
+								res.PerType[txType].Aborted++
+								mu.Unlock()
+							} else {
+								// Unexpected failures indicate an engine bug;
+								// surface them loudly.
+								panic(fmt.Sprintf("tamix: %s: %v", txType, err))
+							}
+						}
+						if cfg.WaitAfterCommit > 0 {
+							time.Sleep(cfg.WaitAfterCommit)
+						}
+					}
+				}(txType, cfg.Seed+int64(slot)*7919)
+			}
+		}
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+
+	// Every run doubles as an integrity check: a protocol that let an
+	// interleaving corrupt the document must not produce a result.
+	if err := doc.Verify(); err != nil {
+		return nil, fmt.Errorf("tamix: document corrupted after run under %s: %w", cfg.Protocol, err)
+	}
+
+	for _, t := range TxTypes {
+		res.Committed += res.PerType[t].Committed
+		res.Aborted += res.PerType[t].Aborted
+	}
+	ls := mgr.LockManager().Stats()
+	res.Deadlocks = ls.Deadlocks
+	res.ConversionDeadlocks = ls.ConversionDeadlocks
+	res.SubtreeDeadlocks = ls.SubtreeDeadlocks
+	res.Timeouts = ls.Timeouts
+	res.LockRequests = ls.Requests
+	return res, nil
+}

@@ -1,0 +1,297 @@
+package tamix
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/pagestore"
+	"repro/internal/splid"
+	"repro/internal/tx"
+	"repro/internal/xmlmodel"
+)
+
+func TestGenerateBibStructure(t *testing.T) {
+	cfg := Scaled(0.05) // 5 topics, 100 books, 50 persons
+	doc, cat, err := GenerateBib(pagestore.NewMemBackend(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer doc.Close()
+
+	if len(cat.TopicIDs) != 5 || cat.Books != 100 || len(cat.BookIDs) != 100 {
+		t.Fatalf("catalog: %d topics, %d books", len(cat.TopicIDs), cat.Books)
+	}
+	if len(cat.PersonIDs) != 50 {
+		t.Fatalf("catalog: %d persons", len(cat.PersonIDs))
+	}
+	// Every cataloged ID is resolvable via the ID index.
+	for _, id := range append(append([]string{}, cat.BookIDs[:5]...), cat.TopicIDs...) {
+		if _, err := doc.ElementByID([]byte(id)); err != nil {
+			t.Errorf("id %s unresolvable: %v", id, err)
+		}
+	}
+	// Element counts via the element index.
+	count := func(name string) int {
+		n := 0
+		doc.ElementsByName(name, func(splid.ID) bool { n++; return true })
+		return n
+	}
+	if n := count("book"); n != 100 {
+		t.Errorf("book count = %d", n)
+	}
+	if n := count("topic"); n != 5 {
+		t.Errorf("topic count = %d", n)
+	}
+	if n := count("person"); n != 50 {
+		t.Errorf("person count = %d", n)
+	}
+	if n := count("chapter"); n < 5*100 || n > 10*100 {
+		t.Errorf("chapter count = %d, want 500..1000", n)
+	}
+	if n := count("lend"); n < 9*100 || n > 10*100 {
+		t.Errorf("lend count = %d, want 900..1000", n)
+	}
+
+	// Structure of one book: title, author, price, chapters, history.
+	book, err := doc.ElementByID([]byte(cat.BookIDs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	doc.ScanChildren(book, func(n xmlmodel.Node) bool {
+		names = append(names, doc.Vocabulary().Name(n.Name))
+		return true
+	})
+	want := "[title author price chapters history]"
+	if fmt.Sprint(names) != want {
+		t.Errorf("book children = %v, want %v", names, want)
+	}
+}
+
+func TestGenerateBibDeterministic(t *testing.T) {
+	cfg := Scaled(0.02)
+	d1, c1, err := GenerateBib(pagestore.NewMemBackend(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+	d2, c2, err := GenerateBib(pagestore.NewMemBackend(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d1.Size() != d2.Size() {
+		t.Errorf("sizes differ: %d vs %d", d1.Size(), d2.Size())
+	}
+	if fmt.Sprint(c1.BookIDs) != fmt.Sprint(c2.BookIDs) {
+		t.Error("catalogs differ")
+	}
+}
+
+func TestTxTypeStrings(t *testing.T) {
+	for _, typ := range TxTypes {
+		if typ.String() == "" || typ.String()[:2] != "TA" {
+			t.Errorf("bad name %q", typ.String())
+		}
+	}
+}
+
+// runQuick executes a short CLUSTER1 run for one protocol.
+func runQuick(t *testing.T, proto string, iso tx.Level, depth int) *Result {
+	t.Helper()
+	cfg := Cluster1Config(proto, iso, depth, 0.02, 0.002)
+	cfg.Duration = 600 * time.Millisecond
+	cfg.MaxStartDelay = 10 * time.Millisecond
+	cfg.LockTimeout = 2 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCluster1RunsAllTypes(t *testing.T) {
+	res := runQuick(t, "taDOM3+", tx.LevelRepeatable, 7)
+	if res.Committed == 0 {
+		t.Fatal("no transactions committed")
+	}
+	for _, typ := range []TxType{TAqueryBook, TAchapter, TAlendAndReturn, TArenameTopic} {
+		st := res.PerType[typ]
+		if st.Committed+st.Aborted == 0 {
+			t.Errorf("%v: no activity", typ)
+		}
+	}
+	if res.PerType[TAdelBook].Committed != 0 {
+		t.Error("TAdelBook must not run in CLUSTER1")
+	}
+	if res.Throughput() <= 0 {
+		t.Error("throughput should be positive")
+	}
+	q := res.PerType[TAqueryBook]
+	if q.Committed > 0 && (q.MinDur <= 0 || q.MaxDur < q.MinDur || q.AvgDur() < q.MinDur) {
+		t.Errorf("duration stats inconsistent: min=%v avg=%v max=%v", q.MinDur, q.AvgDur(), q.MaxDur)
+	}
+}
+
+func TestCluster1UnderEveryProtocolSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long smoke test")
+	}
+	for _, name := range []string{"Node2PL", "NO2PL", "OO2PL", "Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+", "taDOM3", "taDOM3+"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			res := runQuick(t, name, tx.LevelRepeatable, 4)
+			if res.Committed == 0 {
+				t.Errorf("%s committed nothing (aborted %d, deadlocks %d, timeouts %d)",
+					name, res.Aborted, res.Deadlocks, res.Timeouts)
+			}
+		})
+	}
+}
+
+func TestIsolationNoneNeverAborts(t *testing.T) {
+	res := runQuick(t, "taDOM3+", tx.LevelNone, 7)
+	if res.Aborted != 0 {
+		t.Errorf("isolation none aborted %d transactions", res.Aborted)
+	}
+	if res.LockRequests != 0 {
+		t.Errorf("isolation none issued %d lock requests", res.LockRequests)
+	}
+}
+
+func TestDepthZeroCollapsesThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	deep := runQuick(t, "taDOM3+", tx.LevelRepeatable, 7)
+	flat := runQuick(t, "taDOM3+", tx.LevelRepeatable, 0)
+	// Depth 0 means document locks: writers serialize the whole document,
+	// so throughput must drop well below the fine-granular setting.
+	if flat.Committed >= deep.Committed {
+		t.Errorf("depth 0 committed %d >= depth 7 committed %d", flat.Committed, deep.Committed)
+	}
+}
+
+func TestCluster2TwoPLPaysForIDXScan(t *testing.T) {
+	twoPL, err := RunCluster2("Node2PL", 0.02, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tadom, err := RunCluster2("taDOM3+", 0.02, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoPL.Runs != 2 || tadom.Runs != 2 {
+		t.Fatalf("runs: %d / %d", twoPL.Runs, tadom.Runs)
+	}
+	// The *-2PL group must issue far more lock requests (the IDX/M subtree
+	// scan) than the intention-lock protocols.
+	if twoPL.LockRequests < 4*tadom.LockRequests {
+		t.Errorf("Node2PL requests %d not >> taDOM3+ requests %d",
+			twoPL.LockRequests, tadom.LockRequests)
+	}
+	if twoPL.AvgTime <= 0 || tadom.AvgTime <= 0 {
+		t.Error("durations must be positive")
+	}
+}
+
+func TestScaledConfigs(t *testing.T) {
+	c := Scaled(1.0)
+	d := DefaultBibConfig()
+	if c.Topics != d.Topics || c.Persons != d.Persons {
+		t.Error("Scaled(1.0) should be the paper config")
+	}
+	small := Scaled(0.001)
+	if small.Topics < 1 || small.Persons < 1 {
+		t.Error("scaling must keep at least one of each")
+	}
+	pt := PaperTiming()
+	st := ScaledTiming(0.01)
+	if st.Duration >= pt.Duration || st.WaitAfterCommit >= pt.WaitAfterCommit {
+		t.Error("scaled timing should shrink")
+	}
+	mix := Cluster1Mix()
+	total := 0
+	for _, n := range mix {
+		total += n
+	}
+	if total != 24 {
+		t.Errorf("CLUSTER1 mix has %d slots per client, want 24", total)
+	}
+}
+
+func TestUpdateLocksReduceConversionDeadlocks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	// Hammer TAlendAndReturn on a single book so every transaction converts
+	// on the same history node. The plain path reproduces the symmetric
+	// LR -> CX conversion deadlock of Figures 3b/4; declaring the intent
+	// with SU up front serializes the writers and structurally removes it.
+	run := func(updateLocks bool) *Result {
+		cfg := Cluster1Config("taDOM2", tx.LevelRepeatable, 7, 0.005, 0.002)
+		cfg.Bib.Topics = 1
+		cfg.Bib.BooksPerTopic = 1
+		cfg.Mix = map[TxType]int{TAlendAndReturn: 12}
+		cfg.Duration = 800 * time.Millisecond
+		cfg.MaxStartDelay = 5 * time.Millisecond
+		cfg.UseUpdateLocks = updateLocks
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(false)
+	update := run(true)
+	if plain.ConversionDeadlocks == 0 {
+		t.Skip("workload produced no conversion deadlocks to ablate")
+	}
+	// Compare deadlocks per executed transaction: update intent must cut
+	// the conversion-deadlock rate drastically (structurally it eliminates
+	// the history-node cycle; residual cycles come from path locks).
+	rate := func(r *Result) float64 {
+		return float64(r.ConversionDeadlocks) / float64(r.Committed+r.Aborted+1)
+	}
+	if rate(update) > rate(plain)/2 {
+		t.Errorf("update locks did not reduce the conversion-deadlock rate: %.3f (%d/%d) -> %.3f (%d/%d)",
+			rate(plain), plain.ConversionDeadlocks, plain.Committed+plain.Aborted,
+			rate(update), update.ConversionDeadlocks, update.Committed+update.Aborted)
+	}
+}
+
+func TestDeadlockAttribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	cfg := Cluster1Config("taDOM2", tx.LevelRepeatable, 7, 0.005, 0.002)
+	cfg.Mix = map[TxType]int{TAlendAndReturn: 12}
+	cfg.Duration = 800 * time.Millisecond
+	cfg.MaxStartDelay = 5 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlocks == 0 {
+		t.Skip("no deadlocks to attribute")
+	}
+	var attributed uint64
+	for _, n := range res.DeadlockVictims {
+		attributed += n
+	}
+	if attributed != res.Deadlocks {
+		t.Errorf("attributed %d of %d deadlocks", attributed, res.Deadlocks)
+	}
+	if res.DeadlockVictims[TAlendAndReturn] == 0 {
+		t.Error("the only running type must own the victims")
+	}
+	var cycles uint64
+	for _, n := range res.DeadlockCycleLengths {
+		cycles += n
+	}
+	if cycles != res.Deadlocks {
+		t.Errorf("cycle histogram holds %d of %d", cycles, res.Deadlocks)
+	}
+}

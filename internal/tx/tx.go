@@ -1,0 +1,240 @@
+// Package tx provides the transaction layer of the XDBMS: begin/commit/
+// abort with physical undo logging, the four isolation levels of the
+// paper's experiments (Section 4.3), and transaction statistics.
+//
+// Lock acquisition itself lives in the protocol layer; this package decides
+// *when* locks are released (commit for repeatable read, operation end for
+// the weaker levels) and guarantees that an aborting transaction physically
+// undoes its document changes while still holding its locks.
+package tx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lock"
+)
+
+// Level is an isolation level. The ordering matches the paper: stronger
+// levels give more consistency and (usually) less throughput.
+type Level int
+
+const (
+	// LevelNone acquires no locks at all.
+	LevelNone Level = iota
+	// LevelUncommitted takes long write locks but no read locks.
+	LevelUncommitted
+	// LevelCommitted takes short read locks (released at operation end) and
+	// long write locks.
+	LevelCommitted
+	// LevelRepeatable takes long read and write locks, released at commit —
+	// the level all 11 protocols are compared under.
+	LevelRepeatable
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelNone:
+		return "none"
+	case LevelUncommitted:
+		return "uncommitted"
+	case LevelCommitted:
+		return "committed"
+	case LevelRepeatable:
+		return "repeatable"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// ParseLevel converts the textual names used by the CLI tools.
+func ParseLevel(s string) (Level, error) {
+	switch s {
+	case "none":
+		return LevelNone, nil
+	case "uncommitted":
+		return LevelUncommitted, nil
+	case "committed":
+		return LevelCommitted, nil
+	case "repeatable":
+		return LevelRepeatable, nil
+	default:
+		return 0, fmt.Errorf("tx: unknown isolation level %q", s)
+	}
+}
+
+// Status is a transaction's lifecycle state.
+type Status int
+
+const (
+	// StatusActive means the transaction can still operate.
+	StatusActive Status = iota
+	// StatusCommitted is terminal and successful.
+	StatusCommitted
+	// StatusAborted is terminal; all changes were undone.
+	StatusAborted
+)
+
+// ErrNotActive is returned when operating on a finished transaction.
+var ErrNotActive = errors.New("tx: transaction is not active")
+
+// Txn is one transaction. A Txn is owned by a single goroutine; only the
+// status accessors are safe for cross-goroutine use.
+type Txn struct {
+	id    uint64
+	iso   Level
+	mgr   *Manager
+	ltx   *lock.Tx
+	start time.Time
+
+	mu     sync.Mutex
+	status Status
+	undo   []func() error
+}
+
+// ID returns the transaction identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Isolation returns the transaction's isolation level.
+func (t *Txn) Isolation() Level { return t.iso }
+
+// LockTx exposes the lock-manager handle for the protocol layer. It is nil
+// for isolation level none.
+func (t *Txn) LockTx() *lock.Tx { return t.ltx }
+
+// Start returns the begin time.
+func (t *Txn) Start() time.Time { return t.start }
+
+// Status returns the lifecycle state.
+func (t *Txn) Status() Status {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status
+}
+
+// Active reports whether the transaction can still operate.
+func (t *Txn) Active() bool { return t.Status() == StatusActive }
+
+// PushUndo records a compensation action. Undo actions run in reverse order
+// during Abort, while the transaction still holds every lock it acquired, so
+// they may touch the document without further synchronization.
+func (t *Txn) PushUndo(fn func() error) {
+	t.mu.Lock()
+	t.undo = append(t.undo, fn)
+	t.mu.Unlock()
+}
+
+// UndoDepth returns the number of pending undo actions (test aid).
+func (t *Txn) UndoDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.undo)
+}
+
+// Stats aggregates transaction outcomes.
+type Stats struct {
+	Begun     uint64
+	Committed uint64
+	Aborted   uint64
+}
+
+// Manager creates and finishes transactions against one lock manager.
+type Manager struct {
+	lm     *lock.Manager
+	nextID atomic.Uint64
+
+	begun     atomic.Uint64
+	committed atomic.Uint64
+	aborted   atomic.Uint64
+}
+
+// NewManager builds a transaction manager over lm (which may be nil only if
+// every transaction uses isolation level none).
+func NewManager(lm *lock.Manager) *Manager {
+	return &Manager{lm: lm}
+}
+
+// LockManager returns the underlying lock manager.
+func (m *Manager) LockManager() *lock.Manager { return m.lm }
+
+// Begin starts a transaction at the given isolation level.
+func (m *Manager) Begin(iso Level) *Txn {
+	m.begun.Add(1)
+	t := &Txn{
+		id:    m.nextID.Add(1),
+		iso:   iso,
+		mgr:   m,
+		start: time.Now(),
+	}
+	if iso != LevelNone && m.lm != nil {
+		t.ltx = m.lm.Begin()
+	}
+	return t
+}
+
+// Commit finishes the transaction successfully and releases all its locks.
+func (t *Txn) Commit() error {
+	t.mu.Lock()
+	if t.status != StatusActive {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	t.status = StatusCommitted
+	t.undo = nil
+	t.mu.Unlock()
+	if t.ltx != nil {
+		t.mgr.lm.ReleaseAll(t.ltx)
+	}
+	t.mgr.committed.Add(1)
+	return nil
+}
+
+// Abort undoes all changes in reverse order (still holding locks) and then
+// releases the locks. The first undo error is returned, but all undo actions
+// are attempted and the locks are released regardless.
+func (t *Txn) Abort() error {
+	t.mu.Lock()
+	if t.status != StatusActive {
+		t.mu.Unlock()
+		return ErrNotActive
+	}
+	t.status = StatusAborted
+	undo := t.undo
+	t.undo = nil
+	t.mu.Unlock()
+
+	var firstErr error
+	for i := len(undo) - 1; i >= 0; i-- {
+		if err := undo[i](); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("tx %d: undo step %d: %w", t.id, i, err)
+		}
+	}
+	if t.ltx != nil {
+		t.mgr.lm.ReleaseAll(t.ltx)
+	}
+	t.mgr.aborted.Add(1)
+	return firstErr
+}
+
+// EndOperation marks the end of one logical operation: under the weak
+// isolation levels (uncommitted, committed) the short-duration locks are
+// released here, per the meta-lock interface of Section 3.3.
+func (t *Txn) EndOperation() {
+	if t.ltx == nil || t.iso == LevelRepeatable {
+		return
+	}
+	t.mgr.lm.ReleaseShort(t.ltx)
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Begun:     m.begun.Load(),
+		Committed: m.committed.Load(),
+		Aborted:   m.aborted.Load(),
+	}
+}

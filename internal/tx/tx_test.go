@@ -1,0 +1,169 @@
+package tx
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/lock"
+)
+
+const (
+	mS lock.Mode = iota + 1
+	mX
+)
+
+func simpleTable() *lock.Table {
+	y, n := true, false
+	return lock.NewTable(
+		[]string{"-", "S", "X"},
+		[][]bool{{n, n, n}, {n, y, n}, {n, n, n}},
+		[][]lock.Mode{{0, mS, mX}, {0, mS, mX}, {0, mX, mX}},
+	)
+}
+
+func newMgr() *Manager {
+	return NewManager(lock.NewManager(simpleTable(), lock.Options{}))
+}
+
+func TestLevelStringsRoundTrip(t *testing.T) {
+	for _, l := range []Level{LevelNone, LevelUncommitted, LevelCommitted, LevelRepeatable} {
+		got, err := ParseLevel(l.String())
+		if err != nil || got != l {
+			t.Errorf("ParseLevel(%s) = %v, %v", l, got, err)
+		}
+	}
+	if _, err := ParseLevel("bogus"); err == nil {
+		t.Error("bogus level should fail")
+	}
+}
+
+func TestCommitReleasesLocks(t *testing.T) {
+	m := newMgr()
+	t1 := m.Begin(LevelRepeatable)
+	if err := m.LockManager().Lock(t1.LockTx(), "n", mX, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if t1.Status() != StatusCommitted {
+		t.Error("status should be committed")
+	}
+	// A second transaction can take the lock immediately.
+	t2 := m.Begin(LevelRepeatable)
+	if err := m.LockManager().Lock(t2.LockTx(), "n", mX, false); err != nil {
+		t.Fatal(err)
+	}
+	t2.Commit()
+	st := m.Stats()
+	if st.Begun != 2 || st.Committed != 2 || st.Aborted != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestAbortRunsUndoInReverse(t *testing.T) {
+	m := newMgr()
+	t1 := m.Begin(LevelRepeatable)
+	var order []int
+	t1.PushUndo(func() error { order = append(order, 1); return nil })
+	t1.PushUndo(func() error { order = append(order, 2); return nil })
+	t1.PushUndo(func() error { order = append(order, 3); return nil })
+	if t1.UndoDepth() != 3 {
+		t.Errorf("UndoDepth = %d", t1.UndoDepth())
+	}
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 3 || order[1] != 2 || order[2] != 1 {
+		t.Errorf("undo order = %v", order)
+	}
+	if t1.Status() != StatusAborted {
+		t.Error("status should be aborted")
+	}
+}
+
+func TestAbortReportsUndoErrorButReleases(t *testing.T) {
+	m := newMgr()
+	t1 := m.Begin(LevelRepeatable)
+	m.LockManager().Lock(t1.LockTx(), "n", mX, false)
+	sentinel := errors.New("undo failed")
+	ran := 0
+	t1.PushUndo(func() error { ran++; return nil })
+	t1.PushUndo(func() error { ran++; return sentinel })
+	err := t1.Abort()
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+	if ran != 2 {
+		t.Errorf("all undo actions must run, got %d", ran)
+	}
+	// Locks were released despite the undo error.
+	t2 := m.Begin(LevelRepeatable)
+	if err := m.LockManager().Lock(t2.LockTx(), "n", mX, false); err != nil {
+		t.Fatal(err)
+	}
+	t2.Commit()
+}
+
+func TestCommitClearsUndo(t *testing.T) {
+	m := newMgr()
+	t1 := m.Begin(LevelRepeatable)
+	called := false
+	t1.PushUndo(func() error { called = true; return nil })
+	t1.Commit()
+	if called {
+		t.Error("undo must not run on commit")
+	}
+}
+
+func TestDoubleFinish(t *testing.T) {
+	m := newMgr()
+	t1 := m.Begin(LevelRepeatable)
+	t1.Commit()
+	if err := t1.Commit(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("second commit: %v", err)
+	}
+	if err := t1.Abort(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("abort after commit: %v", err)
+	}
+}
+
+func TestLevelNoneHasNoLockTx(t *testing.T) {
+	m := newMgr()
+	t1 := m.Begin(LevelNone)
+	if t1.LockTx() != nil {
+		t.Error("none-level transaction should not register with the lock manager")
+	}
+	t1.EndOperation() // must not panic
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndOperationReleasesShortLocks(t *testing.T) {
+	m := newMgr()
+	lm := m.LockManager()
+	t1 := m.Begin(LevelCommitted)
+	lm.Lock(t1.LockTx(), "read", mS, true)
+	lm.Lock(t1.LockTx(), "write", mX, false)
+	t1.EndOperation()
+	if lm.HeldMode(t1.LockTx(), "read") != lock.ModeNone {
+		t.Error("short read lock should be gone after EndOperation")
+	}
+	if lm.HeldMode(t1.LockTx(), "write") != mX {
+		t.Error("long write lock must survive EndOperation")
+	}
+	t1.Commit()
+}
+
+func TestEndOperationNoopForRepeatable(t *testing.T) {
+	m := newMgr()
+	lm := m.LockManager()
+	t1 := m.Begin(LevelRepeatable)
+	lm.Lock(t1.LockTx(), "read", mS, true)
+	t1.EndOperation()
+	if lm.HeldMode(t1.LockTx(), "read") != mS {
+		t.Error("repeatable read must keep read locks to commit")
+	}
+	t1.Commit()
+}

@@ -1,0 +1,158 @@
+package xmlmodel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Sur is a vocabulary surrogate: a small integer standing in for an element
+// or attribute name. The paper stores surrogates (<= 2 bytes) instead of
+// names inside tree node records.
+type Sur uint16
+
+// Vocabulary maps element and attribute names to surrogates and back. It is
+// safe for concurrent use; surrogates are assigned densely starting at 1
+// (0 is NoName) and are never reassigned, so they may be persisted.
+type Vocabulary struct {
+	mu    sync.RWMutex
+	bySur []string       // bySur[s-1] is the name of surrogate s
+	byStr map[string]Sur //
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{byStr: make(map[string]Sur)}
+}
+
+// Intern returns the surrogate for name, assigning a fresh one on first use.
+// Interning the empty string returns NoName.
+func (v *Vocabulary) Intern(name string) (Sur, error) {
+	if name == "" {
+		return NoName, nil
+	}
+	v.mu.RLock()
+	s, ok := v.byStr[name]
+	v.mu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s, ok := v.byStr[name]; ok {
+		return s, nil
+	}
+	if len(v.bySur) >= int(^Sur(0)) {
+		return NoName, fmt.Errorf("xmlmodel: vocabulary full (%d names)", len(v.bySur))
+	}
+	v.bySur = append(v.bySur, name)
+	s = Sur(len(v.bySur))
+	v.byStr[name] = s
+	return s, nil
+}
+
+// Lookup returns the surrogate for name without assigning one; ok is false
+// if the name has never been interned.
+func (v *Vocabulary) Lookup(name string) (Sur, bool) {
+	if name == "" {
+		return NoName, true
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	s, ok := v.byStr[name]
+	return s, ok
+}
+
+// Name returns the name behind a surrogate; the empty string for NoName or
+// unknown surrogates.
+func (v *Vocabulary) Name(s Sur) string {
+	if s == NoName {
+		return ""
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if int(s) > len(v.bySur) {
+		return ""
+	}
+	return v.bySur[s-1]
+}
+
+// Len returns the number of interned names.
+func (v *Vocabulary) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.bySur)
+}
+
+// Names returns all interned names sorted by surrogate.
+func (v *Vocabulary) Names() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]string(nil), v.bySur...)
+}
+
+// Encode serializes the vocabulary: uint16 count, then length-prefixed
+// names in surrogate order.
+func (v *Vocabulary) Encode() []byte {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var size int
+	for _, n := range v.bySur {
+		size += 2 + len(n)
+	}
+	buf := make([]byte, 2, 2+size)
+	binary.BigEndian.PutUint16(buf, uint16(len(v.bySur)))
+	for _, n := range v.bySur {
+		var l [2]byte
+		binary.BigEndian.PutUint16(l[:], uint16(len(n)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, n...)
+	}
+	return buf
+}
+
+// DecodeVocabulary parses the output of Encode.
+func DecodeVocabulary(b []byte) (*Vocabulary, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("xmlmodel: vocabulary blob too short")
+	}
+	count := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	v := NewVocabulary()
+	for i := 0; i < count; i++ {
+		if len(b) < 2 {
+			return nil, fmt.Errorf("xmlmodel: truncated vocabulary entry %d", i)
+		}
+		l := int(binary.BigEndian.Uint16(b))
+		b = b[2:]
+		if len(b) < l {
+			return nil, fmt.Errorf("xmlmodel: truncated vocabulary name %d", i)
+		}
+		name := string(b[:l])
+		b = b[l:]
+		if name == "" {
+			return nil, fmt.Errorf("xmlmodel: empty vocabulary name %d", i)
+		}
+		if _, err := v.Intern(name); err != nil {
+			return nil, err
+		}
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("xmlmodel: %d trailing bytes after vocabulary", len(b))
+	}
+	return v, nil
+}
+
+// SortedSurrogates returns the surrogates of all names in lexicographic name
+// order — the element-index name directory order (Figure 6b).
+func (v *Vocabulary) SortedSurrogates() []Sur {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make([]Sur, len(v.bySur))
+	for i := range out {
+		out[i] = Sur(i + 1)
+	}
+	sort.Slice(out, func(i, j int) bool { return v.bySur[out[i]-1] < v.bySur[out[j]-1] })
+	return out
+}

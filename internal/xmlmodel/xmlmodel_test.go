@@ -1,0 +1,211 @@
+package xmlmodel
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/splid"
+)
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		KindElement:       "element",
+		KindAttributeRoot: "attrRoot",
+		KindAttribute:     "attribute",
+		KindText:          "text",
+		KindString:        "string",
+		Kind(99):          "Kind(99)",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k, want)
+		}
+	}
+	if Kind(0).Valid() || Kind(6).Valid() {
+		t.Error("invalid kinds reported valid")
+	}
+	if !KindElement.Valid() || !KindString.Valid() {
+		t.Error("valid kinds reported invalid")
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	id := splid.MustParse("1.3.5")
+	cases := []Node{
+		{ID: id, Kind: KindElement, Name: 7},
+		{ID: id, Kind: KindAttributeRoot},
+		{ID: id, Kind: KindAttribute, Name: 300},
+		{ID: id, Kind: KindText},
+		{ID: id, Kind: KindString, Value: []byte("hello world")},
+		{ID: id, Kind: KindString, Value: []byte{}},
+	}
+	for _, n := range cases {
+		rec := EncodeRecord(n)
+		back, err := DecodeRecord(id, rec)
+		if err != nil {
+			t.Fatalf("decode %v: %v", n, err)
+		}
+		if back.Kind != n.Kind || back.Name != n.Name || !bytes.Equal(back.Value, n.Value) {
+			t.Errorf("round trip %+v -> %+v", n, back)
+		}
+	}
+}
+
+func TestRecordDecodeErrors(t *testing.T) {
+	id := splid.Root()
+	if _, err := DecodeRecord(id, []byte{1, 0}); err == nil {
+		t.Error("short record should fail")
+	}
+	if _, err := DecodeRecord(id, []byte{0, 0, 0}); err == nil {
+		t.Error("kind 0 should fail")
+	}
+	if _, err := DecodeRecord(id, []byte{9, 0, 0}); err == nil {
+		t.Error("kind 9 should fail")
+	}
+}
+
+func TestRecordPropertyRoundTrip(t *testing.T) {
+	id := splid.Root()
+	f := func(kindSel uint8, name uint16, value []byte) bool {
+		k := Kind(kindSel%5) + KindElement
+		n := Node{ID: id, Kind: k, Name: Sur(name), Value: value}
+		back, err := DecodeRecord(id, EncodeRecord(n))
+		return err == nil && back.Kind == k && back.Name == Sur(name) &&
+			bytes.Equal(back.Value, value)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabularyBasics(t *testing.T) {
+	v := NewVocabulary()
+	s1, err := v.Intern("book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := v.Intern("author")
+	s1b, _ := v.Intern("book")
+	if s1 != s1b {
+		t.Error("re-interning must return the same surrogate")
+	}
+	if s1 == s2 {
+		t.Error("distinct names must get distinct surrogates")
+	}
+	if s1 == NoName || s2 == NoName {
+		t.Error("real names must not map to NoName")
+	}
+	if v.Name(s1) != "book" || v.Name(s2) != "author" {
+		t.Error("Name() mismatch")
+	}
+	if v.Name(NoName) != "" || v.Name(999) != "" {
+		t.Error("unknown surrogates must yield empty names")
+	}
+	if s, ok := v.Lookup("book"); !ok || s != s1 {
+		t.Error("Lookup(book) failed")
+	}
+	if _, ok := v.Lookup("missing"); ok {
+		t.Error("Lookup(missing) should fail")
+	}
+	if s, err := v.Intern(""); err != nil || s != NoName {
+		t.Error("empty name must intern to NoName")
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d", v.Len())
+	}
+}
+
+func TestVocabularyEncodeDecode(t *testing.T) {
+	v := NewVocabulary()
+	names := []string{"bib", "book", "author", "title", "Ümlaut-日本語"}
+	for _, n := range names {
+		if _, err := v.Intern(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	back, err := DecodeVocabulary(v.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		s1, _ := v.Lookup(n)
+		s2, ok := back.Lookup(n)
+		if !ok || s1 != s2 {
+			t.Errorf("name %q: surrogate %d vs %d (ok=%v)", n, s1, s2, ok)
+		}
+	}
+	if back.Len() != v.Len() {
+		t.Errorf("Len %d vs %d", back.Len(), v.Len())
+	}
+}
+
+func TestVocabularyDecodeErrors(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0, 2, 0, 1}, // count 2 but one truncated entry
+		{0, 1, 0, 5, 'a'},
+		{0, 1, 0, 0}, // empty name
+		{0, 0, 1},    // trailing bytes
+	}
+	for _, b := range bad {
+		if _, err := DecodeVocabulary(b); err == nil {
+			t.Errorf("DecodeVocabulary(%v): expected error", b)
+		}
+	}
+}
+
+func TestVocabularyConcurrent(t *testing.T) {
+	v := NewVocabulary()
+	var wg sync.WaitGroup
+	const workers = 8
+	results := make([][]Sur, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]Sur, 100)
+			for i := range out {
+				s, err := v.Intern(fmt.Sprintf("name-%d", i))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out[i] = s
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d got surrogate %d for name-%d, worker 0 got %d",
+					w, results[w][i], i, results[0][i])
+			}
+		}
+	}
+	if v.Len() != 100 {
+		t.Errorf("Len = %d, want 100", v.Len())
+	}
+}
+
+func TestSortedSurrogates(t *testing.T) {
+	v := NewVocabulary()
+	for _, n := range []string{"zebra", "alpha", "mango"} {
+		v.Intern(n)
+	}
+	surs := v.SortedSurrogates()
+	var got []string
+	for _, s := range surs {
+		got = append(got, v.Name(s))
+	}
+	want := []string{"alpha", "mango", "zebra"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortedSurrogates order %v, want %v", got, want)
+		}
+	}
+}
