@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test verify bench-lock
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the full pre-merge gate: compile, vet, and the complete test
+# suite under the race detector (the lock package's equivalence tests lean
+# on it heavily).
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench-lock runs the lock-table contention benchmark and appends one JSON
+# line per result to BENCH_lock.json, so successive runs accumulate a
+# history.
+bench-lock:
+	$(GO) test ./internal/lock/ -run XXX -bench BenchmarkLockTableContention -benchtime 1s -benchmem | \
+	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^BenchmarkLockTableContention/ { \
+		printf "{\"date\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", date, $$1, $$2, $$3, $$5, $$7 }' \
+	>> BENCH_lock.json

@@ -51,12 +51,13 @@ func main() {
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].ranking > rows[j].ranking })
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rank\tprotocol\tgroup\tthroughput\tcommitted\taborted\tdeadlocks\tconv-deadlocks\tlock requests")
+	fmt.Fprintln(w, "rank\tprotocol\tgroup\tthroughput\tcommitted\taborted\tdeadlocks\tconv-deadlocks\tlock requests\tcache hits\tlock waits")
 	for i, r := range rows {
-		fmt.Fprintf(w, "%d\t%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(w, "%d\t%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			i+1, r.proto, r.group, r.result.Throughput(),
 			r.result.Committed, r.result.Aborted,
-			r.result.Deadlocks, r.result.ConversionDeadlocks, r.result.LockRequests)
+			r.result.Deadlocks, r.result.ConversionDeadlocks, r.result.LockRequests,
+			r.result.LockCacheHits, r.result.LockWaits)
 	}
 	w.Flush()
 }

@@ -98,6 +98,13 @@ func runCluster1(proto string, iso tx.Level, depth int, o Options) (*tamix.Resul
 		agg.SubtreeDeadlocks += r.SubtreeDeadlocks
 		agg.Timeouts += r.Timeouts
 		agg.LockRequests += r.LockRequests
+		agg.LockCacheHits += r.LockCacheHits
+		agg.LockWaits += r.LockWaits
+		for i, w := range r.PartitionWaits {
+			if i < len(agg.PartitionWaits) {
+				agg.PartitionWaits[i] += w
+			}
+		}
 		for typ, st := range r.PerType {
 			dst := agg.PerType[typ]
 			dst.Committed += st.Committed

@@ -1,11 +1,20 @@
 package lock
 
+import "sort"
+
 // Deadlock detection: the manager maintains no explicit wait-for graph;
-// instead, each time a transaction blocks, the graph is derived on the fly
-// from the lock table and searched for a cycle through the new waiter. A
-// cycle can only come into existence when its last edge appears, and edges
-// only appear when a transaction starts waiting, so checking at block time
-// finds every deadlock exactly once.
+// instead, a dedicated detector goroutine derives it on demand from a
+// cross-partition snapshot of the lock table and searches it for cycles.
+// Every time a request blocks, the requester kicks the detector (a buffered
+// signal, so kicks coalesce under load); a cycle can only come into
+// existence when its last edge appears, and edges only appear when a
+// transaction starts waiting, so running the detector after every block
+// finds every deadlock.
+//
+// The snapshot is taken by locking all partitions in ascending index order —
+// the same lock-order discipline the batch API uses — which makes the
+// detector's view exactly as consistent as the old single-mutex inline
+// detection, just off the requester's critical path.
 //
 // Edges of a waiting transaction w:
 //   - to every holder of w's awaited resource whose granted mode is
@@ -13,18 +22,66 @@ package lock
 //   - to every transaction queued ahead of w on that resource (the FIFO
 //     queue makes w wait for them too).
 //
-// The victim is the youngest member of the cycle (largest TxID), matching
-// the usual "least work lost" heuristic. The victim's pending request fails
-// with ErrDeadlockVictim; its held locks are freed when the transaction
-// layer aborts it.
+// Waiters are scanned newest-first (by request sequence number): the most
+// recent blocker is the one whose edge can have closed a new cycle, so the
+// search starts where the old at-block-time detection started. The victim
+// is the youngest member of the cycle (largest TxID), matching the usual
+// "least work lost" heuristic. The victim's pending request fails with
+// ErrDeadlockVictim; its held locks are freed when the transaction layer
+// aborts it.
 
-// resolveDeadlocksLocked breaks every cycle through tx, returning true when
-// tx itself was aborted as a victim. Caller holds m.mu.
-func (m *Manager) resolveDeadlocksLocked(tx *Tx) bool {
+// detectorLoop runs until Close; each kick triggers one detection pass.
+func (m *Manager) detectorLoop() {
 	for {
-		cycle := m.findCycleLocked(tx)
+		select {
+		case <-m.detStop:
+			return
+		case <-m.detKick:
+			m.detectAndResolve()
+		}
+	}
+}
+
+// kickDetector schedules a detection pass. Non-blocking: the buffered
+// channel coalesces concurrent kicks, and a kick sent while a pass runs
+// triggers one more pass (which will see every edge published before the
+// kick, because the pass acquires the partition mutexes afterwards).
+func (m *Manager) kickDetector() {
+	select {
+	case m.detKick <- struct{}{}:
+	default:
+	}
+}
+
+// lockAllStripes acquires every partition mutex in ascending order.
+func (m *Manager) lockAllStripes() {
+	for i := range m.stripes {
+		m.stripes[i].mu.Lock()
+	}
+}
+
+func (m *Manager) unlockAllStripes() {
+	for i := len(m.stripes) - 1; i >= 0; i-- {
+		m.stripes[i].mu.Unlock()
+	}
+}
+
+// detectAndResolve takes a cross-partition snapshot and breaks every cycle
+// in it, newest waiter first, until none remain.
+func (m *Manager) detectAndResolve() {
+	m.lockAllStripes()
+	defer m.unlockAllStripes()
+	for {
+		waiting, order := m.waitingRequestsLocked()
+		var cycle []*Tx
+		for _, req := range order {
+			if c := m.findCycleLocked(req.tx, waiting); c != nil {
+				cycle = c
+				break
+			}
+		}
 		if cycle == nil {
-			return false
+			return
 		}
 		victim := cycle[0]
 		for _, member := range cycle {
@@ -35,34 +92,50 @@ func (m *Manager) resolveDeadlocksLocked(tx *Tx) bool {
 		info := DeadlockInfo{Victim: victim.id}
 		for _, member := range cycle {
 			info.Members = append(info.Members, member.id)
-			if member.waiting != nil {
-				info.Resources = append(info.Resources, member.waiting.res)
-				if member.waiting.conversion {
+			if req := waiting[member.id]; req != nil {
+				info.Resources = append(info.Resources, req.res)
+				if req.conversion {
 					info.Conversion = true
 				}
 			} else {
 				info.Resources = append(info.Resources, "")
 			}
 		}
-		m.deadlocks.Add(1)
+		m.stats.deadlocks.Add(1)
 		if info.Conversion {
-			m.conversionDeadlocks.Add(1)
+			m.stats.conversionDeadlocks.Add(1)
 		} else {
-			m.subtreeDeadlocks.Add(1)
+			m.stats.subtreeDeadlocks.Add(1)
 		}
 		if m.onDL != nil {
 			m.onDL(info)
 		}
-		m.abortVictimLocked(victim)
-		if victim == tx {
-			return true
-		}
+		m.abortVictimLocked(victim, waiting[victim.id])
 	}
 }
 
+// waitingRequestsLocked collects every queued request across all partitions:
+// a map keyed by transaction (each transaction waits on at most one
+// resource) and a slice ordered newest block first. Caller holds all
+// partition mutexes.
+func (m *Manager) waitingRequestsLocked() (map[TxID]*request, []*request) {
+	waiting := make(map[TxID]*request)
+	var order []*request
+	for i := range m.stripes {
+		for _, h := range m.stripes[i].locks {
+			for _, req := range h.queue {
+				waiting[req.tx.id] = req
+				order = append(order, req)
+			}
+		}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].seq > order[b].seq })
+	return waiting, order
+}
+
 // findCycleLocked searches for a wait-for cycle through start and returns
-// its members (start first), or nil.
-func (m *Manager) findCycleLocked(start *Tx) []*Tx {
+// its members (start first), or nil. Caller holds all partition mutexes.
+func (m *Manager) findCycleLocked(start *Tx, waiting map[TxID]*request) []*Tx {
 	// Iterative DFS keeping the current path for cycle reconstruction.
 	type frame struct {
 		tx    *Tx
@@ -70,7 +143,7 @@ func (m *Manager) findCycleLocked(start *Tx) []*Tx {
 		next  int
 	}
 	visited := map[TxID]bool{}
-	stack := []frame{{tx: start, succs: m.successorsLocked(start)}}
+	stack := []frame{{tx: start, succs: m.successorsLocked(start, waiting)}}
 	onPath := map[TxID]bool{start.id: true}
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
@@ -93,18 +166,19 @@ func (m *Manager) findCycleLocked(start *Tx) []*Tx {
 		}
 		visited[succ.id] = true
 		onPath[succ.id] = true
-		stack = append(stack, frame{tx: succ, succs: m.successorsLocked(succ)})
+		stack = append(stack, frame{tx: succ, succs: m.successorsLocked(succ, waiting)})
 	}
 	return nil
 }
 
-// successorsLocked returns the transactions w is waiting for.
-func (m *Manager) successorsLocked(w *Tx) []*Tx {
-	if w.waiting == nil {
+// successorsLocked returns the transactions w is waiting for, sorted by
+// TxID so detection is deterministic. Caller holds all partition mutexes.
+func (m *Manager) successorsLocked(w *Tx, waiting map[TxID]*request) []*Tx {
+	req := waiting[w.id]
+	if req == nil {
 		return nil
 	}
-	req := w.waiting
-	h := m.locks[req.res]
+	h := m.stripeFor(req.res).locks[req.res]
 	if h == nil {
 		return nil
 	}
@@ -128,15 +202,22 @@ func (m *Manager) successorsLocked(w *Tx) []*Tx {
 			out = append(out, r.tx)
 		}
 	}
+	sort.Slice(out, func(a, b int) bool { return out[a].id < out[b].id })
 	return out
 }
 
-// abortVictimLocked dooms the victim and fails its pending request.
-func (m *Manager) abortVictimLocked(victim *Tx) {
-	victim.doomed = true
-	if req := victim.waiting; req != nil {
-		victim.waiting = nil
-		m.removeRequestLocked(req)
-		req.result <- ErrDeadlockVictim
+// abortVictimLocked dooms the victim and fails its pending request. Caller
+// holds all partition mutexes and no Tx mutex.
+func (m *Manager) abortVictimLocked(victim *Tx, req *request) {
+	victim.doomed.Store(true)
+	if req == nil {
+		return
 	}
+	victim.mu.Lock()
+	if victim.waiting == req {
+		victim.waiting = nil
+	}
+	victim.mu.Unlock()
+	m.removeRequestLocked(m.stripeFor(req.res), req)
+	req.result <- ErrDeadlockVictim
 }

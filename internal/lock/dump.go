@@ -27,9 +27,10 @@ type WaiterInfo struct {
 
 // ResourceState is the snapshot of one lock-table entry.
 type ResourceState struct {
-	Resource Resource
-	Holders  []HolderInfo
-	Waiters  []WaiterInfo
+	Resource  Resource
+	Partition int
+	Holders   []HolderInfo
+	Waiters   []WaiterInfo
 }
 
 // WaitEdge is one edge of the derived wait-for graph.
@@ -38,36 +39,47 @@ type WaitEdge struct {
 }
 
 // Snapshot captures the entire lock table and the derived wait-for graph at
-// one instant. It is consistent (taken under the table mutex) but
-// immediately stale; use it for diagnostics only.
+// one instant. It is consistent (taken with every partition mutex held, in
+// ascending order — the same cross-partition discipline the deadlock
+// detector uses) but immediately stale; use it for diagnostics only. All
+// slices are sorted and the wait-for edges deduplicated, so rendering the
+// same table state always produces identical output.
 type Snapshot struct {
-	Taken     time.Time
-	Resources []ResourceState
-	WaitFor   []WaitEdge
+	Taken      time.Time
+	Partitions int
+	Resources  []ResourceState
+	WaitFor    []WaitEdge
 }
 
 // Snapshot captures the current lock-table state.
 func (m *Manager) Snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	snap := Snapshot{Taken: time.Now()}
-	for res, h := range m.locks {
-		rs := ResourceState{Resource: res}
-		for _, e := range h.granted {
-			rs.Holders = append(rs.Holders, HolderInfo{
-				Tx: e.tx.id, Mode: m.table.Name(e.mode), Short: e.short,
-			})
-		}
-		sort.Slice(rs.Holders, func(i, j int) bool { return rs.Holders[i].Tx < rs.Holders[j].Tx })
-		for _, r := range h.queue {
-			rs.Waiters = append(rs.Waiters, WaiterInfo{
-				Tx: r.tx.id, Mode: m.table.Name(r.target), Conversion: r.conversion,
-			})
-			for _, succ := range m.successorsLocked(r.tx) {
-				snap.WaitFor = append(snap.WaitFor, WaitEdge{From: r.tx.id, To: succ.id})
+	m.lockAllStripes()
+	defer m.unlockAllStripes()
+	snap := Snapshot{Taken: time.Now(), Partitions: len(m.stripes)}
+	waiting, _ := m.waitingRequestsLocked()
+	edges := make(map[WaitEdge]struct{})
+	for i := range m.stripes {
+		for res, h := range m.stripes[i].locks {
+			rs := ResourceState{Resource: res, Partition: i}
+			for _, e := range h.granted {
+				rs.Holders = append(rs.Holders, HolderInfo{
+					Tx: e.tx.id, Mode: m.table.Name(e.mode), Short: e.short,
+				})
 			}
+			sort.Slice(rs.Holders, func(a, b int) bool { return rs.Holders[a].Tx < rs.Holders[b].Tx })
+			for _, r := range h.queue {
+				rs.Waiters = append(rs.Waiters, WaiterInfo{
+					Tx: r.tx.id, Mode: m.table.Name(r.target), Conversion: r.conversion,
+				})
+				for _, succ := range m.successorsLocked(r.tx, waiting) {
+					edges[WaitEdge{From: r.tx.id, To: succ.id}] = struct{}{}
+				}
+			}
+			snap.Resources = append(snap.Resources, rs)
 		}
-		snap.Resources = append(snap.Resources, rs)
+	}
+	for e := range edges {
+		snap.WaitFor = append(snap.WaitFor, e)
 	}
 	sort.Slice(snap.Resources, func(i, j int) bool {
 		return snap.Resources[i].Resource < snap.Resources[j].Resource
@@ -81,7 +93,10 @@ func (m *Manager) Snapshot() Snapshot {
 	return snap
 }
 
-// Render writes a human-readable dump of the snapshot.
+// Render writes a human-readable dump of the snapshot. The output is
+// deterministic for a given table state (resources sorted by name, holders
+// by transaction, edges deduplicated and sorted), so it is safe to compare
+// against golden text in tests.
 func (s Snapshot) Render(w io.Writer) {
 	fmt.Fprintf(w, "lock table snapshot (%d resources, %d wait edges)\n",
 		len(s.Resources), len(s.WaitFor))
@@ -110,7 +125,12 @@ func (s Snapshot) Render(w io.Writer) {
 
 // ActiveResources returns the number of resources currently carrying locks.
 func (m *Manager) ActiveResources() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.locks)
+	n := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		n += len(s.locks)
+		s.mu.Unlock()
+	}
+	return n
 }

@@ -29,6 +29,10 @@ var ErrTxDone = errors.New("lock: transaction already finished")
 // DefaultTimeout bounds lock waits when Options.Timeout is zero.
 const DefaultTimeout = 10 * time.Second
 
+// DefaultStripes is the default number of lock-table partitions. Power of
+// two so the hash reduces with a mask.
+const DefaultStripes = 64
+
 // Tx is the lock manager's view of a transaction: the set of locks it holds
 // and its wait state. Create with Manager.Begin; a Tx must be used by one
 // goroutine at a time (the usual one-goroutine-per-transaction discipline).
@@ -36,19 +40,66 @@ type Tx struct {
 	id  TxID
 	mgr *Manager
 
-	// All fields below are guarded by mgr.mu.
+	// mu guards held, waiting, and done. It is always acquired after the
+	// partition mutex (stripe.mu before Tx.mu, never the reverse), because
+	// sweeps on any partition must update the winner's held set.
+	mu      sync.Mutex
 	held    map[Resource]*holderEntry
 	waiting *request
-	doomed  bool
 	done    bool
+
+	// doomed flips when the deadlock detector picks this transaction as a
+	// victim. Atomic so the owner's cache fast path can observe it without
+	// taking any mutex.
+	doomed atomic.Bool
+
+	// cache maps resources to the long-duration mode this transaction holds
+	// on them — the per-transaction lock cache, guarded by mu. Invariant:
+	// cache[res] == m implies tx.held[res] exists, is long-duration, and
+	// has mode m (long entries never weaken and only the owner converts
+	// them, so the cached mode cannot go stale). A cache hit costs one
+	// uncontended Tx mutex instead of a shared partition mutex.
+	cache map[Resource]Mode
 }
 
 // ID returns the transaction's identifier (monotonic: larger = younger).
 func (tx *Tx) ID() TxID { return tx.id }
 
+// InvalidateCache drops the per-transaction lock cache. The transaction
+// layer owns the cache lifecycle and calls this on abort and on partial
+// (operation-end) release; releases through this manager also clear it
+// defensively.
+func (tx *Tx) InvalidateCache() {
+	tx.mu.Lock()
+	clear(tx.cache)
+	tx.mu.Unlock()
+}
+
+// noteHeldLocked records a long-duration grant in the cache. Caller holds
+// tx.mu (and the entry's partition mutex, which guards e's fields).
+func (tx *Tx) noteHeldLocked(res Resource, e *holderEntry) {
+	if e.short {
+		delete(tx.cache, res)
+	} else {
+		tx.cache[res] = e.mode
+	}
+}
+
+// noteGrant records a grant delivered through a wait (the sweeper stamped
+// the resulting mode into the request before completing it).
+func (tx *Tx) noteGrant(res Resource, mode Mode, short bool) {
+	tx.mu.Lock()
+	if short {
+		delete(tx.cache, res)
+	} else {
+		tx.cache[res] = mode
+	}
+	tx.mu.Unlock()
+}
+
 type holderEntry struct {
 	tx    *Tx
-	mode  Mode
+	mode  Mode // guarded by the partition mutex of the entry's resource
 	short bool // true while only short-duration requests produced this lock
 }
 
@@ -58,7 +109,14 @@ type request struct {
 	target     Mode // effective mode after grant (converted for conversions)
 	short      bool
 	conversion bool
+	seq        uint64 // global block order; the detector scans newest-first
 	result     chan error
+
+	// grantedMode/grantedShort are stamped under the partition mutex before
+	// result delivers nil; the owner reads them after receiving (the channel
+	// provides the happens-before edge) to refresh its lock cache.
+	grantedMode  Mode
+	grantedShort bool
 }
 
 type lockHead struct {
@@ -66,25 +124,12 @@ type lockHead struct {
 	queue   []*request
 }
 
-// Stats are monotonic counters describing lock-manager activity. They feed
-// the paper's performance metrics (lock requests, blocks, deadlocks).
-type Stats struct {
-	Requests            uint64
-	ImmediateGrants     uint64
-	Waits               uint64
-	Conversions         uint64
-	Deadlocks           uint64
-	ConversionDeadlocks uint64
-	SubtreeDeadlocks    uint64
-	Timeouts            uint64
-}
-
 // DeadlockInfo describes one detected cycle; it is passed to the OnDeadlock
 // observer (the XTCdeadlockDetector role from Section 4.2).
 type DeadlockInfo struct {
 	// Victim is the aborted transaction.
 	Victim TxID
-	// Members are the transactions on the cycle, starting with the requester
+	// Members are the transactions on the cycle, starting with the waiter
 	// whose wait closed it.
 	Members []TxID
 	// Resources are the resources each member was waiting for, aligned with
@@ -100,83 +145,146 @@ type DeadlockInfo struct {
 type Options struct {
 	// Timeout bounds each lock wait; DefaultTimeout when zero.
 	Timeout time.Duration
+	// Stripes is the number of lock-table partitions, rounded up to a power
+	// of two; DefaultStripes when zero or negative.
+	Stripes int
 	// OnDeadlock, when non-nil, observes every detected deadlock. It runs
-	// with internal locks held and must return quickly without calling back
-	// into the Manager.
+	// on the detector goroutine with every partition mutex held and must
+	// return quickly without calling back into the Manager.
 	OnDeadlock func(DeadlockInfo)
 }
 
+// stripe is one lock-table partition: its own mutex, granted groups, and
+// wait queues for the resources that hash here.
+type stripe struct {
+	mu    sync.Mutex
+	locks map[Resource]*lockHead
+
+	// waits counts requests that blocked on this partition — the
+	// per-partition contention metric the benchmark harness reports.
+	waits atomic.Uint64
+
+	_ [32]byte // keep adjacent stripes off one cache line
+}
+
+func (s *stripe) head(res Resource) *lockHead {
+	h := s.locks[res]
+	if h == nil {
+		h = &lockHead{granted: make(map[TxID]*holderEntry)}
+		s.locks[res] = h
+	}
+	return h
+}
+
 // Manager is the lock manager: one lock table shared by all transactions of
-// an engine instance.
+// an engine instance. The table is striped into partitions hashed by
+// Resource; each partition has its own mutex, so uncontended traffic on
+// different resources proceeds in parallel. Deadlock detection runs on a
+// dedicated goroutine over a cross-partition snapshot (see deadlock.go).
 type Manager struct {
 	table   ModeTable
 	timeout time.Duration
 	onDL    func(DeadlockInfo)
 
-	mu     sync.Mutex
-	locks  map[Resource]*lockHead
-	nextTx uint64
+	stripes []stripe
+	mask    uint64
 
-	requests            atomic.Uint64
-	immediateGrants     atomic.Uint64
-	waits               atomic.Uint64
-	conversions         atomic.Uint64
-	deadlocks           atomic.Uint64
-	conversionDeadlocks atomic.Uint64
-	subtreeDeadlocks    atomic.Uint64
-	timeouts            atomic.Uint64
+	nextTx  atomic.Uint64
+	nextSeq atomic.Uint64
+
+	stats counters
+
+	detKick   chan struct{}
+	detStop   chan struct{}
+	closeOnce sync.Once
 }
 
-// NewManager builds a Manager for one protocol's mode table.
+// NewManager builds a Manager for one protocol's mode table and starts its
+// deadlock-detector goroutine. Call Close when the manager is no longer
+// needed to stop the detector.
 func NewManager(table ModeTable, opts Options) *Manager {
 	to := opts.Timeout
 	if to <= 0 {
 		to = DefaultTimeout
 	}
-	return &Manager{
+	n := opts.Stripes
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	m := &Manager{
 		table:   table,
 		timeout: to,
 		onDL:    opts.OnDeadlock,
-		locks:   make(map[Resource]*lockHead),
+		stripes: make([]stripe, pow),
+		mask:    uint64(pow - 1),
+		detKick: make(chan struct{}, 1),
+		detStop: make(chan struct{}),
 	}
+	for i := range m.stripes {
+		m.stripes[i].locks = make(map[Resource]*lockHead)
+	}
+	go m.detectorLoop()
+	return m
+}
+
+// Close stops the deadlock-detector goroutine. Safe to call more than once.
+// Transactions must not use the manager after Close.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() { close(m.detStop) })
 }
 
 // Table returns the manager's mode table.
 func (m *Manager) Table() ModeTable { return m.table }
 
-// Begin registers a new transaction.
-func (m *Manager) Begin() *Tx {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.nextTx++
-	return &Tx{id: TxID(m.nextTx), mgr: m, held: make(map[Resource]*holderEntry)}
+// NumPartitions returns the number of lock-table partitions.
+func (m *Manager) NumPartitions() int { return len(m.stripes) }
+
+// PartitionOf returns the partition index res hashes to (stable across
+// runs: FNV-1a). Diagnostics and tests only.
+func (m *Manager) PartitionOf(res Resource) int {
+	return int(fnv1a(string(res)) & m.mask)
 }
 
-// Stats returns a snapshot of the counters.
-func (m *Manager) Stats() Stats {
-	return Stats{
-		Requests:            m.requests.Load(),
-		ImmediateGrants:     m.immediateGrants.Load(),
-		Waits:               m.waits.Load(),
-		Conversions:         m.conversions.Load(),
-		Deadlocks:           m.deadlocks.Load(),
-		ConversionDeadlocks: m.conversionDeadlocks.Load(),
-		SubtreeDeadlocks:    m.subtreeDeadlocks.Load(),
-		Timeouts:            m.timeouts.Load(),
+// PartitionWaits returns the per-partition count of requests that blocked —
+// the contention profile of the lock table.
+func (m *Manager) PartitionWaits() []uint64 {
+	out := make([]uint64, len(m.stripes))
+	for i := range m.stripes {
+		out[i] = m.stripes[i].waits.Load()
 	}
+	return out
 }
 
-func (m *Manager) head(res Resource) *lockHead {
-	h := m.locks[res]
-	if h == nil {
-		h = &lockHead{granted: make(map[TxID]*holderEntry)}
-		m.locks[res] = h
+func fnv1a(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
 	}
 	return h
 }
 
+func (m *Manager) stripeFor(res Resource) *stripe {
+	return &m.stripes[fnv1a(string(res))&m.mask]
+}
+
+// Begin registers a new transaction.
+func (m *Manager) Begin() *Tx {
+	return &Tx{
+		id:    TxID(m.nextTx.Add(1)),
+		mgr:   m,
+		held:  make(map[Resource]*holderEntry),
+		cache: make(map[Resource]Mode),
+	}
+}
+
 // compatibleWithOthers reports whether mode can coexist with every granted
-// entry on h other than tx's own.
+// entry on h other than tx's own. Caller holds the partition mutex.
 func (m *Manager) compatibleWithOthers(h *lockHead, self TxID, mode Mode) bool {
 	for id, e := range h.granted {
 		if id == self {
@@ -193,21 +301,52 @@ func (m *Manager) compatibleWithOthers(h *lockHead, self TxID, mode Mode) bool {
 // or timeout. short marks the request as releasable at operation end
 // (committed-read isolation); a long request on the same resource upgrades
 // the entry to long duration.
+//
+// Re-requests covered by a long-duration lock the transaction already holds
+// are answered from the per-transaction cache without touching the shared
+// table — the hot path for protocols that re-acquire the same ancestor
+// intention locks on every navigation step.
 func (m *Manager) Lock(tx *Tx, res Resource, mode Mode, short bool) error {
 	if mode == ModeNone {
 		return fmt.Errorf("lock: cannot request ModeNone on %q", res)
 	}
-	m.requests.Add(1)
-	m.mu.Lock()
-	if tx.done {
-		m.mu.Unlock()
+	tx.mu.Lock()
+	done := tx.done
+	held, cached := tx.cache[res]
+	tx.mu.Unlock()
+	if done {
+		m.stats.requests.Add(1)
 		return ErrTxDone
 	}
-	if tx.doomed {
-		m.mu.Unlock()
+	if tx.doomed.Load() {
+		m.stats.requests.Add(1)
 		return ErrDeadlockVictim
 	}
-	h := m.head(res)
+	if cached && m.table.Convert(held, mode) == held {
+		// Counted as a request and an immediate grant too, by derivation in
+		// the stats snapshot.
+		m.stats.cacheHits.Add(1)
+		return nil
+	}
+	m.stats.requests.Add(1)
+	return m.lockSlow(tx, res, mode, short)
+}
+
+func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
+	s := m.stripeFor(res)
+	s.mu.Lock()
+	tx.mu.Lock()
+	if tx.done {
+		tx.mu.Unlock()
+		s.mu.Unlock()
+		return ErrTxDone
+	}
+	if tx.doomed.Load() {
+		tx.mu.Unlock()
+		s.mu.Unlock()
+		return ErrDeadlockVictim
+	}
+	h := s.head(res)
 	var req *request
 	if entry := tx.held[res]; entry != nil {
 		target := m.table.Convert(entry.mode, mode)
@@ -215,18 +354,23 @@ func (m *Manager) Lock(tx *Tx, res Resource, mode Mode, short bool) error {
 			entry.short = false
 		}
 		if target == entry.mode {
-			m.mu.Unlock()
-			m.immediateGrants.Add(1)
+			tx.noteHeldLocked(res, entry)
+			tx.mu.Unlock()
+			s.mu.Unlock()
+			m.stats.immediateGrants.Add(1)
 			return nil
 		}
-		m.conversions.Add(1)
+		m.stats.conversions.Add(1)
 		if m.compatibleWithOthers(h, tx.id, target) {
 			entry.mode = target
-			m.mu.Unlock()
-			m.immediateGrants.Add(1)
+			tx.noteHeldLocked(res, entry)
+			tx.mu.Unlock()
+			s.mu.Unlock()
+			m.stats.immediateGrants.Add(1)
 			return nil
 		}
-		req = &request{tx: tx, res: res, target: target, short: short, conversion: true, result: make(chan error, 1)}
+		req = &request{tx: tx, res: res, target: target, short: short,
+			conversion: true, seq: m.nextSeq.Add(1), result: make(chan error, 1)}
 		// Conversions overtake non-conversion waiters but queue FIFO among
 		// themselves.
 		pos := 0
@@ -241,49 +385,60 @@ func (m *Manager) Lock(tx *Tx, res Resource, mode Mode, short bool) error {
 			e := &holderEntry{tx: tx, mode: mode, short: short}
 			h.granted[tx.id] = e
 			tx.held[res] = e
-			m.mu.Unlock()
-			m.immediateGrants.Add(1)
+			tx.noteHeldLocked(res, e)
+			tx.mu.Unlock()
+			s.mu.Unlock()
+			m.stats.immediateGrants.Add(1)
 			return nil
 		}
-		req = &request{tx: tx, res: res, target: mode, short: short, result: make(chan error, 1)}
+		req = &request{tx: tx, res: res, target: mode, short: short,
+			seq: m.nextSeq.Add(1), result: make(chan error, 1)}
 		h.queue = append(h.queue, req)
 	}
 
 	tx.waiting = req
-	m.waits.Add(1)
-	victimIsMe := m.resolveDeadlocksLocked(tx)
-	m.mu.Unlock()
-	if victimIsMe {
-		// resolveDeadlocksLocked already delivered the error and removed the
-		// request; drain the channel for cleanliness.
-		return <-req.result
-	}
+	tx.mu.Unlock()
+	s.waits.Add(1)
+	s.mu.Unlock()
+	m.stats.waits.Add(1)
+	m.kickDetector()
 
 	timer := time.NewTimer(m.timeout)
 	defer timer.Stop()
 	select {
 	case err := <-req.result:
+		if err == nil {
+			tx.noteGrant(res, req.grantedMode, req.grantedShort)
+		}
 		return err
 	case <-timer.C:
-		m.mu.Lock()
+		s.mu.Lock()
 		select {
 		case err := <-req.result:
 			// Grant raced with the timeout; honor the grant.
-			m.mu.Unlock()
+			s.mu.Unlock()
+			if err == nil {
+				tx.noteGrant(res, req.grantedMode, req.grantedShort)
+			}
 			return err
 		default:
 		}
-		m.removeRequestLocked(req)
-		tx.waiting = nil
-		m.mu.Unlock()
-		m.timeouts.Add(1)
+		m.removeRequestLocked(s, req)
+		tx.mu.Lock()
+		if tx.waiting == req {
+			tx.waiting = nil
+		}
+		tx.mu.Unlock()
+		s.mu.Unlock()
+		m.stats.timeouts.Add(1)
 		return ErrLockTimeout
 	}
 }
 
-// removeRequestLocked drops req from its queue (if still present).
-func (m *Manager) removeRequestLocked(req *request) {
-	h := m.locks[req.res]
+// removeRequestLocked drops req from its queue (if still present). Caller
+// holds the partition mutex and no Tx mutex.
+func (m *Manager) removeRequestLocked(s *stripe, req *request) {
+	h := s.locks[req.res]
 	if h == nil {
 		return
 	}
@@ -294,46 +449,60 @@ func (m *Manager) removeRequestLocked(req *request) {
 		}
 	}
 	// Removing a waiter may unblock those behind it.
-	m.sweepLocked(h)
+	m.sweepLocked(s, h)
 }
 
 // sweepLocked grants queued requests from the front for as long as they are
 // compatible, preserving FIFO fairness (the first non-grantable waiter
-// blocks everything behind it).
-func (m *Manager) sweepLocked(h *lockHead) {
+// blocks everything behind it). Caller holds the partition mutex and no Tx
+// mutex.
+func (m *Manager) sweepLocked(s *stripe, h *lockHead) {
 	for len(h.queue) > 0 {
 		req := h.queue[0]
-		if req.tx.doomed || req.tx.done {
+		rtx := req.tx
+		rtx.mu.Lock()
+		if rtx.done || rtx.doomed.Load() {
 			h.queue = h.queue[1:]
-			req.tx.waiting = nil
+			if rtx.waiting == req {
+				rtx.waiting = nil
+			}
+			rtx.mu.Unlock()
 			req.result <- ErrDeadlockVictim
 			continue
 		}
 		if req.conversion {
-			entry := h.granted[req.tx.id]
+			entry := h.granted[rtx.id]
 			if entry == nil {
 				// The holder aborted between enqueue and sweep; treat as a
 				// fresh request.
 				req.conversion = false
+				rtx.mu.Unlock()
 				continue
 			}
-			if !m.compatibleWithOthers(h, req.tx.id, req.target) {
+			if !m.compatibleWithOthers(h, rtx.id, req.target) {
+				rtx.mu.Unlock()
 				return
 			}
 			entry.mode = req.target
 			if !req.short {
 				entry.short = false
 			}
+			req.grantedMode, req.grantedShort = entry.mode, entry.short
 		} else {
-			if !m.compatibleWithOthers(h, req.tx.id, req.target) {
+			if !m.compatibleWithOthers(h, rtx.id, req.target) {
+				rtx.mu.Unlock()
 				return
 			}
-			e := &holderEntry{tx: req.tx, mode: req.target, short: req.short}
-			h.granted[req.tx.id] = e
-			req.tx.held[req.res] = e
+			e := &holderEntry{tx: rtx, mode: req.target, short: req.short}
+			h.granted[rtx.id] = e
+			rtx.held[req.res] = e
+			req.grantedMode, req.grantedShort = e.mode, e.short
 		}
 		h.queue = h.queue[1:]
-		req.tx.waiting = nil
+		if rtx.waiting == req {
+			rtx.waiting = nil
+		}
+		rtx.mu.Unlock()
 		req.result <- nil
 	}
 }
@@ -341,71 +510,147 @@ func (m *Manager) sweepLocked(h *lockHead) {
 // ReleaseAll releases every lock tx holds and marks it finished. It is the
 // commit/abort release for isolation level repeatable read.
 func (m *Manager) ReleaseAll(tx *Tx) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	tx.mu.Lock()
 	tx.done = true
-	if tx.waiting != nil {
-		m.removeRequestLocked(tx.waiting)
+	w := tx.waiting
+	tx.mu.Unlock()
+	if w != nil {
+		// Defensive: with the one-goroutine-per-transaction discipline the
+		// owner cannot be blocked in Lock while calling ReleaseAll, but a
+		// stale pending request must not outlive the transaction.
+		s := m.stripeFor(w.res)
+		s.mu.Lock()
+		tx.mu.Lock()
+		stillWaiting := tx.waiting == w
 		tx.waiting = nil
+		tx.mu.Unlock()
+		if stillWaiting {
+			// Not yet granted (sweeps clear waiting before completing a
+			// request, and we hold the partition mutex), so completing it
+			// here cannot race with a grant.
+			m.removeRequestLocked(s, w)
+			w.result <- ErrTxDone
+		}
+		s.mu.Unlock()
 	}
+	// No sweep can grant to tx anymore (done is set), so the held snapshot
+	// is complete.
+	tx.mu.Lock()
+	resources := make([]Resource, 0, len(tx.held))
 	for res := range tx.held {
-		h := m.locks[res]
-		delete(h.granted, tx.id)
-		delete(tx.held, res)
-		m.sweepLocked(h)
-		m.maybeDropHeadLocked(res, h)
+		resources = append(resources, res)
 	}
+	tx.mu.Unlock()
+	// One partition mutex at a time, so no cross-partition lock order to
+	// respect here (and no allocation to group by partition).
+	for _, res := range resources {
+		s := m.stripeFor(res)
+		s.mu.Lock()
+		tx.mu.Lock()
+		e := tx.held[res]
+		delete(tx.held, res)
+		tx.mu.Unlock()
+		if e == nil {
+			s.mu.Unlock()
+			continue
+		}
+		h := s.locks[res]
+		delete(h.granted, tx.id)
+		m.sweepLocked(s, h)
+		m.maybeDropHeadLocked(s, res, h)
+		s.mu.Unlock()
+	}
+	tx.InvalidateCache()
 }
 
 // ReleaseShort releases the locks tx acquired only with short duration —
 // the end-of-operation release for isolation levels uncommitted and
-// committed read.
+// committed read. Short entries are never cached, so the lock cache stays
+// valid across this partial release (the transaction layer may still choose
+// to invalidate it).
 func (m *Manager) ReleaseShort(tx *Tx) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for res, e := range tx.held {
-		if !e.short {
+	tx.mu.Lock()
+	resources := make([]Resource, 0, len(tx.held))
+	for res := range tx.held {
+		resources = append(resources, res)
+	}
+	tx.mu.Unlock()
+	for _, res := range resources {
+		s := m.stripeFor(res)
+		s.mu.Lock()
+		tx.mu.Lock()
+		e := tx.held[res]
+		if e == nil || !e.short { // e.short guarded by s.mu, held here
+			tx.mu.Unlock()
+			s.mu.Unlock()
 			continue
 		}
-		h := m.locks[res]
-		delete(h.granted, tx.id)
 		delete(tx.held, res)
-		m.sweepLocked(h)
-		m.maybeDropHeadLocked(res, h)
+		tx.mu.Unlock()
+		h := s.locks[res]
+		delete(h.granted, tx.id)
+		m.sweepLocked(s, h)
+		m.maybeDropHeadLocked(s, res, h)
+		s.mu.Unlock()
 	}
 }
 
 // maybeDropHeadLocked garbage-collects empty lock heads so the table does
 // not grow with every node ever touched.
-func (m *Manager) maybeDropHeadLocked(res Resource, h *lockHead) {
+func (m *Manager) maybeDropHeadLocked(s *stripe, res Resource, h *lockHead) {
 	if len(h.granted) == 0 && len(h.queue) == 0 {
-		delete(m.locks, res)
+		delete(s.locks, res)
 	}
 }
 
-// HeldMode returns the mode tx holds on res (ModeNone if none) — a test and
-// debugging aid.
+// HeldMode returns the mode tx holds on res (ModeNone if none), read from
+// the lock table — a test and debugging aid.
 func (m *Manager) HeldMode(tx *Tx, res Resource) Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := m.stripeFor(res)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
 	if e := tx.held[res]; e != nil {
 		return e.mode
 	}
 	return ModeNone
 }
 
+// HeldModeCached returns the mode tx holds on res, answering from the
+// per-transaction cache when possible (one uncontended Tx mutex instead of
+// a shared partition mutex). Protocols use it for held-mode checks on their
+// locking hot path (e.g. taDOM's fan-out conversion tests).
+func (m *Manager) HeldModeCached(tx *Tx, res Resource) Mode {
+	tx.mu.Lock()
+	mode, ok := tx.cache[res]
+	tx.mu.Unlock()
+	if ok {
+		return mode
+	}
+	return m.HeldMode(tx, res)
+}
+
 // HeldCount returns how many locks tx currently holds.
 func (m *Manager) HeldCount(tx *Tx) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
 	return len(tx.held)
+}
+
+// Waiting reports whether tx has a blocked request (test aid).
+func (m *Manager) Waiting(tx *Tx) bool {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	return tx.waiting != nil
 }
 
 // QueueLength returns the number of waiters on res (test aid).
 func (m *Manager) QueueLength(res Resource) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if h := m.locks[res]; h != nil {
+	s := m.stripeFor(res)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h := s.locks[res]; h != nil {
 		return len(h.queue)
 	}
 	return 0

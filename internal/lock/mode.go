@@ -2,6 +2,16 @@
 // keyed by opaque resource names, FIFO wait queues with priority for lock
 // conversions, and a wait-for-graph deadlock detector with victim abort.
 //
+// The table is striped: resources hash onto partitions, each with its own
+// mutex, granted groups, and wait queues, so concurrent traffic on
+// different resources never serializes on a single table mutex. Each
+// transaction additionally carries a private held-lock cache that answers
+// re-requests covered by a long-duration lock without touching the shared
+// table at all, and a batch API (LockBatch) acquires ancestor-path requests
+// under one partition-ordered critical section. Deadlock detection runs on
+// a dedicated goroutine over a cross-partition snapshot. See DESIGN.md,
+// "Lock-table architecture".
+//
 // The manager is deliberately protocol-agnostic. Each of the paper's 11
 // XML lock protocols supplies its own ModeTable (compatibility and
 // conversion matrices); exchanging the table — together with the protocol's

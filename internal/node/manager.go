@@ -81,9 +81,20 @@ func (m *Manager) Depth() int { return m.depth }
 // Begin starts a transaction.
 func (m *Manager) Begin(iso tx.Level) *tx.Txn { return m.tm.Begin(iso) }
 
-// ctx assembles the protocol context for one transaction.
+// Close stops the lock manager's background deadlock detector. The manager
+// must not be used afterwards.
+func (m *Manager) Close() { m.lm.Close() }
+
+// ctx returns the protocol context for one transaction, built once per
+// transaction and cached on the Txn so every DOM operation reuses it (the
+// per-transaction lock context: one Ctx, one lock.Tx, one lock cache).
 func (m *Manager) ctx(t *tx.Txn) *protocol.Ctx {
-	return &protocol.Ctx{LM: m.lm, Txn: t, Depth: m.depth, Tree: (*treeAccess)(m)}
+	if c, ok := t.ProtoCtx().(*protocol.Ctx); ok && c.LM == m.lm {
+		return c
+	}
+	c := &protocol.Ctx{LM: m.lm, Txn: t, Depth: m.depth, Tree: (*treeAccess)(m)}
+	t.SetProtoCtx(c)
+	return c
 }
 
 func (m *Manager) check(t *tx.Txn) error {

@@ -125,14 +125,11 @@ func (p *mglProto) ReadNode(c *Ctx, id splid.ID, acc Access) error {
 		return nil
 	}
 	tgt, sub := depthTarget(c, id)
-	if err := lockPath(c, tgt, p.ir, short); err != nil {
-		return err
-	}
 	m := p.ir
 	if sub {
 		m = p.r
 	}
-	return lockOne(c, nodeRes(tgt), m, short)
+	return lockPathAndNode(c, tgt, p.ir, m, short)
 }
 
 // WriteNode implements Protocol: X on the node (whose subtree is just its
@@ -142,10 +139,7 @@ func (p *mglProto) WriteNode(c *Ctx, id splid.ID) error {
 		return nil
 	}
 	tgt, _ := depthTarget(c, id)
-	if err := lockPath(c, tgt, p.ix, false); err != nil {
-		return err
-	}
-	return lockOne(c, nodeRes(tgt), p.x, false)
+	return lockPathAndNode(c, tgt, p.ix, p.x, false)
 }
 
 // ReadLevel implements Protocol. MGL has no level locks: the parent and
@@ -158,36 +152,28 @@ func (p *mglProto) ReadLevel(c *Ctx, parent splid.ID, children []splid.ID) error
 		return nil
 	}
 	tgt, sub := depthTarget(c, parent)
-	if err := lockPath(c, tgt, p.ir, short); err != nil {
-		return err
-	}
 	if sub {
-		return lockOne(c, nodeRes(tgt), p.r, short)
+		return lockPathAndNode(c, tgt, p.ir, p.r, short)
 	}
-	if err := lockOne(c, nodeRes(parent), p.ir, short); err != nil {
+	if err := lockPathAndNode(c, parent, p.ir, p.ir, short); err != nil {
 		return err
 	}
 	// The child list itself must be a repeatable observation: lock the
 	// traversal edges too (taDOM's LR mode makes all of this one request).
-	if err := lockOne(c, edgeRes(parent, EdgeFirstChild), p.es, short); err != nil {
-		return err
-	}
+	reqs := make([]lock.Req, 0, 2*len(children)+1)
+	reqs = append(reqs, lock.Req{Res: edgeRes(parent, EdgeFirstChild), Mode: p.es, Short: short})
 	for _, ch := range children {
 		chTgt, chSub := depthTarget(c, ch)
 		m := p.ir
 		if chSub {
 			m = p.r
 		}
-		if err := lockOne(c, nodeRes(chTgt), m, short); err != nil {
-			return err
-		}
+		reqs = append(reqs, lock.Req{Res: nodeRes(chTgt), Mode: m, Short: short})
 		if !chSub {
-			if err := lockOne(c, edgeRes(ch, EdgeNextSibling), p.es, short); err != nil {
-				return err
-			}
+			reqs = append(reqs, lock.Req{Res: edgeRes(ch, EdgeNextSibling), Mode: p.es, Short: short})
 		}
 	}
-	return nil
+	return lockBatch(c, reqs)
 }
 
 // ReadTree implements Protocol: R on the subtree root plus IR on the path.
@@ -197,10 +183,7 @@ func (p *mglProto) ReadTree(c *Ctx, id splid.ID, acc Access) error {
 		return nil
 	}
 	tgt, _ := depthTarget(c, id)
-	if err := lockPath(c, tgt, p.ir, short); err != nil {
-		return err
-	}
-	return lockOne(c, nodeRes(tgt), p.r, short)
+	return lockPathAndNode(c, tgt, p.ir, p.r, short)
 }
 
 // Insert implements Protocol: X on the new node's slot, IX on the path, and
@@ -210,10 +193,7 @@ func (p *mglProto) Insert(c *Ctx, parent, newID, left, right splid.ID) error {
 		return nil
 	}
 	tgt, sub := depthTarget(c, newID)
-	if err := lockPath(c, tgt, p.ix, false); err != nil {
-		return err
-	}
-	if err := lockOne(c, nodeRes(tgt), p.x, false); err != nil {
+	if err := lockPathAndNode(c, tgt, p.ix, p.x, false); err != nil {
 		return err
 	}
 	if sub {
@@ -230,10 +210,7 @@ func (p *mglProto) DeleteTree(c *Ctx, id, left, right splid.ID) error {
 		return nil
 	}
 	tgt, sub := depthTarget(c, id)
-	if err := lockPath(c, tgt, p.ix, false); err != nil {
-		return err
-	}
-	if err := lockOne(c, nodeRes(tgt), p.x, false); err != nil {
+	if err := lockPathAndNode(c, tgt, p.ix, p.x, false); err != nil {
 		return err
 	}
 	if sub {
@@ -249,10 +226,7 @@ func (p *mglProto) Rename(c *Ctx, id splid.ID) error {
 		return nil
 	}
 	tgt, _ := depthTarget(c, id)
-	if err := lockPath(c, tgt, p.ix, false); err != nil {
-		return err
-	}
-	return lockOne(c, nodeRes(tgt), p.x, false)
+	return lockPathAndNode(c, tgt, p.ix, p.x, false)
 }
 
 // ReadEdge implements Protocol: a shared edge lock, unless the edge lies
@@ -301,8 +275,5 @@ func (p *mglProto) UpdateTree(c *Ctx, id splid.ID, acc Access) error {
 		return nil
 	}
 	tgt, _ := depthTarget(c, id)
-	if err := lockPath(c, tgt, p.ir, short); err != nil {
-		return err
-	}
-	return lockOne(c, nodeRes(tgt), p.u, short)
+	return lockPathAndNode(c, tgt, p.ir, p.u, short)
 }

@@ -88,14 +88,11 @@ func (p *node2PLa) ReadNode(c *Ctx, id splid.ID, acc Access) error {
 		return nil
 	}
 	tgt, sub := p.anchor(c, id)
-	if err := lockPath(c, tgt, p.ir, short); err != nil {
-		return err
-	}
 	m := p.ir
 	if sub {
 		m = p.r
 	}
-	return lockOne(c, nodeRes(tgt), m, short)
+	return lockPathAndNode(c, tgt, p.ir, m, short)
 }
 
 // WriteNode implements Protocol: subtree X on the parent — the group's
@@ -109,10 +106,7 @@ func (p *node2PLa) WriteNode(c *Ctx, id splid.ID) error {
 
 func (p *node2PLa) writeParent(c *Ctx, id splid.ID) error {
 	tgt, _ := p.anchor(c, id)
-	if err := lockPath(c, tgt, p.ix, false); err != nil {
-		return err
-	}
-	return lockOne(c, nodeRes(tgt), p.x, false)
+	return lockPathAndNode(c, tgt, p.ix, p.x, false)
 }
 
 // ReadLevel implements Protocol: subtree R on the parent of the children —
@@ -123,10 +117,7 @@ func (p *node2PLa) ReadLevel(c *Ctx, parent splid.ID, children []splid.ID) error
 		return nil
 	}
 	tgt, _ := depthTarget(c, parent)
-	if err := lockPath(c, tgt, p.ir, short); err != nil {
-		return err
-	}
-	return lockOne(c, nodeRes(tgt), p.r, short)
+	return lockPathAndNode(c, tgt, p.ir, p.r, short)
 }
 
 // ReadTree implements Protocol: fragment reads anchor a subtree R on the
@@ -138,10 +129,7 @@ func (p *node2PLa) ReadTree(c *Ctx, id splid.ID, acc Access) error {
 		return nil
 	}
 	tgt, _ := p.anchor(c, id)
-	if err := lockPath(c, tgt, p.ir, short); err != nil {
-		return err
-	}
-	return lockOne(c, nodeRes(tgt), p.r, short)
+	return lockPathAndNode(c, tgt, p.ir, p.r, short)
 }
 
 // Insert implements Protocol: subtree X on the parent of the new node.
@@ -181,8 +169,5 @@ func (p *node2PLa) UpdateTree(c *Ctx, id splid.ID, acc Access) error {
 		return nil
 	}
 	tgt, _ := p.anchor(c, id)
-	if err := lockPath(c, tgt, p.ir, short); err != nil {
-		return err
-	}
-	return lockOne(c, nodeRes(tgt), p.u, short)
+	return lockPathAndNode(c, tgt, p.ir, p.u, short)
 }

@@ -97,6 +97,22 @@ type Ctx struct {
 	Depth int
 	// Tree provides structural lookups.
 	Tree TreeAccess
+
+	// reqs is the scratch buffer for batched lock requests. A context serves
+	// one transaction, and a transaction runs on one goroutine at a time, so
+	// the buffer is reused across lock calls without synchronization
+	// (LockBatch does not retain it).
+	reqs []lock.Req
+}
+
+// reqBuf returns the context's request scratch buffer, emptied, with room
+// for at least n requests. Builders fill it and pass it to lockBatch before
+// the next reqBuf call.
+func (c *Ctx) reqBuf(n int) []lock.Req {
+	if cap(c.reqs) < n {
+		c.reqs = make([]lock.Req, 0, n)
+	}
+	return c.reqs[:0]
 }
 
 // Protocol is one XML concurrency control protocol. Implementations are
@@ -184,16 +200,36 @@ func lockOne(c *Ctx, res lock.Resource, m lock.Mode, short bool) error {
 	return c.LM.Lock(c.Txn.LockTx(), res, m, short)
 }
 
+// lockBatch submits pre-built requests through the manager's batch API,
+// which answers cache-covered requests without touching the lock table and
+// grants the rest under one partition-ordered critical section.
+func lockBatch(c *Ctx, reqs []lock.Req) error {
+	return c.LM.LockBatch(c.Txn.LockTx(), reqs)
+}
+
 // lockPath locks every proper ancestor of id (root first) in the given
-// intention mode. Thanks to SPLIDs the path derives from the label alone —
-// no document access (Section 3.2).
+// intention mode, as one batched request. Thanks to SPLIDs the path derives
+// from the label alone — no document access (Section 3.2).
 func lockPath(c *Ctx, id splid.ID, m lock.Mode, short bool) error {
-	for _, anc := range id.Ancestors() {
-		if err := lockOne(c, nodeRes(anc), m, short); err != nil {
-			return err
-		}
+	anc := id.Ancestors()
+	reqs := c.reqBuf(len(anc))
+	for _, a := range anc {
+		reqs = append(reqs, lock.Req{Res: nodeRes(a), Mode: m, Short: short})
 	}
-	return nil
+	return lockBatch(c, reqs)
+}
+
+// lockPathAndNode locks the ancestor path of id in pathMode and id itself in
+// nodeMode as a single batch — the common shape of every path-protecting
+// lock request (root-first intention locks, then the node lock).
+func lockPathAndNode(c *Ctx, id splid.ID, pathMode, nodeMode lock.Mode, short bool) error {
+	anc := id.Ancestors()
+	reqs := c.reqBuf(len(anc) + 1)
+	for _, a := range anc {
+		reqs = append(reqs, lock.Req{Res: nodeRes(a), Mode: pathMode, Short: short})
+	}
+	reqs = append(reqs, lock.Req{Res: nodeRes(id), Mode: nodeMode, Short: short})
+	return lockBatch(c, reqs)
 }
 
 // level0 is the 0-based tree level used by the lock-depth parameter

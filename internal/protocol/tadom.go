@@ -316,7 +316,9 @@ func (p *tadomProto) Table() lock.ModeTable { return p.table }
 // the coverage inside a single lock.
 func (p *tadomProto) lockNode(c *Ctx, id splid.ID, m lock.Mode, short bool) error {
 	if !p.combined {
-		held := c.LM.HeldMode(c.Txn.LockTx(), nodeRes(id))
+		// The held-mode probe runs on every node lock — answer it from the
+		// per-transaction cache instead of the shared table when possible.
+		held := c.LM.HeldModeCached(c.Txn.LockTx(), nodeRes(id))
 		var childMode lock.Mode
 		switch {
 		// Figure 4, IX_NR / CX_NR / IX_SR / CX_SR: a write request meeting
@@ -339,10 +341,12 @@ func (p *tadomProto) lockNode(c *Ctx, id splid.ID, m lock.Mode, short bool) erro
 			if err != nil {
 				return err
 			}
-			for _, ch := range children {
-				if err := lockOne(c, nodeRes(ch), childMode, short); err != nil {
-					return err
-				}
+			reqs := make([]lock.Req, len(children))
+			for i, ch := range children {
+				reqs[i] = lock.Req{Res: nodeRes(ch), Mode: childMode, Short: short}
+			}
+			if err := lockBatch(c, reqs); err != nil {
+				return err
 			}
 		}
 	}
@@ -350,9 +354,22 @@ func (p *tadomProto) lockNode(c *Ctx, id splid.ID, m lock.Mode, short bool) erro
 }
 
 // writePath protects the ancestor path of a write: CX on the direct parent
-// (some child of it is exclusively locked), IX on all higher ancestors.
+// (some child of it is exclusively locked), IX on all higher ancestors. The
+// "+" protocols never fan out, so their whole path goes through one batch;
+// the base protocols must probe each ancestor for fan-out conversions.
 func (p *tadomProto) writePath(c *Ctx, target splid.ID, short bool) error {
 	anc := target.Ancestors()
+	if p.combined {
+		reqs := c.reqBuf(len(anc))
+		for i, a := range anc {
+			m := p.ix
+			if i == len(anc)-1 {
+				m = p.cx
+			}
+			reqs = append(reqs, lock.Req{Res: nodeRes(a), Mode: m, Short: short})
+		}
+		return lockBatch(c, reqs)
+	}
 	for i, a := range anc {
 		m := p.ix
 		if i == len(anc)-1 {
@@ -365,14 +382,17 @@ func (p *tadomProto) writePath(c *Ctx, target splid.ID, short bool) error {
 	return nil
 }
 
-// readPath protects the ancestor path of a read with IR locks.
+// readPath protects the ancestor path of a read with IR locks, as one
+// batch: IR requests never trigger fan-out conversions (Figure 4 converts
+// IR into any held mode without child materialization), so the probe in
+// lockNode is unnecessary for every variant.
 func (p *tadomProto) readPath(c *Ctx, target splid.ID, short bool) error {
-	for _, a := range target.Ancestors() {
-		if err := p.lockNode(c, a, p.ir, short); err != nil {
-			return err
-		}
+	anc := target.Ancestors()
+	reqs := c.reqBuf(len(anc))
+	for _, a := range anc {
+		reqs = append(reqs, lock.Req{Res: nodeRes(a), Mode: p.ir, Short: short})
 	}
-	return nil
+	return lockBatch(c, reqs)
 }
 
 // ReadNode implements Protocol: NR on the node (SR on the lock-depth

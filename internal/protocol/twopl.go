@@ -133,12 +133,12 @@ func (p *twoPL) ReadNode(c *Ctx, id splid.ID, acc Access) error {
 }
 
 func (p *twoPL) lockAncestorsT(c *Ctx, id splid.ID, short bool) error {
-	for _, anc := range id.Ancestors() {
-		if err := lockOne(c, structRes(anc), p.t, short); err != nil {
-			return err
-		}
+	anc := id.Ancestors()
+	reqs := c.reqBuf(len(anc))
+	for _, a := range anc {
+		reqs = append(reqs, lock.Req{Res: structRes(a), Mode: p.t, Short: short})
 	}
-	return nil
+	return lockBatch(c, reqs)
 }
 
 // WriteNode implements Protocol: a content-exclusive lock; structure locks
@@ -165,28 +165,21 @@ func (p *twoPL) ReadLevel(c *Ctx, parent splid.ID, children []splid.ID) error {
 		}
 		return lockOne(c, structRes(parent), p.t, short)
 	case styleNO2PL:
-		if err := lockOne(c, structRes(parent), p.t, short); err != nil {
-			return err
-		}
+		reqs := make([]lock.Req, 0, len(children)+1)
+		reqs = append(reqs, lock.Req{Res: structRes(parent), Mode: p.t, Short: short})
 		for _, ch := range children {
-			if err := lockOne(c, structRes(ch), p.t, short); err != nil {
-				return err
-			}
+			reqs = append(reqs, lock.Req{Res: structRes(ch), Mode: p.t, Short: short})
 		}
-		return nil
+		return lockBatch(c, reqs)
 	default: // OO2PL: the traversal edges
-		if err := lockOne(c, edgeRes(parent, EdgeFirstChild), p.es, short); err != nil {
-			return err
-		}
+		reqs := make([]lock.Req, 0, 2*len(children)+1)
+		reqs = append(reqs, lock.Req{Res: edgeRes(parent, EdgeFirstChild), Mode: p.es, Short: short})
 		for _, ch := range children {
-			if err := lockOne(c, contentRes(ch), p.cs, short); err != nil {
-				return err
-			}
-			if err := lockOne(c, edgeRes(ch, EdgeNextSibling), p.es, short); err != nil {
-				return err
-			}
+			reqs = append(reqs,
+				lock.Req{Res: contentRes(ch), Mode: p.cs, Short: short},
+				lock.Req{Res: edgeRes(ch, EdgeNextSibling), Mode: p.es, Short: short})
 		}
-		return nil
+		return lockBatch(c, reqs)
 	}
 }
 
@@ -211,28 +204,23 @@ func (p *twoPL) ReadTree(c *Ctx, id splid.ID, acc Access) error {
 		if err := p.lockAncestorsT(c, id, short); err != nil {
 			return err
 		}
+		reqs := make([]lock.Req, 0, 2*len(nodes))
 		for _, n := range nodes {
-			if err := lockOne(c, structRes(n), p.t, short); err != nil {
-				return err
-			}
-			if err := lockOne(c, contentRes(n), p.cs, short); err != nil {
-				return err
-			}
+			reqs = append(reqs,
+				lock.Req{Res: structRes(n), Mode: p.t, Short: short},
+				lock.Req{Res: contentRes(n), Mode: p.cs, Short: short})
 		}
+		return lockBatch(c, reqs)
 	default: // OO2PL
+		reqs := make([]lock.Req, 0, 3*len(nodes))
 		for _, n := range nodes {
-			if err := lockOne(c, contentRes(n), p.cs, short); err != nil {
-				return err
-			}
-			if err := lockOne(c, edgeRes(n, EdgeFirstChild), p.es, short); err != nil {
-				return err
-			}
-			if err := lockOne(c, edgeRes(n, EdgeNextSibling), p.es, short); err != nil {
-				return err
-			}
+			reqs = append(reqs,
+				lock.Req{Res: contentRes(n), Mode: p.cs, Short: short},
+				lock.Req{Res: edgeRes(n, EdgeFirstChild), Mode: p.es, Short: short},
+				lock.Req{Res: edgeRes(n, EdgeNextSibling), Mode: p.es, Short: short})
 		}
+		return lockBatch(c, reqs)
 	}
-	return nil
 }
 
 // Insert implements Protocol.
@@ -300,10 +288,12 @@ func (p *twoPL) DeleteTree(c *Ctx, id, left, right splid.ID) error {
 	if err != nil {
 		return err
 	}
-	for _, el := range idOwners {
-		if err := lockOne(c, jumpRes(el), p.idx, false); err != nil {
-			return err
-		}
+	idReqs := make([]lock.Req, len(idOwners))
+	for i, el := range idOwners {
+		idReqs[i] = lock.Req{Res: jumpRes(el), Mode: p.idx}
+	}
+	if err := lockBatch(c, idReqs); err != nil {
+		return err
 	}
 	nodes, err := c.Tree.SubtreeNodes(id)
 	if err != nil {
@@ -311,40 +301,33 @@ func (p *twoPL) DeleteTree(c *Ctx, id, left, right splid.ID) error {
 	}
 	switch p.style {
 	case styleNode2PL:
-		if err := lockOne(c, structRes(id.Parent()), p.m, false); err != nil {
-			return err
-		}
+		reqs := make([]lock.Req, 0, len(nodes)+1)
+		reqs = append(reqs, lock.Req{Res: structRes(id.Parent()), Mode: p.m})
 		for _, n := range nodes {
-			if err := lockOne(c, structRes(n), p.m, false); err != nil {
-				return err
-			}
+			reqs = append(reqs, lock.Req{Res: structRes(n), Mode: p.m})
 		}
-		return nil
+		return lockBatch(c, reqs)
 	case styleNO2PL:
 		if err := p.lockNeighborsM(c, id.Parent(), left, right); err != nil {
 			return err
 		}
-		for _, n := range nodes {
-			if err := lockOne(c, structRes(n), p.m, false); err != nil {
-				return err
-			}
+		reqs := make([]lock.Req, len(nodes))
+		for i, n := range nodes {
+			reqs[i] = lock.Req{Res: structRes(n), Mode: p.m}
 		}
-		return nil
+		return lockBatch(c, reqs)
 	default: // OO2PL
 		if err := p.lockBoundaryEdgesX(c, id.Parent(), left, right); err != nil {
 			return err
 		}
+		reqs := make([]lock.Req, 0, 5*len(nodes))
 		for _, n := range nodes {
-			if err := lockOne(c, contentRes(n), p.cx, false); err != nil {
-				return err
-			}
+			reqs = append(reqs, lock.Req{Res: contentRes(n), Mode: p.cx})
 			for _, e := range []Edge{EdgeFirstChild, EdgeLastChild, EdgeNextSibling, EdgePrevSibling} {
-				if err := lockOne(c, edgeRes(n, e), p.ex, false); err != nil {
-					return err
-				}
+				reqs = append(reqs, lock.Req{Res: edgeRes(n, e), Mode: p.ex})
 			}
 		}
-		return nil
+		return lockBatch(c, reqs)
 	}
 }
 

@@ -99,6 +99,14 @@ type Result struct {
 	Timeouts uint64
 	// LockRequests is the total number of lock requests issued.
 	LockRequests uint64
+	// LockCacheHits counts requests answered by the per-transaction lock
+	// cache without touching the shared lock table.
+	LockCacheHits uint64
+	// LockWaits counts requests that blocked.
+	LockWaits uint64
+	// PartitionWaits is the per-partition blocked-request profile of the
+	// striped lock table — where the contention actually landed.
+	PartitionWaits []uint64
 	// DeadlockVictims attributes deadlock aborts to the victim's
 	// transaction type (the XTCdeadlockDetector analysis of Section 4.2).
 	DeadlockVictims map[TxType]uint64
@@ -161,6 +169,7 @@ func Run(cfg Config) (*Result, error) {
 			res.DeadlockCycleLengths[n]++
 		},
 	})
+	defer mgr.Close()
 	for _, t := range TxTypes {
 		res.PerType[t] = &TypeStats{}
 	}
@@ -236,5 +245,8 @@ func Run(cfg Config) (*Result, error) {
 	res.SubtreeDeadlocks = ls.SubtreeDeadlocks
 	res.Timeouts = ls.Timeouts
 	res.LockRequests = ls.Requests
+	res.LockCacheHits = ls.CacheHits
+	res.LockWaits = ls.Waits
+	res.PartitionWaits = mgr.LockManager().PartitionWaits()
 	return res, nil
 }

@@ -94,6 +94,12 @@ type Txn struct {
 	mu     sync.Mutex
 	status Status
 	undo   []func() error
+
+	// protoCtx caches the protocol-layer context for this transaction so the
+	// node manager does not rebuild it on every DOM operation. The tx package
+	// cannot import the protocol layer, hence the untyped slot. Owner
+	// goroutine only.
+	protoCtx any
 }
 
 // ID returns the transaction identifier.
@@ -105,6 +111,12 @@ func (t *Txn) Isolation() Level { return t.iso }
 // LockTx exposes the lock-manager handle for the protocol layer. It is nil
 // for isolation level none.
 func (t *Txn) LockTx() *lock.Tx { return t.ltx }
+
+// ProtoCtx returns the cached protocol context (nil until SetProtoCtx).
+func (t *Txn) ProtoCtx() any { return t.protoCtx }
+
+// SetProtoCtx caches the protocol context for reuse across operations.
+func (t *Txn) SetProtoCtx(c any) { t.protoCtx = c }
 
 // Start returns the begin time.
 func (t *Txn) Start() time.Time { return t.start }
@@ -214,6 +226,10 @@ func (t *Txn) Abort() error {
 		}
 	}
 	if t.ltx != nil {
+		// The transaction layer owns the lock-cache lifecycle: an aborted
+		// transaction must not keep cached grants around (a restart gets a
+		// fresh lock.Tx, but the protocol context may hold on to this one).
+		t.ltx.InvalidateCache()
 		t.mgr.lm.ReleaseAll(t.ltx)
 	}
 	t.mgr.aborted.Add(1)
@@ -228,6 +244,10 @@ func (t *Txn) EndOperation() {
 		return
 	}
 	t.mgr.lm.ReleaseShort(t.ltx)
+	// Short-duration entries are never cached, so the cache is still valid
+	// here; dropping it anyway keeps the lifecycle contract simple — partial
+	// release means the cache starts over.
+	t.ltx.InvalidateCache()
 }
 
 // Stats returns a snapshot of the counters.
