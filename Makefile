@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench-lock
+.PHONY: build test verify bench-lock chaos
 
 build:
 	$(GO) build ./...
@@ -8,13 +8,21 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the full pre-merge gate: compile, vet, and the complete test
-# suite under the race detector (the lock package's equivalence tests lean
-# on it heavily).
+# chaos runs the fault-injection and recovery suite under the race
+# detector: seeded storage faults and torn writes, buffer-manager retry,
+# transaction restart loops, lock-timeout residue, and undo aggregation.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Retry|Torn|Timeout|Restart|Abort' \
+		./internal/pagestore/ ./internal/tamix/ ./internal/node/ ./internal/tx/
+
+# verify is the full pre-merge gate: compile, vet, the complete test suite
+# under the race detector (the lock package's equivalence tests lean on it
+# heavily), and the focused chaos suite.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) chaos
 
 # bench-lock runs the lock-table contention benchmark and appends one JSON
 # line per result to BENCH_lock.json, so successive runs accumulate a

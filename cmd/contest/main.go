@@ -14,7 +14,9 @@ import (
 	"os"
 	"sort"
 	"text/tabwriter"
+	"time"
 
+	"repro/internal/pagestore"
 	"repro/internal/protocol"
 	"repro/internal/tamix"
 	"repro/internal/tx"
@@ -22,10 +24,15 @@ import (
 
 func main() {
 	var (
-		depth    = flag.Int("depth", 5, "lock depth for depth-aware protocols")
-		docScale = flag.Float64("doc", 0.02, "document scale (1.0 = 2000 books)")
-		timeSc   = flag.Float64("time", 0.002, "timing scale (1.0 = 5-minute runs)")
-		seed     = flag.Int64("seed", 0, "workload seed offset")
+		depth       = flag.Int("depth", 5, "lock depth for depth-aware protocols")
+		docScale    = flag.Float64("doc", 0.02, "document scale (1.0 = 2000 books)")
+		timeSc      = flag.Float64("time", 0.002, "timing scale (1.0 = 5-minute runs)")
+		seed        = flag.Int64("seed", 0, "workload seed offset")
+		lockTimeout = flag.Duration("lock-timeout", 0, "lock-wait timeout (0 = scaled default)")
+		maxRestarts = flag.Int("max-restarts", 0, "restart cap per aborted transaction (0 = default, negative = no restarts)")
+		faultProb   = flag.Float64("fault", 0, "transient storage-fault probability per page read/write (0 = off)")
+		tornWrites  = flag.Bool("torn-writes", false, "injected write faults also tear the page image")
+		frames      = flag.Int("frames", 0, "page-buffer frames (0 = default; shrink below the working set so -fault reaches the backend)")
 	)
 	flag.Parse()
 
@@ -39,25 +46,41 @@ func main() {
 	for _, p := range protocol.All() {
 		cfg := tamix.Cluster1Config(p.Name(), tx.LevelRepeatable, *depth, *docScale, *timeSc)
 		cfg.Seed += *seed
+		if *lockTimeout > 0 {
+			cfg.LockTimeout = *lockTimeout
+		}
+		cfg.MaxRestarts = *maxRestarts
+		cfg.Bib.BufferFrames = *frames
+		if *faultProb > 0 {
+			cfg.Faults = &pagestore.FaultConfig{
+				Seed:       cfg.Seed,
+				ReadProb:   *faultProb,
+				WriteProb:  *faultProb,
+				TornWrites: *tornWrites,
+			}
+		}
 		fmt.Fprintf(os.Stderr, "running %-10s ...", p.Name())
+		start := time.Now()
 		res, err := tamix.Run(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, " %6.1f tx/5min, %d deadlocks\n", res.Throughput(), res.Deadlocks)
+		fmt.Fprintf(os.Stderr, " %6.1f tx/5min, %d deadlocks, %d restarts (%s)\n",
+			res.Throughput(), res.Deadlocks, res.Restarts, time.Since(start).Round(time.Millisecond))
 		rows = append(rows, row{p.Name(), p.Group(), res, res.Throughput()})
 	}
 	sort.SliceStable(rows, func(i, j int) bool { return rows[i].ranking > rows[j].ranking })
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rank\tprotocol\tgroup\tthroughput\tcommitted\taborted\tdeadlocks\tconv-deadlocks\tlock requests\tcache hits\tlock waits")
+	fmt.Fprintln(w, "rank\tprotocol\tgroup\tthroughput\tcommitted\taborted\trestarts\tdropped\tdeadlocks\tconv-deadlocks\tlock requests\tcache hits\tlock waits\tfaults\tretries")
 	for i, r := range rows {
-		fmt.Fprintf(w, "%d\t%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(w, "%d\t%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			i+1, r.proto, r.group, r.result.Throughput(),
-			r.result.Committed, r.result.Aborted,
+			r.result.Committed, r.result.Aborted, r.result.Restarts, r.result.Dropped,
 			r.result.Deadlocks, r.result.ConversionDeadlocks, r.result.LockRequests,
-			r.result.LockCacheHits, r.result.LockWaits)
+			r.result.LockCacheHits, r.result.LockWaits,
+			r.result.FaultsInjected, r.result.BufferRetries)
 	}
 	w.Flush()
 }

@@ -36,6 +36,7 @@ func main() {
 		avg      = flag.Int("avg", 1, "repetitions averaged per CLUSTER1 configuration (the paper used 4)")
 		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
 		seed     = flag.Int64("seed", 0, "workload seed offset")
+		lockTO   = flag.Duration("lock-timeout", 0, "lock-wait timeout (0 = scaled default)")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := figures.Options{DocScale: *docScale, TimeScale: *timeSc, Depths: ds, Runs: *avg, Seed: *seed}
+	opt := figures.Options{DocScale: *docScale, TimeScale: *timeSc, Depths: ds, Runs: *avg, Seed: *seed, LockTimeout: *lockTO}
 
 	want := map[string]bool{}
 	if *fig == "all" {

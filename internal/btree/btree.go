@@ -23,6 +23,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sync"
 
 	"repro/internal/pagestore"
@@ -292,7 +293,7 @@ func (t *Tree) newPage(kind byte) (*pagestore.Frame, error) {
 		t.free = t.free[:n-1]
 		f, err := t.store.Fix(id)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("btree: reuse free page %d: %w", id, err)
 		}
 		initPage(f.Data(), kind)
 		f.MarkDirty()
@@ -300,7 +301,7 @@ func (t *Tree) newPage(kind byte) (*pagestore.Frame, error) {
 	}
 	f, err := t.store.FixNew()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("btree: grow: %w", err)
 	}
 	initPage(f.Data(), kind)
 	f.MarkDirty()

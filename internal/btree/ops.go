@@ -42,7 +42,7 @@ func (t *Tree) findLeaf(key []byte) (*pagestore.Frame, error) {
 	for {
 		f, err := t.store.Fix(id)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("btree: descend to page %d: %w", id, err)
 		}
 		p := f.Data()
 		if pageKind(p) == kindLeaf {
@@ -59,7 +59,7 @@ func (t *Tree) findEdgeLeaf(dir int) (*pagestore.Frame, error) {
 	for {
 		f, err := t.store.Fix(id)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("btree: descend to edge page %d: %w", id, err)
 		}
 		p := f.Data()
 		if pageKind(p) == kindLeaf {
@@ -119,7 +119,7 @@ func encodeChild(id pagestore.PageID) []byte {
 func (t *Tree) insertRec(id pagestore.PageID, key, val []byte) (sep []byte, newID pagestore.PageID, added bool, err error) {
 	f, err := t.store.Fix(id)
 	if err != nil {
-		return nil, pagestore.InvalidPage, false, err
+		return nil, pagestore.InvalidPage, false, fmt.Errorf("btree: insert: fix page %d: %w", id, err)
 	}
 	defer t.store.Unfix(f)
 	p := f.Data()
@@ -346,7 +346,7 @@ func (t *Tree) collapseRoot() {
 func (t *Tree) deleteRec(id pagestore.PageID, key []byte) (removed, emptied bool, err error) {
 	f, err := t.store.Fix(id)
 	if err != nil {
-		return false, false, err
+		return false, false, fmt.Errorf("btree: delete: fix page %d: %w", id, err)
 	}
 	defer t.store.Unfix(f)
 	p := f.Data()

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/tamix"
 	"repro/internal/tx"
@@ -35,6 +36,9 @@ type Options struct {
 	Runs int
 	// Seed offsets the workload randomness.
 	Seed int64
+	// LockTimeout overrides the scaled default lock-wait timeout when
+	// positive (plumbed into every tamix.Config of the sweep).
+	LockTimeout time.Duration
 }
 
 func (o Options) fill() Options {
@@ -82,6 +86,9 @@ func runCluster1(proto string, iso tx.Level, depth int, o Options) (*tamix.Resul
 	for run := 0; run < o.Runs; run++ {
 		cfg := tamix.Cluster1Config(proto, iso, depth, o.DocScale, o.TimeScale)
 		cfg.Seed += o.Seed + int64(run)*104729
+		if o.LockTimeout > 0 {
+			cfg.LockTimeout = o.LockTimeout
+		}
 		r, err := tamix.Run(cfg)
 		if err != nil {
 			return nil, err
@@ -93,6 +100,13 @@ func runCluster1(proto string, iso tx.Level, depth int, o Options) (*tamix.Resul
 		agg.Elapsed += r.Elapsed
 		agg.Committed += r.Committed
 		agg.Aborted += r.Aborted
+		agg.Restarts += r.Restarts
+		agg.RestartWait += r.RestartWait
+		agg.Dropped += r.Dropped
+		agg.FaultsInjected += r.FaultsInjected
+		agg.TornWrites += r.TornWrites
+		agg.BufferRetries += r.BufferRetries
+		agg.BufferRetryFailures += r.BufferRetryFailures
 		agg.Deadlocks += r.Deadlocks
 		agg.ConversionDeadlocks += r.ConversionDeadlocks
 		agg.SubtreeDeadlocks += r.SubtreeDeadlocks
@@ -109,6 +123,9 @@ func runCluster1(proto string, iso tx.Level, depth int, o Options) (*tamix.Resul
 			dst := agg.PerType[typ]
 			dst.Committed += st.Committed
 			dst.Aborted += st.Aborted
+			dst.Restarts += st.Restarts
+			dst.RestartWait += st.RestartWait
+			dst.Dropped += st.Dropped
 			dst.TotalDur += st.TotalDur
 			if st.MinDur > 0 && (dst.MinDur == 0 || st.MinDur < dst.MinDur) {
 				dst.MinDur = st.MinDur

@@ -123,6 +123,33 @@ func (s Snapshot) Render(w io.Writer) {
 	}
 }
 
+// LeakCheck audits the lock table for leftovers. After every transaction
+// has committed or aborted the table must be empty: a surviving holder or
+// waiter means a release path was skipped. The TaMix harness runs this
+// audit at the end of every run, next to the document's Verify.
+func (m *Manager) LeakCheck() error {
+	var leaked []string
+	total := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.Lock()
+		for res, h := range s.locks {
+			if len(h.granted) > 0 || len(h.queue) > 0 {
+				total++
+				if len(leaked) < 8 {
+					leaked = append(leaked, string(res))
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	if total == 0 {
+		return nil
+	}
+	sort.Strings(leaked)
+	return fmt.Errorf("lock: leak audit: %d resources still locked after all transactions finished (e.g. %q)", total, leaked)
+}
+
 // ActiveResources returns the number of resources currently carrying locks.
 func (m *Manager) ActiveResources() int {
 	n := 0

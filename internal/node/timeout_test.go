@@ -1,0 +1,78 @@
+package node
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/tx"
+)
+
+// TestLockTimeoutAbortLeavesNoResidue covers the ErrLockTimeout path end to
+// end: a blocked request under a short timeout returns the error, the
+// timeout counter increments, and the aborting victim leaves nothing behind
+// in the lock table while the winner keeps working.
+func TestLockTimeoutAbortLeavesNoResidue(t *testing.T) {
+	m := newLibraryTimeout(t, "taDOM3+", -1, 50*time.Millisecond)
+	lm := m.LockManager()
+
+	holder := m.Begin(tx.LevelRepeatable)
+	topic, err := m.JumpToID(holder, "t-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The rename's exclusive lock blocks any second writer on the node.
+	if err := m.Rename(holder, topic.ID, "held-topic"); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := m.Begin(tx.LevelRepeatable)
+	start := time.Now()
+	err = m.Rename(victim, topic.ID, "wanted-topic")
+	if !errors.Is(err, lock.ErrLockTimeout) {
+		t.Fatalf("blocked rename returned %v, want ErrLockTimeout", err)
+	}
+	if !IsAbortWorthy(err) {
+		t.Error("lock timeout must be abort-worthy")
+	}
+	if waited := time.Since(start); waited < 40*time.Millisecond {
+		t.Errorf("request returned after %v, before the 50ms timeout", waited)
+	}
+	if got := lm.Stats().Timeouts; got != 1 {
+		t.Errorf("Stats().Timeouts = %d, want 1", got)
+	}
+
+	victimLtx := victim.LockTx()
+	if err := victim.Abort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	// The aborted victim must hold nothing — neither grants (the intention
+	// locks it acquired on the way down) nor queued requests.
+	if n := lm.HeldCount(victimLtx); n != 0 {
+		t.Errorf("aborted victim still holds %d locks", n)
+	}
+	if lm.Waiting(victimLtx) {
+		t.Error("aborted victim still queued")
+	}
+
+	// The holder is unaffected and finishes normally.
+	if err := m.Rename(holder, topic.ID, "final-topic"); err != nil {
+		t.Errorf("holder rename after victim abort: %v", err)
+	}
+	if err := holder.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.LeakCheck(); err != nil {
+		t.Errorf("leak audit: %v", err)
+	}
+}
+
+// newLibraryTimeout is newLibrary with a configurable lock timeout.
+func newLibraryTimeout(t testing.TB, protoName string, depth int, timeout time.Duration) *Manager {
+	t.Helper()
+	m := newLibrary(t, protoName, depth)
+	m2 := New(m.Document(), m.Protocol(), Options{Depth: depth, LockTimeout: timeout})
+	t.Cleanup(m2.Close)
+	return m2
+}

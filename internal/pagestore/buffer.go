@@ -4,8 +4,10 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats aggregates buffer-manager counters. Values are monotonically
@@ -19,6 +21,11 @@ type Stats struct {
 	Evictions uint64
 	// Writebacks counts dirty pages written to the backend.
 	Writebacks uint64
+	// Retries counts backend re-attempts after transient failures.
+	Retries uint64
+	// RetryFailures counts operations whose transient failures outlived the
+	// retry budget and were escalated to permanent.
+	RetryFailures uint64
 }
 
 // Frame is a pinned buffer slot holding one page. It stays valid (and its
@@ -57,7 +64,93 @@ type Store struct {
 	lru     *list.List // unpinned frames, front = least recently used
 	cap     int
 
-	hits, misses, evictions, writebacks atomic.Uint64
+	retry    RetryPolicy
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
+
+	hits, misses, evictions, writebacks, retries, retryFailures atomic.Uint64
+}
+
+// RetryPolicy bounds how the buffer manager re-attempts backend operations
+// that failed with a transient classification (see IsTransient). Permanent
+// and unclassified failures are never retried.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first failure.
+	MaxRetries int
+	// BaseBackoff is slept before the first retry; it doubles per attempt.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the doubling.
+	MaxBackoff time.Duration
+	// Seed drives the backoff jitter (±50%), keeping runs reproducible.
+	Seed int64
+}
+
+// DefaultRetryPolicy absorbs short transient glitches without stalling the
+// engine: backoffs stay in the microsecond range because some retries run
+// under the buffer-table mutex.
+var DefaultRetryPolicy = RetryPolicy{
+	MaxRetries:  5,
+	BaseBackoff: 50 * time.Microsecond,
+	MaxBackoff:  2 * time.Millisecond,
+}
+
+// RetryExhaustedError wraps a transient failure that outlived the retry
+// budget. It reclassifies the chain as permanent: the caller must not keep
+// retrying what the buffer manager already gave up on.
+type RetryExhaustedError struct {
+	// Attempts is the total number of attempts made.
+	Attempts int
+	// Err is the last failure.
+	Err error
+}
+
+// Error implements error.
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("pagestore: %d attempts exhausted: %v", e.Attempts, e.Err)
+}
+
+// Unwrap exposes the last failure.
+func (e *RetryExhaustedError) Unwrap() error { return e.Err }
+
+// Transient reports false: the retry budget is spent.
+func (e *RetryExhaustedError) Transient() bool { return false }
+
+// Permanent reports true.
+func (e *RetryExhaustedError) Permanent() bool { return true }
+
+// SetRetryPolicy replaces the store's retry policy (DefaultRetryPolicy at
+// Open). Call before concurrent use.
+func (s *Store) SetRetryPolicy(p RetryPolicy) {
+	s.retry = p
+	s.retryRng = rand.New(rand.NewSource(p.Seed))
+}
+
+// withRetry runs op, re-attempting transient failures with exponential
+// backoff and seeded jitter. A transient failure that survives the budget
+// comes back wrapped in RetryExhaustedError (classified permanent).
+func (s *Store) withRetry(op func() error) error {
+	err := op()
+	if err == nil || !IsTransient(err) {
+		return err
+	}
+	backoff := s.retry.BaseBackoff
+	for attempt := 0; attempt < s.retry.MaxRetries; attempt++ {
+		s.retries.Add(1)
+		if backoff > 0 {
+			s.retryMu.Lock()
+			j := s.retryRng.Float64()
+			s.retryMu.Unlock()
+			time.Sleep(backoff/2 + time.Duration(float64(backoff)*j))
+		}
+		if backoff *= 2; backoff > s.retry.MaxBackoff {
+			backoff = s.retry.MaxBackoff
+		}
+		if err = op(); err == nil || !IsTransient(err) {
+			return err
+		}
+	}
+	s.retryFailures.Add(1)
+	return &RetryExhaustedError{Attempts: s.retry.MaxRetries + 1, Err: err}
 }
 
 // ErrNoFrames is returned when every frame is pinned and a new page is
@@ -73,12 +166,14 @@ func Open(backend Backend, frames int) *Store {
 	if frames <= 0 {
 		frames = DefaultFrames
 	}
-	return &Store{
+	s := &Store{
 		backend: backend,
 		frames:  make(map[PageID]*Frame, frames),
 		lru:     list.New(),
 		cap:     frames,
 	}
+	s.SetRetryPolicy(DefaultRetryPolicy)
+	return s
 }
 
 // Backend exposes the underlying backend (used by tests and tools).
@@ -105,8 +200,10 @@ func (s *Store) Fix(id PageID) (*Frame, error) {
 	}
 	// The read happens under the table lock: once the frame is mapped, a
 	// concurrent Fix for the same page would pin it and expect loaded data,
-	// so the frame must not become visible-but-empty.
-	if err := s.backend.ReadPage(id, f.data); err != nil {
+	// so the frame must not become visible-but-empty. Transient-fault
+	// retries therefore also sleep under the lock — backoffs are bounded to
+	// microseconds by the retry policy.
+	if err := s.withRetry(func() error { return s.backend.ReadPage(id, f.data) }); err != nil {
 		s.dropFrameLocked(f)
 		s.mu.Unlock()
 		return nil, err
@@ -118,7 +215,8 @@ func (s *Store) Fix(id PageID) (*Frame, error) {
 
 // FixNew allocates a fresh zeroed page in the backend and pins it.
 func (s *Store) FixNew() (*Frame, error) {
-	id, err := s.backend.Allocate()
+	var id PageID
+	err := s.withRetry(func() (e error) { id, e = s.backend.Allocate(); return e })
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +247,7 @@ func (s *Store) allocFrameLocked(id PageID) (*Frame, error) {
 		delete(s.frames, f.id)
 		s.evictions.Add(1)
 		if f.dirty {
-			if err := s.backend.WritePage(f.id, f.data); err != nil {
+			if err := s.withRetry(func() error { return s.backend.WritePage(f.id, f.data) }); err != nil {
 				// Re-insert the victim so the page is not lost.
 				s.frames[f.id] = f
 				f.elem = s.lru.PushFront(f)
@@ -193,7 +291,7 @@ func (s *Store) Flush() error {
 	s.mu.Lock()
 	for _, f := range s.frames {
 		if f.dirty {
-			if err := s.backend.WritePage(f.id, f.data); err != nil {
+			if err := s.withRetry(func() error { return s.backend.WritePage(f.id, f.data) }); err != nil {
 				s.mu.Unlock()
 				return err
 			}
@@ -202,7 +300,7 @@ func (s *Store) Flush() error {
 		}
 	}
 	s.mu.Unlock()
-	return s.backend.Sync()
+	return s.withRetry(s.backend.Sync)
 }
 
 // Close flushes and closes the backend.
@@ -217,10 +315,12 @@ func (s *Store) Close() error {
 // Stats returns a snapshot of the buffer counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Hits:       s.hits.Load(),
-		Misses:     s.misses.Load(),
-		Evictions:  s.evictions.Load(),
-		Writebacks: s.writebacks.Load(),
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Evictions:     s.evictions.Load(),
+		Writebacks:    s.writebacks.Load(),
+		Retries:       s.retries.Load(),
+		RetryFailures: s.retryFailures.Load(),
 	}
 }
 

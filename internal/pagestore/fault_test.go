@@ -1,0 +1,245 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newFaultedMem(t *testing.T, cfg FaultConfig, pages int) (*FaultBackend, *MemBackend) {
+	t.Helper()
+	mem := NewMemBackend()
+	fb := NewFaultBackend(mem, cfg)
+	fb.Disarm()
+	for i := 0; i < pages; i++ {
+		if _, err := fb.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fb.Arm()
+	return fb, mem
+}
+
+func TestFaultClassification(t *testing.T) {
+	te := &FaultError{Op: OpRead, Page: 3, Class: ClassTransient}
+	pe := &FaultError{Op: OpWrite, Page: 4, Class: ClassPermanent}
+	if !IsTransient(te) || IsPermanent(te) {
+		t.Errorf("transient fault classified as %s", Classify(te))
+	}
+	if IsTransient(pe) || !IsPermanent(pe) {
+		t.Errorf("permanent fault classified as %s", Classify(pe))
+	}
+	if !errors.Is(te, ErrInjectedFault) {
+		t.Error("FaultError does not unwrap to ErrInjectedFault")
+	}
+	// Wrapping must preserve the classification.
+	wrapped := errors.Join(errors.New("context"), te)
+	if !IsTransient(wrapped) {
+		t.Error("wrapping lost the transient classification")
+	}
+	if Classify(errors.New("plain")) != "unclassified" {
+		t.Error("plain error should be unclassified")
+	}
+	// Retry exhaustion flips transient to permanent even though the
+	// original transient error stays in the chain.
+	ex := &RetryExhaustedError{Attempts: 6, Err: te}
+	if IsTransient(ex) || !IsPermanent(ex) {
+		t.Errorf("exhausted retry classified as %s", Classify(ex))
+	}
+	if !errors.Is(ex, ErrInjectedFault) {
+		t.Error("RetryExhaustedError lost the error chain")
+	}
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	cfg := FaultConfig{Schedule: []ScheduledFault{
+		{Op: OpRead, N: 2, Class: ClassTransient},
+		{Op: OpWrite, N: 1, Class: ClassPermanent},
+	}}
+	fb, _ := newFaultedMem(t, cfg, 4)
+	buf := make([]byte, PageSize)
+
+	if err := fb.ReadPage(0, buf); err != nil {
+		t.Fatalf("read 1 should pass: %v", err)
+	}
+	err := fb.ReadPage(1, buf)
+	if !IsTransient(err) {
+		t.Fatalf("read 2 should fail transient, got %v", err)
+	}
+	if err := fb.ReadPage(2, buf); err != nil {
+		t.Fatalf("read 3 should pass: %v", err)
+	}
+	if err := fb.WritePage(0, buf); !IsPermanent(err) {
+		t.Fatalf("write 1 should fail permanent, got %v", err)
+	}
+	st := fb.Stats()
+	if st.Injected[OpRead] != 1 || st.Injected[OpWrite] != 1 || st.TotalInjected() != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFaultDisarmedPassesThrough(t *testing.T) {
+	cfg := FaultConfig{ReadProb: 1, WriteProb: 1, SyncProb: 1, AllocProb: 1}
+	fb, _ := newFaultedMem(t, cfg, 1)
+	fb.Disarm()
+	buf := make([]byte, PageSize)
+	if err := fb.ReadPage(0, buf); err != nil {
+		t.Errorf("disarmed read failed: %v", err)
+	}
+	if err := fb.WritePage(0, buf); err != nil {
+		t.Errorf("disarmed write failed: %v", err)
+	}
+	if _, err := fb.Allocate(); err != nil {
+		t.Errorf("disarmed allocate failed: %v", err)
+	}
+	if st := fb.Stats(); st.TotalInjected() != 0 || st.Ops[OpRead] != 0 {
+		t.Errorf("disarmed ops counted: %+v", st)
+	}
+}
+
+func TestFaultProbabilisticSeededReproducible(t *testing.T) {
+	run := func() FaultStats {
+		fb, _ := newFaultedMem(t, FaultConfig{Seed: 42, ReadProb: 0.3, PermanentFraction: 0.5}, 8)
+		buf := make([]byte, PageSize)
+		for i := 0; i < 200; i++ {
+			fb.ReadPage(PageID(i%8), buf) //nolint:errcheck — faults expected
+		}
+		return fb.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a.Injected[OpRead] == 0 || a.Injected[OpRead] == a.Ops[OpRead] {
+		t.Errorf("implausible injection count: %+v", a)
+	}
+}
+
+func TestTornWritePersistsPrefix(t *testing.T) {
+	cfg := FaultConfig{Schedule: []ScheduledFault{{Op: OpWrite, N: 1, Class: ClassTransient, Torn: true}}}
+	fb, mem := newFaultedMem(t, cfg, 1)
+
+	old := bytes.Repeat([]byte{0xAA}, PageSize)
+	fb.Disarm()
+	if err := fb.WritePage(0, old); err != nil {
+		t.Fatal(err)
+	}
+	fb.Arm()
+
+	img := bytes.Repeat([]byte{0xBB}, PageSize)
+	err := fb.WritePage(0, img)
+	var fe *FaultError
+	if !errors.As(err, &fe) || !fe.Torn {
+		t.Fatalf("want torn FaultError, got %v", err)
+	}
+	got := make([]byte, PageSize)
+	if err := mem.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:TornPrefix], img[:TornPrefix]) {
+		t.Error("torn write did not persist the new prefix")
+	}
+	if !bytes.Equal(got[TornPrefix:], old[TornPrefix:]) {
+		t.Error("torn write touched the tail")
+	}
+	if fb.Stats().TornWrites != 1 {
+		t.Errorf("TornWrites = %d", fb.Stats().TornWrites)
+	}
+}
+
+func TestBufferRetryAbsorbsTransientFaults(t *testing.T) {
+	// Every odd read fails transient; the retry loop must hide that from
+	// Fix entirely.
+	var sched []ScheduledFault
+	for n := uint64(1); n <= 40; n += 2 {
+		sched = append(sched, ScheduledFault{Op: OpRead, N: n, Class: ClassTransient})
+	}
+	fb, _ := newFaultedMem(t, FaultConfig{Schedule: sched}, 8)
+	s := Open(fb, 2) // tiny pool forces repeated backend reads
+	s.SetRetryPolicy(RetryPolicy{MaxRetries: 3, BaseBackoff: time.Microsecond, MaxBackoff: 10 * time.Microsecond})
+	for i := 0; i < 16; i++ {
+		f, err := s.Fix(PageID(i % 8))
+		if err != nil {
+			t.Fatalf("Fix(%d): %v", i%8, err)
+		}
+		s.Unfix(f)
+	}
+	st := s.Stats()
+	if st.Retries == 0 {
+		t.Error("no retries recorded")
+	}
+	if st.RetryFailures != 0 {
+		t.Errorf("RetryFailures = %d", st.RetryFailures)
+	}
+}
+
+func TestBufferRetryEscalatesAfterBudget(t *testing.T) {
+	fb, _ := newFaultedMem(t, FaultConfig{ReadProb: 1}, 1) // every read fails
+	s := Open(fb, 2)
+	s.SetRetryPolicy(RetryPolicy{MaxRetries: 2, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond})
+	_, err := s.Fix(0)
+	if err == nil {
+		t.Fatal("Fix succeeded through a 100% fault rate")
+	}
+	if !IsPermanent(err) || IsTransient(err) {
+		t.Errorf("exhausted Fix error classified as %s: %v", Classify(err), err)
+	}
+	if st := s.Stats(); st.Retries != 2 || st.RetryFailures != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The failed frame must not linger: a later Fix with injection off
+	// reads cleanly.
+	fb.Disarm()
+	f, err := s.Fix(0)
+	if err != nil {
+		t.Fatalf("Fix after disarm: %v", err)
+	}
+	s.Unfix(f)
+}
+
+func TestBufferRetryNeverRetriesPermanent(t *testing.T) {
+	fb, _ := newFaultedMem(t, FaultConfig{ReadProb: 1, PermanentFraction: 1}, 1)
+	s := Open(fb, 2)
+	s.SetRetryPolicy(RetryPolicy{MaxRetries: 5, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond})
+	if _, err := s.Fix(0); !IsPermanent(err) {
+		t.Fatalf("want permanent fault, got %v", err)
+	}
+	if st := s.Stats(); st.Retries != 0 {
+		t.Errorf("permanent fault was retried %d times", st.Retries)
+	}
+	if fb.Stats().Ops[OpRead] != 1 {
+		t.Errorf("backend saw %d reads, want 1", fb.Stats().Ops[OpRead])
+	}
+}
+
+func TestTornWriteHealedByRetry(t *testing.T) {
+	// A transient torn write leaves a half-new page, but the retry rewrites
+	// the full image: the store's view stays consistent.
+	cfg := FaultConfig{Schedule: []ScheduledFault{{Op: OpWrite, N: 1, Class: ClassTransient, Torn: true}}}
+	fb, mem := newFaultedMem(t, cfg, 1)
+	s := Open(fb, 2)
+	s.SetRetryPolicy(RetryPolicy{MaxRetries: 2, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond})
+
+	f, err := s.Fix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := bytes.Repeat([]byte{0xCD}, PageSize)
+	copy(f.Data(), img)
+	f.MarkDirty()
+	s.Unfix(f)
+	if err := s.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got := make([]byte, PageSize)
+	if err := mem.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, img) {
+		t.Error("retry did not heal the torn page")
+	}
+	if fb.Stats().TornWrites != 1 {
+		t.Errorf("TornWrites = %d", fb.Stats().TornWrites)
+	}
+}

@@ -30,6 +30,10 @@ type BibConfig struct {
 	LendsMin, LendsMax int
 	// Dist is the SPLID labeling gap.
 	Dist uint32
+	// BufferFrames sizes the document's page buffer
+	// (pagestore.DefaultFrames when zero). Chaos tests shrink it so the
+	// run does real backend I/O instead of staying buffer-resident.
+	BufferFrames int
 	// Seed makes generation deterministic.
 	Seed int64
 }
@@ -85,7 +89,7 @@ type Catalog struct {
 // GenerateBib builds the bib document on the given backend and returns it
 // with the catalog of jump targets.
 func GenerateBib(backend pagestore.Backend, cfg BibConfig) (*storage.Document, *Catalog, error) {
-	doc, err := storage.Create(backend, "bib", storage.Options{Dist: cfg.Dist})
+	doc, err := storage.Create(backend, "bib", storage.Options{Dist: cfg.Dist, BufferFrames: cfg.BufferFrames})
 	if err != nil {
 		return nil, nil, err
 	}

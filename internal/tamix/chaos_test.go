@@ -1,0 +1,143 @@
+package tamix
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/pagestore"
+	"repro/internal/tx"
+)
+
+// chaosConfig is a high-conflict, fault-injected CLUSTER1 variant: a small
+// document, a write-heavy mix, a short lock timeout, and a page buffer too
+// small to hold the working set, so the run exercises deadlock aborts, lock
+// timeouts, transaction restarts, and storage-fault retries all at once.
+func chaosConfig(seed int64) Config {
+	bib := Scaled(0.05) // 5 topics, 100 books: ~80 pages
+	// Far below the ~80-page working set (forces backend I/O all run) yet
+	// comfortably above the 12 workers' worst-case concurrent pins.
+	bib.BufferFrames = 56
+	return Config{
+		Protocol:  "taDOM3+",
+		Isolation: tx.LevelRepeatable,
+		Depth:     -1,
+		Clients:   2,
+		Mix: map[TxType]int{
+			TAqueryBook:     1,
+			TAchapter:       1,
+			TArenameTopic:   2,
+			TAlendAndReturn: 2,
+		},
+		Duration:           700 * time.Millisecond,
+		WaitAfterCommit:    time.Millisecond,
+		WaitAfterOperation: 500 * time.Microsecond,
+		MaxStartDelay:      5 * time.Millisecond,
+		LockTimeout:        30 * time.Millisecond,
+		RestartBackoff:     time.Millisecond,
+		RestartMaxBackoff:  8 * time.Millisecond,
+		Bib:                bib,
+		Seed:               seed,
+	}
+}
+
+// TestChaosRestartLoopUnderFaults is the acceptance test of the recovery
+// layer: a seeded FaultBackend under a high-conflict mix must finish
+// without panic, pass Verify, leak no locks (Run audits both), and show the
+// restart and retry machinery actually working.
+func TestChaosRestartLoopUnderFaults(t *testing.T) {
+	cfg := chaosConfig(7)
+	cfg.Faults = &pagestore.FaultConfig{
+		Seed:       7,
+		ReadProb:   0.05,
+		WriteProb:  0.05,
+		AllocProb:  0.02,
+		TornWrites: true, // transient torn writes must be healed by retry
+	}
+	cfg.Retry = &pagestore.RetryPolicy{
+		MaxRetries:  8,
+		BaseBackoff: 20 * time.Microsecond,
+		MaxBackoff:  500 * time.Microsecond,
+		Seed:        7,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if res.Committed == 0 {
+		t.Error("no transactions committed")
+	}
+	if res.Aborted == 0 {
+		t.Error("high-conflict run produced no aborts; conflict knobs too weak")
+	}
+	if res.Restarts == 0 {
+		t.Error("restart counter is zero; aborted transactions were not retried")
+	}
+	if res.RestartWait == 0 {
+		t.Error("restart backoff time is zero")
+	}
+	if res.FaultsInjected == 0 {
+		t.Error("no faults injected; buffer too large or probabilities too low")
+	}
+	if res.BufferRetries == 0 {
+		t.Error("no buffer retries; transient faults were not retried")
+	}
+	if res.BufferRetryFailures != 0 {
+		t.Errorf("%d transient faults outlived the retry budget", res.BufferRetryFailures)
+	}
+	restarts := 0
+	for _, typ := range TxTypes {
+		restarts += res.PerType[typ].Restarts
+	}
+	if restarts != res.Restarts {
+		t.Errorf("per-type restarts sum to %d, total says %d", restarts, res.Restarts)
+	}
+	t.Logf("chaos: committed=%d aborted=%d restarts=%d dropped=%d faults=%d torn=%d retries=%d",
+		res.Committed, res.Aborted, res.Restarts, res.Dropped,
+		res.FaultsInjected, res.TornWrites, res.BufferRetries)
+}
+
+// TestChaosPermanentFaultFailsGracefully injects an unretryable fault and
+// demands a classified error from Run — not a panic, not a corrupted
+// result.
+func TestChaosPermanentFaultFailsGracefully(t *testing.T) {
+	cfg := chaosConfig(11)
+	cfg.Faults = &pagestore.FaultConfig{
+		Seed: 11,
+		// The 20th armed read fails permanently; everything else is clean.
+		Schedule: []pagestore.ScheduledFault{
+			{Op: pagestore.OpRead, N: 20, Class: pagestore.ClassPermanent},
+		},
+	}
+	res, err := Run(cfg)
+	if err == nil {
+		t.Fatalf("run swallowed a permanent fault: %+v", res)
+	}
+	if !pagestore.IsPermanent(err) {
+		t.Errorf("error not classified permanent: %v", err)
+	}
+	if !errors.Is(err, pagestore.ErrInjectedFault) {
+		t.Errorf("error chain lost the injected fault: %v", err)
+	}
+}
+
+// TestChaosRestartCapDropsTransaction pins the restart cap at zero and
+// checks that victims are dropped instead of retried — the pre-recovery
+// behavior, now as an explicit, observable mode.
+func TestChaosRestartCapDropsTransaction(t *testing.T) {
+	cfg := chaosConfig(13)
+	cfg.MaxRestarts = -1 // no restarts
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if res.Restarts != 0 {
+		t.Errorf("restarts disabled but %d recorded", res.Restarts)
+	}
+	if res.Aborted == 0 {
+		t.Skip("no conflicts this run; nothing to drop")
+	}
+	if res.Dropped != res.Aborted {
+		t.Errorf("with restarts off every abort is a drop: aborted=%d dropped=%d", res.Aborted, res.Dropped)
+	}
+}

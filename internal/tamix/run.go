@@ -1,6 +1,8 @@
 package tamix
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -42,6 +44,27 @@ type Config struct {
 	// LockTimeout bounds lock waits; it should comfortably exceed the
 	// expected blocking times (a timeout aborts like a deadlock victim).
 	LockTimeout time.Duration
+	// MaxRestarts caps how often one logical transaction is restarted after
+	// a deadlock or lock-timeout abort before the slot gives up on it
+	// (DefaultMaxRestarts when zero; negative disables restarts). The
+	// paper's contest counts committed work, which presumes victims are
+	// retried until the mix completes — this is that retry loop.
+	MaxRestarts int
+	// RestartBackoff is the base of the randomized exponential backoff
+	// slept before each restart (DefaultRestartBackoff when zero). The
+	// actual sleep is jittered to 50-150% and doubles per restart up to
+	// RestartMaxBackoff.
+	RestartBackoff time.Duration
+	// RestartMaxBackoff caps the restart backoff (DefaultRestartMaxBackoff
+	// when zero).
+	RestartMaxBackoff time.Duration
+	// Faults, when non-nil, wraps the document's backend in a seeded
+	// FaultBackend. Injection is armed only for the measurement interval:
+	// document generation and the post-run verification run fault-free.
+	Faults *pagestore.FaultConfig
+	// Retry overrides the buffer manager's transient-fault retry policy
+	// (pagestore.DefaultRetryPolicy when nil).
+	Retry *pagestore.RetryPolicy
 	// UseUpdateLocks makes TAlendAndReturn declare its write intent with
 	// update-mode locks (URIX's U, taDOM's SU) instead of converting read
 	// locks — an ablation on the paper's conversion-deadlock observation.
@@ -52,14 +75,32 @@ type Config struct {
 	Seed int64
 }
 
+// DefaultMaxRestarts caps restart attempts per logical transaction.
+const DefaultMaxRestarts = 10
+
+// DefaultRestartBackoff is the base restart backoff.
+const DefaultRestartBackoff = 2 * time.Millisecond
+
+// DefaultRestartMaxBackoff caps the restart backoff doubling.
+const DefaultRestartMaxBackoff = 100 * time.Millisecond
+
 // TypeStats aggregates outcomes for one transaction type — the paper's
-// per-type metrics (committed, aborted, min/max/avg duration).
+// per-type metrics (committed, aborted, min/max/avg duration) plus the
+// restart accounting of the recovery layer.
 type TypeStats struct {
 	Committed int
 	Aborted   int
-	TotalDur  time.Duration
-	MinDur    time.Duration
-	MaxDur    time.Duration
+	// Restarts counts abort-and-retry cycles: every deadlock or timeout
+	// abort that was given another attempt.
+	Restarts int
+	// RestartWait is the total backoff slept before restarts.
+	RestartWait time.Duration
+	// Dropped counts logical transactions abandoned after MaxRestarts
+	// consecutive aborts.
+	Dropped  int
+	TotalDur time.Duration
+	MinDur   time.Duration
+	MaxDur   time.Duration
 }
 
 // AvgDur returns the mean duration of committed transactions.
@@ -93,6 +134,12 @@ type Result struct {
 	PerType map[TxType]*TypeStats
 	// Committed and Aborted are the totals across types.
 	Committed, Aborted int
+	// Restarts, RestartWait, and Dropped total the restart loop's work:
+	// retried aborts, backoff time slept, and logical transactions given up
+	// after the restart cap.
+	Restarts    int
+	RestartWait time.Duration
+	Dropped     int
 	// Deadlocks counts detected cycles, split into the paper's two classes.
 	Deadlocks, ConversionDeadlocks, SubtreeDeadlocks uint64
 	// Timeouts counts lock waits that hit the timeout.
@@ -107,6 +154,15 @@ type Result struct {
 	// PartitionWaits is the per-partition blocked-request profile of the
 	// striped lock table — where the contention actually landed.
 	PartitionWaits []uint64
+	// FaultsInjected totals the storage faults injected during the run
+	// (zero without fault injection).
+	FaultsInjected uint64
+	// TornWrites counts injected writes that persisted a torn page image.
+	TornWrites uint64
+	// BufferRetries counts buffer-manager re-attempts after transient
+	// storage faults; BufferRetryFailures counts operations whose budget
+	// ran out (escalated to permanent).
+	BufferRetries, BufferRetryFailures uint64
 	// DeadlockVictims attributes deadlock aborts to the victim's
 	// transaction type (the XTCdeadlockDetector analysis of Section 4.2).
 	DeadlockVictims map[TxType]uint64
@@ -124,24 +180,73 @@ func (r *Result) Throughput() float64 {
 	return float64(r.Committed) * (5 * time.Minute).Seconds() / r.Elapsed.Seconds()
 }
 
+// sleepCtx sleeps d unless ctx is canceled first; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // Run executes one TaMix benchmark: it generates the bib document, starts
 // Clients×Mix transaction slots, keeps each slot running transactions of
 // its type until Duration elapses, and gathers the metrics.
+//
+// Failure semantics: transactions aborted as deadlock victims or by lock
+// timeouts are restarted with randomized exponential backoff up to
+// MaxRestarts. Any other engine error cancels the run via context — no
+// worker panics — and Run returns the first such error, classified
+// (transient/permanent/unclassified) in its message. A successful run ends
+// with two audits: the document must pass Verify and the lock table must be
+// empty (no leaked locks).
 func Run(cfg Config) (*Result, error) {
 	p, err := protocol.ByName(cfg.Protocol)
 	if err != nil {
 		return nil, err
 	}
-	doc, cat, err := GenerateBib(pagestore.NewMemBackend(), cfg.Bib)
+	var backend pagestore.Backend = pagestore.NewMemBackend()
+	var fb *pagestore.FaultBackend
+	if cfg.Faults != nil {
+		fb = pagestore.NewFaultBackend(backend, *cfg.Faults)
+		fb.Disarm() // generation must run fault-free
+		backend = fb
+	}
+	doc, cat, err := GenerateBib(backend, cfg.Bib)
 	if err != nil {
 		return nil, err
 	}
 	defer doc.Close()
+	if cfg.Retry != nil {
+		doc.Store().SetRetryPolicy(*cfg.Retry)
+	}
 
 	lockTimeout := cfg.LockTimeout
 	if lockTimeout <= 0 {
 		lockTimeout = 5 * time.Second
 	}
+	maxRestarts := cfg.MaxRestarts
+	if maxRestarts == 0 {
+		maxRestarts = DefaultMaxRestarts
+	} else if maxRestarts < 0 {
+		maxRestarts = 0
+	}
+	restartBase := cfg.RestartBackoff
+	if restartBase <= 0 {
+		restartBase = DefaultRestartBackoff
+	}
+	restartCap := cfg.RestartMaxBackoff
+	if restartCap <= 0 {
+		restartCap = DefaultRestartMaxBackoff
+	}
+
 	// Deadlock analysis: every lock-manager transaction is registered with
 	// its TaMix type so detected cycles can be attributed.
 	var txTypes sync.Map // lock.TxID -> TxType
@@ -174,8 +279,24 @@ func Run(cfg Config) (*Result, error) {
 		res.PerType[t] = &TypeStats{}
 	}
 
+	// Graceful degradation: the first engine error cancels every worker
+	// through ctx and becomes Run's return value. Workers never panic.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var failOnce sync.Once
+	var runErr error
+	fail := func(err error) {
+		failOnce.Do(func() {
+			runErr = err
+			cancel()
+		})
+	}
+
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	if fb != nil {
+		fb.Arm()
+	}
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 
@@ -190,36 +311,17 @@ func Run(cfg Config) (*Result, error) {
 					rng := rand.New(rand.NewSource(seed))
 					r := &runner{m: mgr, cat: cat, rng: rng, waitOp: cfg.WaitAfterOperation, updateLocks: cfg.UseUpdateLocks}
 					if cfg.MaxStartDelay > 0 {
-						time.Sleep(time.Duration(rng.Int63n(int64(cfg.MaxStartDelay))))
+						if !sleepCtx(ctx, time.Duration(rng.Int63n(int64(cfg.MaxStartDelay)))) {
+							return
+						}
 					}
-					for time.Now().Before(deadline) {
-						txn := mgr.Begin(cfg.Isolation)
-						if ltx := txn.LockTx(); ltx != nil {
-							txTypes.Store(ltx.ID(), txType)
+					for time.Now().Before(deadline) && ctx.Err() == nil {
+						if !runOnce(ctx, cfg, mgr, r, res, &mu, &txTypes, txType,
+							deadline, maxRestarts, restartBase, restartCap, fail) {
+							return
 						}
-						t0 := time.Now()
-						err := r.run(txType, txn)
-						if err == nil {
-							err = txn.Commit()
-							if err == nil {
-								mu.Lock()
-								res.PerType[txType].record(time.Since(t0))
-								mu.Unlock()
-							}
-						} else {
-							txn.Abort()
-							if node.IsAbortWorthy(err) {
-								mu.Lock()
-								res.PerType[txType].Aborted++
-								mu.Unlock()
-							} else {
-								// Unexpected failures indicate an engine bug;
-								// surface them loudly.
-								panic(fmt.Sprintf("tamix: %s: %v", txType, err))
-							}
-						}
-						if cfg.WaitAfterCommit > 0 {
-							time.Sleep(cfg.WaitAfterCommit)
+						if !sleepCtx(ctx, cfg.WaitAfterCommit) {
+							return
 						}
 					}
 				}(txType, cfg.Seed+int64(slot)*7919)
@@ -228,16 +330,40 @@ func Run(cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 	res.Elapsed = time.Since(start)
+	if fb != nil {
+		// Verification and teardown read the document without injection.
+		fb.Disarm()
+		fs := fb.Stats()
+		res.FaultsInjected = fs.TotalInjected()
+		res.TornWrites = fs.TornWrites
+	}
+	bs := doc.Store().Stats()
+	res.BufferRetries = bs.Retries
+	res.BufferRetryFailures = bs.RetryFailures
+
+	if runErr != nil {
+		return nil, fmt.Errorf("tamix: run failed under %s (%s fault): %w",
+			cfg.Protocol, pagestore.Classify(runErr), runErr)
+	}
 
 	// Every run doubles as an integrity check: a protocol that let an
 	// interleaving corrupt the document must not produce a result.
 	if err := doc.Verify(); err != nil {
 		return nil, fmt.Errorf("tamix: document corrupted after run under %s: %w", cfg.Protocol, err)
 	}
+	// ... and as a leak check: with every transaction committed or aborted,
+	// a non-empty lock table means a release path was skipped.
+	if err := mgr.LockManager().LeakCheck(); err != nil {
+		return nil, fmt.Errorf("tamix: run under %s leaked locks: %w", cfg.Protocol, err)
+	}
 
 	for _, t := range TxTypes {
-		res.Committed += res.PerType[t].Committed
-		res.Aborted += res.PerType[t].Aborted
+		st := res.PerType[t]
+		res.Committed += st.Committed
+		res.Aborted += st.Aborted
+		res.Restarts += st.Restarts
+		res.RestartWait += st.RestartWait
+		res.Dropped += st.Dropped
 	}
 	ls := mgr.LockManager().Stats()
 	res.Deadlocks = ls.Deadlocks
@@ -249,4 +375,73 @@ func Run(cfg Config) (*Result, error) {
 	res.LockWaits = ls.Waits
 	res.PartitionWaits = mgr.LockManager().PartitionWaits()
 	return res, nil
+}
+
+// runOnce drives one logical transaction to commit, restarting it with
+// randomized exponential backoff after deadlock/timeout aborts. It reports
+// false when the worker should exit (context canceled or engine failure).
+func runOnce(ctx context.Context, cfg Config, mgr *node.Manager, r *runner,
+	res *Result, mu *sync.Mutex, txTypes *sync.Map, txType TxType,
+	deadline time.Time, maxRestarts int, backoffBase, backoffCap time.Duration,
+	fail func(error)) bool {
+
+	restarts := 0
+	backoff := backoffBase
+	for {
+		txn := mgr.Begin(cfg.Isolation)
+		if ltx := txn.LockTx(); ltx != nil {
+			txTypes.Store(ltx.ID(), txType)
+		}
+		t0 := time.Now()
+		err := r.run(txType, txn)
+		if err == nil {
+			if err = txn.Commit(); err != nil {
+				fail(fmt.Errorf("tamix: %s: commit: %w", txType, err))
+				return false
+			}
+			mu.Lock()
+			res.PerType[txType].record(time.Since(t0))
+			mu.Unlock()
+			return true
+		}
+		if aerr := txn.Abort(); aerr != nil && !errors.Is(aerr, tx.ErrNotActive) {
+			// A failed rollback is unrecoverable: the document may hold
+			// partial effects of an aborted transaction.
+			fail(fmt.Errorf("tamix: %s: abort: %w", txType, aerr))
+			return false
+		}
+		if !node.IsAbortWorthy(err) {
+			// Unexpected failures (including permanent storage faults)
+			// cancel the run instead of panicking the process.
+			fail(fmt.Errorf("tamix: %s: %w", txType, err))
+			return false
+		}
+		mu.Lock()
+		res.PerType[txType].Aborted++
+		mu.Unlock()
+		if restarts >= maxRestarts {
+			mu.Lock()
+			res.PerType[txType].Dropped++
+			mu.Unlock()
+			return true
+		}
+		if !time.Now().Before(deadline) {
+			// Out of measurement time: do not restart past the interval.
+			return true
+		}
+		restarts++
+		// Randomized exponential backoff: 50-150% of the current step,
+		// doubling up to the cap, so colliding victims desynchronize.
+		d := backoff/2 + time.Duration(r.rng.Int63n(int64(backoff)))
+		if backoff *= 2; backoff > backoffCap {
+			backoff = backoffCap
+		}
+		mu.Lock()
+		res.PerType[txType].Restarts++
+		res.PerType[txType].RestartWait += d
+		mu.Unlock()
+		if !sleepCtx(ctx, d) {
+			return false
+		}
+	}
 }

@@ -206,8 +206,9 @@ func (t *Txn) Commit() error {
 }
 
 // Abort undoes all changes in reverse order (still holding locks) and then
-// releases the locks. The first undo error is returned, but all undo actions
-// are attempted and the locks are released regardless.
+// releases the locks. All undo actions are attempted and the locks are
+// released regardless of failures; every undo error is reported, aggregated
+// with errors.Join, so a multi-step rollback cannot silently half-fail.
 func (t *Txn) Abort() error {
 	t.mu.Lock()
 	if t.status != StatusActive {
@@ -219,10 +220,10 @@ func (t *Txn) Abort() error {
 	t.undo = nil
 	t.mu.Unlock()
 
-	var firstErr error
+	var errs []error
 	for i := len(undo) - 1; i >= 0; i-- {
-		if err := undo[i](); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("tx %d: undo step %d: %w", t.id, i, err)
+		if err := undo[i](); err != nil {
+			errs = append(errs, fmt.Errorf("tx %d: undo step %d: %w", t.id, i, err))
 		}
 	}
 	if t.ltx != nil {
@@ -233,7 +234,7 @@ func (t *Txn) Abort() error {
 		t.mgr.lm.ReleaseAll(t.ltx)
 	}
 	t.mgr.aborted.Add(1)
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // EndOperation marks the end of one logical operation: under the weak

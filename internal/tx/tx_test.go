@@ -105,6 +105,38 @@ func TestAbortReportsUndoErrorButReleases(t *testing.T) {
 	t2.Commit()
 }
 
+func TestAbortAggregatesAllUndoErrors(t *testing.T) {
+	m := newMgr()
+	t1 := m.Begin(LevelRepeatable)
+	m.LockManager().Lock(t1.LockTx(), "n", mX, false)
+	errA := errors.New("undo A failed")
+	errB := errors.New("undo B failed")
+	ran := 0
+	t1.PushUndo(func() error { ran++; return errA })
+	t1.PushUndo(func() error { ran++; return nil })
+	t1.PushUndo(func() error { ran++; return errB })
+	err := t1.Abort()
+	if ran != 3 {
+		t.Fatalf("all undo actions must run, got %d", ran)
+	}
+	// errors.Join keeps every failure reachable, not just the first.
+	if !errors.Is(err, errA) {
+		t.Errorf("aggregated error lost errA: %v", err)
+	}
+	if !errors.Is(err, errB) {
+		t.Errorf("aggregated error lost errB: %v", err)
+	}
+	// Locks were still released.
+	t2 := m.Begin(LevelRepeatable)
+	if err := m.LockManager().Lock(t2.LockTx(), "n", mX, false); err != nil {
+		t.Fatal(err)
+	}
+	t2.Commit()
+	if err := m.LockManager().LeakCheck(); err != nil {
+		t.Errorf("leak audit after failed undo: %v", err)
+	}
+}
+
 func TestCommitClearsUndo(t *testing.T) {
 	m := newMgr()
 	t1 := m.Begin(LevelRepeatable)
