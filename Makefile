@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench-lock chaos
+.PHONY: build test verify bench-lock bench-wal chaos recovery
 
 build:
 	$(GO) build ./...
@@ -15,14 +15,23 @@ chaos:
 	$(GO) test -race -run 'Chaos|Fault|Retry|Torn|Timeout|Restart|Abort' \
 		./internal/pagestore/ ./internal/tamix/ ./internal/node/ ./internal/tx/
 
+# recovery runs the WAL and crash-recovery suite under the race detector:
+# the seeded crash matrix (log crashes, torn write-backs, full-budget
+# bursts), recovery idempotence, checksum rejection on page fix, and the
+# transaction double-finish / durable-commit contracts.
+recovery:
+	$(GO) test -race -run 'Recover|Crash|TxnDone|Checksum|Corrupt|WAL|GroupCommit' \
+		./internal/wal/ ./internal/storage/ ./internal/tx/ ./internal/pagestore/
+
 # verify is the full pre-merge gate: compile, vet, the complete test suite
 # under the race detector (the lock package's equivalence tests lean on it
-# heavily), and the focused chaos suite.
+# heavily), and the focused chaos and recovery suites.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) recovery
 
 # bench-lock runs the lock-table contention benchmark and appends one JSON
 # line per result to BENCH_lock.json, so successive runs accumulate a
@@ -32,3 +41,12 @@ bench-lock:
 	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^BenchmarkLockTableContention/ { \
 		printf "{\"date\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", date, $$1, $$2, $$3, $$5, $$7 }' \
 	>> BENCH_lock.json
+
+# bench-wal compares single-writer commit (one fsync per record) against
+# group commit (concurrent forcers sharing fsyncs) on a file-backed log,
+# appending one JSON line per variant to BENCH_wal.json.
+bench-wal:
+	$(GO) test ./internal/wal/ -run XXX -bench BenchmarkWALAppend -benchtime 2000x | \
+	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^BenchmarkWALAppend/ { \
+		printf "{\"date\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"mb_per_s\":%s,\"appends_per_sync\":%s}\n", date, $$1, $$2, $$3, $$5, $$7 }' \
+	>> BENCH_wal.json

@@ -9,6 +9,9 @@
 //	xtc -open bib.xtc -dump 1.17.17      # export one subtree as XML
 //	xtc -open bib.xtc -id b42            # resolve an id attribute
 //	xtc -load doc.xml -verify            # run the structural verifier
+//	xtc -open bib.xtc -wal bib.wal       # attach a write-ahead log
+//	xtc -open bib.xtc -wal bib.wal -recover -stats
+//	                                     # replay the log after a crash
 package main
 
 import (
@@ -16,23 +19,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/btree"
 	"repro/internal/pagestore"
 	"repro/internal/splid"
 	"repro/internal/storage"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		load   = flag.String("load", "", "XML file to import into a fresh in-memory document")
-		open   = flag.String("open", "", "XTC document file to open")
-		stats  = flag.Bool("stats", false, "print document statistics")
-		verify = flag.Bool("verify", false, "run the structural verifier")
-		dump   = flag.String("dump", "", "SPLID of a subtree to export as XML (\"root\" for everything)")
-		id     = flag.String("id", "", "resolve an id attribute value to its element")
+		load    = flag.String("load", "", "XML file to import into a fresh in-memory document")
+		open    = flag.String("open", "", "XTC document file to open")
+		stats   = flag.Bool("stats", false, "print document statistics")
+		verify  = flag.Bool("verify", false, "run the structural verifier")
+		dump    = flag.String("dump", "", "SPLID of a subtree to export as XML (\"root\" for everything)")
+		id      = flag.String("id", "", "resolve an id attribute value to its element")
+		walDir  = flag.String("wal", "", "directory of write-ahead log segments to attach")
+		recover = flag.Bool("recover", false, "run ARIES-style recovery from -wal before opening (requires -open)")
 	)
 	flag.Parse()
+
+	var log *wal.Log
+	if *walDir != "" {
+		segs, serr := wal.NewFileSegmentStore(*walDir)
+		if serr != nil {
+			fatal(serr)
+		}
+		var lerr error
+		log, lerr = wal.Open(segs, wal.Config{})
+		if lerr != nil {
+			fatal(lerr)
+		}
+	}
+	if *recover && (*open == "" || log == nil) {
+		fatal(fmt.Errorf("-recover requires both -open and -wal"))
+	}
 
 	var doc *storage.Document
 	var err error
@@ -49,12 +72,26 @@ func main() {
 			err = doc.ImportXML(bufio.NewReader(f))
 		}
 		f.Close()
+		if err == nil && log != nil {
+			err = doc.AttachWAL(log)
+		}
 	case *open != "":
 		fb, ferr := pagestore.OpenFile(*open)
 		if ferr != nil {
 			fatal(ferr)
 		}
-		doc, err = storage.Open(fb, storage.Options{})
+		if *recover {
+			var rep *storage.RecoveryReport
+			doc, rep, err = storage.Recover(fb, log, storage.Options{})
+			if err == nil {
+				printRecovery(rep)
+			}
+		} else {
+			doc, err = storage.Open(fb, storage.Options{})
+			if err == nil && log != nil {
+				err = doc.AttachWAL(log)
+			}
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -118,6 +155,18 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+func printRecovery(rep *storage.RecoveryReport) {
+	var winners []uint64
+	for txn := range rep.Committed {
+		winners = append(winners, txn)
+	}
+	sort.Slice(winners, func(i, j int) bool { return winners[i] < winners[j] })
+	fmt.Printf("recovery:   %d log records, %d ops redone, %d skipped, %d pages healed\n",
+		rep.Records, rep.RedoneOps, rep.SkippedOps, rep.HealedPages)
+	fmt.Printf("            committed %v, rolled back %v (%d ops undone)\n",
+		winners, rep.Losers, rep.UndoneOps)
 }
 
 func avgSep(st btree.TreeStats) float64 {

@@ -37,16 +37,19 @@ const MaxKeyLen = 128
 // a page. Larger payloads must be chunked by the caller.
 const MaxValueLen = 2048
 
-// Page layout.
+// Page layout. The first pagestore.PageHeaderSize bytes of every page
+// belong to the buffer manager's recovery header (pageLSN + checksum); the
+// btree header starts right after it, at pageBase. All offsets below are
+// absolute page offsets.
 //
-//	off 0: pageKind (1 = leaf, 2 = internal)
-//	off 1: unused
-//	off 2: nCells  uint16
-//	off 4: prev    uint32 (leaf)  | child0 uint32 (internal)
-//	off 8: next    uint32 (leaf)  | unused
-//	off 12: cellStart uint16 — lowest byte offset used by cell bodies
-//	off 14: prefixLen uint16 — length of the page-wide key prefix
-//	off 16: prefix bytes (prefixLen), shared by every key on the page
+//	off pageBase+0: pageKind (1 = leaf, 2 = internal)
+//	off pageBase+1: unused
+//	off pageBase+2: nCells  uint16
+//	off pageBase+4: prev    uint32 (leaf)  | child0 uint32 (internal)
+//	off pageBase+8: next    uint32 (leaf)  | unused
+//	off pageBase+12: cellStart uint16 — lowest byte offset used by cell bodies
+//	off pageBase+14: prefixLen uint16 — length of the page-wide key prefix
+//	off pageBase+16: prefix bytes (prefixLen), shared by every key on the page
 //	then:  slot array, nCells × uint16 cell-body offsets, sorted by key
 //	...
 //	cells grow downward from the page end:
@@ -65,14 +68,16 @@ const (
 	kindLeaf     = 1
 	kindInternal = 2
 
-	offKind      = 0
-	offNCells    = 2
-	offPrev      = 4
-	offChild0    = 4
-	offNext      = 8
-	offCellStart = 12
-	offPrefixLen = 14
-	headerLen    = 16
+	pageBase = pagestore.PageHeaderSize
+
+	offKind      = pageBase + 0
+	offNCells    = pageBase + 2
+	offPrev      = pageBase + 4
+	offChild0    = pageBase + 4
+	offNext      = pageBase + 8
+	offCellStart = pageBase + 12
+	offPrefixLen = pageBase + 14
+	headerLen    = pageBase + 16
 
 	cellHeaderLen = 4
 
@@ -275,7 +280,9 @@ func liveBytes(p []byte) int {
 }
 
 func initPage(p []byte, kind byte) {
-	for i := range p[:headerLen] {
+	// Zero only the btree header: the pagestore recovery header before
+	// pageBase (pageLSN, checksum) survives page reuse from the free list.
+	for i := pageBase; i < headerLen; i++ {
 		p[i] = 0
 	}
 	p[offKind] = kind

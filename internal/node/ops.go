@@ -237,11 +237,11 @@ func (m *Manager) SetValue(t *tx.Txn, id splid.ID, value []byte) error {
 	if err != nil {
 		return err
 	}
-	if err := m.doc.SetValue(id, value); err != nil {
+	if err := m.doc.ForTx(t.ID()).SetValue(id, value); err != nil {
 		return err
 	}
-	doc := m.doc
-	t.PushUndo(func() error { return doc.SetValue(id, old) })
+	txd := m.doc.ForTx(t.ID())
+	t.PushUndo(func() error { return txd.SetValue(id, old) })
 	return nil
 }
 
@@ -259,11 +259,11 @@ func (m *Manager) Rename(t *tx.Txn, id splid.ID, newName string) error {
 		return err
 	}
 	oldName := m.doc.Vocabulary().Name(n.Name)
-	if err := m.doc.Rename(id, newName); err != nil {
+	if err := m.doc.ForTx(t.ID()).Rename(id, newName); err != nil {
 		return err
 	}
-	doc := m.doc
-	t.PushUndo(func() error { return doc.Rename(id, oldName) })
+	txd := m.doc.ForTx(t.ID())
+	t.PushUndo(func() error { return txd.Rename(id, oldName) })
 	return nil
 }
 
@@ -271,14 +271,14 @@ func (m *Manager) Rename(t *tx.Txn, id splid.ID, newName string) error {
 // returns it.
 func (m *Manager) AppendElement(t *tx.Txn, parent splid.ID, name string) (xmlmodel.Node, error) {
 	return m.insertChild(t, parent, func(id splid.ID) (xmlmodel.Node, error) {
-		return m.doc.InsertElement(id, name)
+		return m.doc.ForTx(t.ID()).InsertElement(id, name)
 	})
 }
 
 // AppendText inserts a new text node as the last child of parent.
 func (m *Manager) AppendText(t *tx.Txn, parent splid.ID, value []byte) (xmlmodel.Node, error) {
 	return m.insertChild(t, parent, func(id splid.ID) (xmlmodel.Node, error) {
-		return m.doc.InsertText(id, value)
+		return m.doc.ForTx(t.ID()).InsertText(id, value)
 	})
 }
 
@@ -325,9 +325,9 @@ func (m *Manager) insertChild(t *tx.Txn, parent splid.ID,
 		if err != nil {
 			return xmlmodel.Node{}, err
 		}
-		doc := m.doc
+		txd := m.doc.ForTx(t.ID())
 		t.PushUndo(func() error {
-			_, err := doc.DeleteSubtree(newID)
+			_, err := txd.DeleteSubtree(newID)
 			return err
 		})
 		return n, nil
@@ -361,16 +361,16 @@ func (m *Manager) InsertElementBefore(t *tx.Txn, parent, before splid.ID, name s
 		if !check.ID.Equal(prev.ID) {
 			continue
 		}
-		n, err := m.doc.InsertElement(newID, name)
+		n, err := m.doc.ForTx(t.ID()).InsertElement(newID, name)
 		if errors.Is(err, storage.ErrNodeExists) {
 			continue
 		}
 		if err != nil {
 			return xmlmodel.Node{}, err
 		}
-		doc := m.doc
+		txd := m.doc.ForTx(t.ID())
 		t.PushUndo(func() error {
-			_, err := doc.DeleteSubtree(newID)
+			_, err := txd.DeleteSubtree(newID)
 			return err
 		})
 		return n, nil
@@ -391,7 +391,7 @@ func (m *Manager) SetAttribute(t *tx.Txn, el splid.ID, name string, value []byte
 		return err
 	}
 	c := m.ctx(t)
-	doc := m.doc
+	txd := m.doc.ForTx(t.ID())
 	if existing.ID.IsNull() {
 		// A new attribute is a structural insert under the virtual
 		// attribute root. The SPLID is computed with the same append rule
@@ -428,15 +428,16 @@ func (m *Manager) SetAttribute(t *tx.Txn, el splid.ID, name string, value []byte
 			if !check.Equal(last) {
 				continue
 			}
-			if _, err := m.doc.SetAttribute(el, name, value); err != nil {
+			if _, err := txd.SetAttribute(el, name, value); err != nil {
 				return err
 			}
+			doc := m.doc
 			t.PushUndo(func() error {
 				a, err := doc.AttributeByName(el, name)
 				if err != nil || a.ID.IsNull() {
 					return err
 				}
-				_, err = doc.DeleteSubtree(a.ID)
+				_, err = txd.DeleteSubtree(a.ID)
 				return err
 			})
 			return nil
@@ -450,10 +451,10 @@ func (m *Manager) SetAttribute(t *tx.Txn, el splid.ID, name string, value []byte
 	if err != nil {
 		return err
 	}
-	if _, err := m.doc.SetAttribute(el, name, value); err != nil {
+	if _, err := txd.SetAttribute(el, name, value); err != nil {
 		return err
 	}
-	t.PushUndo(func() error { return doc.SetValue(existing.ID, old) })
+	t.PushUndo(func() error { return txd.SetValue(existing.ID, old) })
 	return nil
 }
 
@@ -485,11 +486,11 @@ func (m *Manager) DeleteSubtree(t *tx.Txn, id splid.ID) error {
 	if len(victims) == 0 {
 		return fmt.Errorf("node: DeleteSubtree: %w", storage.ErrNodeNotFound)
 	}
-	if _, err := m.doc.DeleteSubtree(id); err != nil {
+	if _, err := m.doc.ForTx(t.ID()).DeleteSubtree(id); err != nil {
 		return err
 	}
-	doc := m.doc
-	t.PushUndo(func() error { return doc.RestoreSubtree(victims) })
+	txd := m.doc.ForTx(t.ID())
+	t.PushUndo(func() error { return txd.RestoreSubtree(victims) })
 	return nil
 }
 

@@ -63,12 +63,31 @@ type Store struct {
 	frames  map[PageID]*Frame
 	lru     *list.List // unpinned frames, front = least recently used
 	cap     int
+	wal     LogSyncer
+	capture *Capture
 
 	retry    RetryPolicy
 	retryMu  sync.Mutex
 	retryRng *rand.Rand
 
 	hits, misses, evictions, writebacks, retries, retryFailures atomic.Uint64
+}
+
+// LogSyncer is the write-ahead log hook the WAL rule needs: FlushTo blocks
+// until the log is durable up to lsn (and fails once the log is dead, which
+// stops all further write-backs — after a log crash nothing unlogged may
+// reach the backend). The wal package's Log satisfies it; the indirection
+// keeps pagestore free of a wal import.
+type LogSyncer interface {
+	FlushTo(lsn uint64) error
+}
+
+// SetWAL attaches a write-ahead log. From then on every dirty-page
+// write-back first forces the log up to the page's LSN (the WAL rule).
+func (s *Store) SetWAL(w LogSyncer) {
+	s.mu.Lock()
+	s.wal = w
+	s.mu.Unlock()
 }
 
 // RetryPolicy bounds how the buffer manager re-attempts backend operations
@@ -189,6 +208,9 @@ func (s *Store) Fix(id PageID) (*Frame, error) {
 			s.lru.Remove(f.elem)
 			f.elem = nil
 		}
+		if s.capture != nil {
+			s.capture.noteLocked(f)
+		}
 		s.mu.Unlock()
 		s.hits.Add(1)
 		return f, nil
@@ -207,6 +229,19 @@ func (s *Store) Fix(id PageID) (*Frame, error) {
 		s.dropFrameLocked(f)
 		s.mu.Unlock()
 		return nil, err
+	}
+	// Detect torn or corrupt images at read time: the checksum was stamped
+	// by the last write-back, so a mismatch means the backend returned a
+	// page that was never completely written. Classified permanent — the
+	// retry loop must not spin on it; recovery (full-image redo) is the
+	// only heal.
+	if err := VerifyChecksum(id, f.data); err != nil {
+		s.dropFrameLocked(f)
+		s.mu.Unlock()
+		return nil, err
+	}
+	if s.capture != nil {
+		s.capture.noteLocked(f)
 	}
 	s.mu.Unlock()
 	s.misses.Add(1)
@@ -227,6 +262,9 @@ func (s *Store) FixNew() (*Frame, error) {
 		return nil, err
 	}
 	f.dirty = true
+	if s.capture != nil {
+		s.capture.noteLocked(f)
+	}
 	return f, nil
 }
 
@@ -247,14 +285,12 @@ func (s *Store) allocFrameLocked(id PageID) (*Frame, error) {
 		delete(s.frames, f.id)
 		s.evictions.Add(1)
 		if f.dirty {
-			if err := s.withRetry(func() error { return s.backend.WritePage(f.id, f.data) }); err != nil {
+			if err := s.writeBackLocked(f); err != nil {
 				// Re-insert the victim so the page is not lost.
 				s.frames[f.id] = f
 				f.elem = s.lru.PushFront(f)
 				return nil, err
 			}
-			s.writebacks.Add(1)
-			f.dirty = false
 		}
 		for i := range f.data {
 			f.data[i] = 0
@@ -264,6 +300,28 @@ func (s *Store) allocFrameLocked(id PageID) (*Frame, error) {
 	f.pins = 1
 	s.frames[id] = f
 	return f, nil
+}
+
+// writeBackLocked persists one dirty frame: it enforces the WAL rule
+// (force the log up to the page's LSN first — with no attached log the
+// rule is vacuous), stamps the page checksum, and writes through the retry
+// policy. The caller holds s.mu. FlushTo is called unconditionally, even
+// for pages with LSN 0: a crashed log fails every FlushTo, which is
+// exactly the barrier that keeps post-crash unlogged content off the
+// backend.
+func (s *Store) writeBackLocked(f *Frame) error {
+	if s.wal != nil {
+		if err := s.wal.FlushTo(PageLSN(f.data)); err != nil {
+			return fmt.Errorf("pagestore: WAL rule for page %d: %w", f.id, err)
+		}
+	}
+	StampChecksum(f.data)
+	if err := s.withRetry(func() error { return s.backend.WritePage(f.id, f.data) }); err != nil {
+		return err
+	}
+	s.writebacks.Add(1)
+	f.dirty = false
+	return nil
 }
 
 // dropFrameLocked removes a freshly allocated frame after a failed read.
@@ -280,6 +338,12 @@ func (s *Store) Unfix(f *Frame) {
 	if f.pins <= 0 {
 		panic("pagestore: Unfix without matching Fix")
 	}
+	// A frame inside an active capture keeps its pins until the capture
+	// closes: its content may be ahead of the log, so it must not become
+	// evictable before the operation's record is appended and stamped.
+	if s.capture != nil && s.capture.deferUnfixLocked(f) {
+		return
+	}
 	f.pins--
 	if f.pins == 0 {
 		f.elem = s.lru.PushBack(f)
@@ -291,12 +355,10 @@ func (s *Store) Flush() error {
 	s.mu.Lock()
 	for _, f := range s.frames {
 		if f.dirty {
-			if err := s.withRetry(func() error { return s.backend.WritePage(f.id, f.data) }); err != nil {
+			if err := s.writeBackLocked(f); err != nil {
 				s.mu.Unlock()
 				return err
 			}
-			s.writebacks.Add(1)
-			f.dirty = false
 		}
 	}
 	s.mu.Unlock()

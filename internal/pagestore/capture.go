@@ -1,0 +1,179 @@
+package pagestore
+
+// Page-image capture: the hook the storage layer uses to turn one logical
+// document operation into a physiological WAL record. While a capture is
+// active on a Store, every page fixed (or newly allocated) gets its
+// pre-image snapshotted, and all unpins on captured frames are deferred
+// until the capture closes. The deferral is load-bearing: a captured page
+// can hold modified content whose log record has not been appended yet, so
+// it must not become evictable (the WAL rule could not be honored for it).
+//
+// At the end of the operation the capture diffs each page body against its
+// pre-image, the storage layer logs the deltas in a single record, and
+// Commit stamps the record's LSN into every changed page before the pins
+// are finally released.
+
+// PageDelta is one contiguous changed byte range of a page, the redo unit
+// of a physiological log record.
+type PageDelta struct {
+	// Page is the page the range belongs to.
+	Page PageID
+	// Off is the byte offset of the range within the page.
+	Off int
+	// Data is the after-image of the range.
+	Data []byte
+}
+
+// FullImage reports whether the delta covers the entire page body (all
+// bytes after the page header). Full-image deltas can heal a torn page
+// during redo regardless of what the corrupt image contains.
+func (d PageDelta) FullImage() bool {
+	return d.Off == PageHeaderSize && len(d.Data) == PageSize-PageHeaderSize
+}
+
+// captureEntry tracks one page touched during a capture.
+type captureEntry struct {
+	f *Frame
+	// pre is the page image at first Fix within the capture.
+	pre []byte
+	// deferred counts Unfix calls intercepted while the capture was active.
+	deferred int32
+	// logged is set by Deltas when the page body changed; Commit stamps
+	// only logged entries.
+	logged bool
+}
+
+// Capture is one active page-image capture session. It is created by
+// Store.BeginCapture and must be finished with Close exactly once. A Store
+// supports at most one active capture; the storage layer's document latch
+// provides that exclusion.
+type Capture struct {
+	s       *Store
+	entries map[PageID]*captureEntry
+	order   []PageID // insertion order, for deterministic delta layout
+}
+
+// BeginCapture starts a capture session. Until Close, every Fix/FixNew
+// snapshots the page's pre-image and Unfix calls on captured frames are
+// deferred.
+func (s *Store) BeginCapture() *Capture {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capture != nil {
+		panic("pagestore: nested capture")
+	}
+	c := &Capture{s: s, entries: make(map[PageID]*captureEntry)}
+	s.capture = c
+	return c
+}
+
+// noteLocked snapshots f's pre-image on its first Fix within the capture.
+// The caller holds s.mu.
+func (c *Capture) noteLocked(f *Frame) {
+	if _, ok := c.entries[f.id]; ok {
+		return
+	}
+	pre := make([]byte, PageSize)
+	copy(pre, f.data)
+	c.entries[f.id] = &captureEntry{f: f, pre: pre}
+	c.order = append(c.order, f.id)
+}
+
+// deferUnfixLocked intercepts an Unfix on a captured frame. The caller
+// holds s.mu. Returns false when the frame is not part of the capture.
+func (c *Capture) deferUnfixLocked(f *Frame) bool {
+	e, ok := c.entries[f.id]
+	if !ok || e.f != f {
+		return false
+	}
+	e.deferred++
+	return true
+}
+
+// Deltas diffs every captured page body against its pre-image and returns
+// the changed ranges in page-touch order. Pages whose needFull callback
+// returns true contribute their complete body instead of a minimal range
+// (used for first-touch full images, the torn-page healing anchor). The
+// header bytes are excluded: pageLSN and checksum are recovery metadata,
+// not logged content.
+func (c *Capture) Deltas(needFull func(PageID) bool) []PageDelta {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	var out []PageDelta
+	for _, id := range c.order {
+		e := c.entries[id]
+		lo, hi := diffRange(e.pre, e.f.data)
+		if lo < 0 {
+			continue
+		}
+		e.logged = true
+		if needFull != nil && needFull(id) {
+			lo, hi = PageHeaderSize, PageSize
+		}
+		data := make([]byte, hi-lo)
+		copy(data, e.f.data[lo:hi])
+		out = append(out, PageDelta{Page: id, Off: lo, Data: data})
+	}
+	return out
+}
+
+// diffRange returns the smallest [lo, hi) range within the page body where
+// pre and cur differ, or lo = -1 when they are identical.
+func diffRange(pre, cur []byte) (lo, hi int) {
+	lo = -1
+	for i := PageHeaderSize; i < PageSize; i++ {
+		if pre[i] != cur[i] {
+			lo = i
+			break
+		}
+	}
+	if lo < 0 {
+		return -1, -1
+	}
+	hi = PageSize
+	for hi > lo && pre[hi-1] == cur[hi-1] {
+		hi--
+	}
+	return lo, hi
+}
+
+// Commit stamps lsn into every page Deltas reported changed and marks them
+// dirty, establishing the pageLSN the WAL rule and conditional redo key on.
+// Call it after the log record holding the deltas has been appended.
+func (c *Capture) Commit(lsn uint64) {
+	c.s.mu.Lock()
+	defer c.s.mu.Unlock()
+	for _, id := range c.order {
+		e := c.entries[id]
+		if !e.logged {
+			continue
+		}
+		SetPageLSN(e.f.data, lsn)
+		e.f.dirty = true
+	}
+}
+
+// Close ends the capture: deferred unpins are applied and the store stops
+// snapshotting. Must be called exactly once, after Deltas/Commit.
+func (c *Capture) Close() {
+	s := c.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.capture != c {
+		panic("pagestore: capture closed twice or out of order")
+	}
+	s.capture = nil
+	for _, id := range c.order {
+		e := c.entries[id]
+		f := e.f
+		for ; e.deferred > 0; e.deferred-- {
+			if f.pins <= 0 {
+				panic("pagestore: capture pin accounting underflow")
+			}
+			f.pins--
+		}
+		if f.pins == 0 && f.elem == nil {
+			f.elem = s.lru.PushBack(f)
+		}
+	}
+}

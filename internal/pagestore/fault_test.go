@@ -236,10 +236,72 @@ func TestTornWriteHealedByRetry(t *testing.T) {
 	if err := mem.ReadPage(0, got); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got, img) {
+	// The body must match; the header's checksum field is owned by the
+	// write-back path and is stamped over whatever the test wrote there.
+	if !bytes.Equal(got[PageHeaderSize:], img[PageHeaderSize:]) {
 		t.Error("retry did not heal the torn page")
+	}
+	if err := VerifyChecksum(0, got); err != nil {
+		t.Errorf("healed page fails checksum: %v", err)
 	}
 	if fb.Stats().TornWrites != 1 {
 		t.Errorf("TornWrites = %d", fb.Stats().TornWrites)
+	}
+}
+
+func TestFixRejectsCorruptPageAsPermanent(t *testing.T) {
+	// A permanently-failing torn write leaves a half-new page on disk with
+	// a checksum that matches neither half. A later cold Fix of that page
+	// must refuse to serve the garbage: it fails with a ChecksumError that
+	// classifies as permanent (retrying the read cannot help), and the
+	// frame is not cached.
+	cfg := FaultConfig{Schedule: []ScheduledFault{{Op: OpWrite, N: 1, Class: ClassPermanent, Torn: true}}}
+	fb, _ := newFaultedMem(t, cfg, 1)
+	s := Open(fb, 2)
+
+	// Establish a valid stamped page, then overwrite it with a torn image.
+	fb.Disarm()
+	f, err := s.Fix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(f.Data(), bytes.Repeat([]byte{0xAA}, PageSize))
+	f.MarkDirty()
+	s.Unfix(f)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fb.Arm()
+	f, err = s.Fix(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(f.Data()[PageHeaderSize:], bytes.Repeat([]byte{0xBB}, PageSize-PageHeaderSize))
+	f.MarkDirty()
+	s.Unfix(f)
+	if err := s.Flush(); err == nil {
+		t.Fatal("permanent write fault did not surface through Flush")
+	}
+	if fb.Stats().TornWrites != 1 {
+		t.Fatalf("TornWrites = %d, want 1", fb.Stats().TornWrites)
+	}
+
+	// Cold read: a fresh store must detect the torn page.
+	s2 := Open(fb, 2)
+	_, err = s2.Fix(0)
+	var ce *ChecksumError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Fix of torn page = %v, want ChecksumError", err)
+	}
+	if ce.Page != 0 {
+		t.Errorf("ChecksumError.Page = %d", ce.Page)
+	}
+	if IsTransient(err) || !IsPermanent(err) {
+		t.Errorf("checksum failure classified as %s, want permanent", Classify(err))
+	}
+	// The poisoned frame must not be cached: a second Fix re-reads and
+	// fails identically instead of serving garbage.
+	if _, err := s2.Fix(0); !errors.As(err, &ce) {
+		t.Errorf("second Fix = %v, want ChecksumError again", err)
 	}
 }

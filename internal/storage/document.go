@@ -18,6 +18,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/pagestore"
 	"repro/internal/splid"
+	"repro/internal/wal"
 	"repro/internal/xmlmodel"
 )
 
@@ -49,6 +50,16 @@ type Document struct {
 	// which must hold even under isolation level none, where transactions
 	// acquire no locks at all.
 	latch sync.Mutex
+
+	// Write-ahead logging state, all guarded by latch. wal is nil until
+	// AttachWAL; from then on every structural mutation runs inside a page
+	// capture and appends one RecOp (see logOp in txdoc.go). walImaged
+	// tracks which pages have logged a full body image since attach (the
+	// first-touch full-page-image rule that makes torn pages healable).
+	// walMeta is the signature of the last logged metadata page content.
+	wal       *wal.Log
+	walImaged map[pagestore.PageID]bool
+	walMeta   metaSig
 }
 
 // Options configure document creation.
@@ -209,10 +220,13 @@ func elemKey(sur xmlmodel.Sur, id splid.ID) []byte {
 	return id.AppendEncode(key)
 }
 
-// InsertElement adds an element node labeled id.
+// InsertElement adds an element node labeled id, attributed to the system
+// transaction. Transactional callers use ForTx.
 func (d *Document) InsertElement(id splid.ID, name string) (xmlmodel.Node, error) {
-	d.latch.Lock()
-	defer d.latch.Unlock()
+	return d.ForTx(SystemTxn).InsertElement(id, name)
+}
+
+func (d *Document) insertElementLocked(id splid.ID, name string) (xmlmodel.Node, error) {
 	sur, err := d.vocab.Intern(name)
 	if err != nil {
 		return xmlmodel.Node{}, err
@@ -224,8 +238,10 @@ func (d *Document) InsertElement(id splid.ID, name string) (xmlmodel.Node, error
 // InsertText adds a text node labeled id with the given character data (a
 // string node child is created automatically, taDOM-style).
 func (d *Document) InsertText(id splid.ID, value []byte) (xmlmodel.Node, error) {
-	d.latch.Lock()
-	defer d.latch.Unlock()
+	return d.ForTx(SystemTxn).InsertText(id, value)
+}
+
+func (d *Document) insertTextLocked(id splid.ID, value []byte) (xmlmodel.Node, error) {
 	n := xmlmodel.Node{ID: id, Kind: xmlmodel.KindText}
 	if err := d.insertRaw(n); err != nil {
 		return xmlmodel.Node{}, err
@@ -237,18 +253,23 @@ func (d *Document) InsertText(id splid.ID, value []byte) (xmlmodel.Node, error) 
 // SetAttribute adds (or overwrites) an attribute on element el, creating the
 // virtual attribute root on first use. It returns the attribute node.
 func (d *Document) SetAttribute(el splid.ID, name string, value []byte) (xmlmodel.Node, error) {
-	d.latch.Lock()
-	defer d.latch.Unlock()
+	return d.ForTx(SystemTxn).SetAttribute(el, name, value)
+}
+
+// setAttributeLocked performs SetAttribute and returns the logical inverse:
+// deleting the attribute when it was created, or restoring the previous
+// value when it was overwritten.
+func (d *Document) setAttributeLocked(el splid.ID, name string, value []byte) (xmlmodel.Node, []byte, error) {
 	sur, err := d.vocab.Intern(name)
 	if err != nil {
-		return xmlmodel.Node{}, err
+		return xmlmodel.Node{}, nil, err
 	}
 	ar := el.AttributeRoot()
 	if ok, err := d.Exists(ar); err != nil {
-		return xmlmodel.Node{}, err
+		return xmlmodel.Node{}, nil, err
 	} else if !ok {
 		if err := d.insertRaw(xmlmodel.Node{ID: ar, Kind: xmlmodel.KindAttributeRoot}); err != nil {
-			return xmlmodel.Node{}, err
+			return xmlmodel.Node{}, nil, err
 		}
 	}
 	// Find an existing attribute with this name, else append a new one.
@@ -263,19 +284,23 @@ func (d *Document) SetAttribute(el splid.ID, name string, value []byte) (xmlmode
 		return true
 	})
 	if err != nil {
-		return xmlmodel.Node{}, err
+		return xmlmodel.Node{}, nil, err
 	}
 	if !existing.IsNull() {
+		old, err := d.Value(existing)
+		if err != nil {
+			return xmlmodel.Node{}, nil, err
+		}
 		if name == IDAttrName {
 			if err := d.reindexID(el, existing, value); err != nil {
-				return xmlmodel.Node{}, err
+				return xmlmodel.Node{}, nil, err
 			}
 		}
 		s := xmlmodel.Node{ID: existing.StringNode(), Kind: xmlmodel.KindString, Value: value}
 		if err := d.doc.Insert(s.ID.Encode(), xmlmodel.EncodeRecord(s)); err != nil {
-			return xmlmodel.Node{}, err
+			return xmlmodel.Node{}, nil, err
 		}
-		return xmlmodel.Node{ID: existing, Kind: xmlmodel.KindAttribute, Name: sur}, nil
+		return xmlmodel.Node{ID: existing, Kind: xmlmodel.KindAttribute, Name: sur}, encodeUndoSetValue(existing, old), nil
 	}
 	var attrID splid.ID
 	if last.IsNull() {
@@ -285,18 +310,18 @@ func (d *Document) SetAttribute(el splid.ID, name string, value []byte) (xmlmode
 	}
 	n := xmlmodel.Node{ID: attrID, Kind: xmlmodel.KindAttribute, Name: sur}
 	if err := d.insertRaw(n); err != nil {
-		return xmlmodel.Node{}, err
+		return xmlmodel.Node{}, nil, err
 	}
 	s := xmlmodel.Node{ID: attrID.StringNode(), Kind: xmlmodel.KindString, Value: value}
 	if err := d.insertRaw(s); err != nil {
-		return xmlmodel.Node{}, err
+		return xmlmodel.Node{}, nil, err
 	}
 	if name == IDAttrName {
 		if err := d.ids.Insert(append([]byte(nil), value...), el.Encode()); err != nil {
-			return xmlmodel.Node{}, err
+			return xmlmodel.Node{}, nil, err
 		}
 	}
-	return n, nil
+	return n, encodeUndoDelete(attrID), nil
 }
 
 // Value returns the character data of a text or attribute node.
@@ -321,24 +346,32 @@ func (d *Document) Value(id splid.ID) ([]byte, error) {
 
 // SetValue overwrites the character data of a text or attribute node.
 func (d *Document) SetValue(id splid.ID, value []byte) error {
-	d.latch.Lock()
-	defer d.latch.Unlock()
+	return d.ForTx(SystemTxn).SetValue(id, value)
+}
+
+// setValueLocked performs SetValue and returns the previous value for the
+// logical undo record.
+func (d *Document) setValueLocked(id splid.ID, value []byte) ([]byte, error) {
 	n, err := d.GetNode(id)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if n.Kind != xmlmodel.KindText && n.Kind != xmlmodel.KindAttribute {
-		return fmt.Errorf("storage: cannot set value of %v node %v", n.Kind, id)
+		return nil, fmt.Errorf("storage: cannot set value of %v node %v", n.Kind, id)
+	}
+	old, err := d.Value(id)
+	if err != nil {
+		return nil, err
 	}
 	if n.Kind == xmlmodel.KindAttribute && d.vocab.Name(n.Name) == IDAttrName {
 		// id attributes feed the direct-jump index: keep it in sync.
 		el := id.Parent().Parent() // attribute -> attribute root -> element
 		if err := d.reindexID(el, id, value); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	s := xmlmodel.Node{ID: id.StringNode(), Kind: xmlmodel.KindString, Value: value}
-	return d.doc.Insert(s.ID.Encode(), xmlmodel.EncodeRecord(s))
+	return old, d.doc.Insert(s.ID.Encode(), xmlmodel.EncodeRecord(s))
 }
 
 // reindexID replaces the ID-index entry of attribute attr (on element el)
@@ -355,39 +388,48 @@ func (d *Document) reindexID(el, attr splid.ID, newValue []byte) error {
 // Rename changes the name of an element or attribute node (the DOM level 3
 // renameNode operation exercised by TArenameTopic).
 func (d *Document) Rename(id splid.ID, newName string) error {
-	d.latch.Lock()
-	defer d.latch.Unlock()
+	return d.ForTx(SystemTxn).Rename(id, newName)
+}
+
+// renameLocked performs Rename and returns the previous name for the
+// logical undo record.
+func (d *Document) renameLocked(id splid.ID, newName string) (string, error) {
 	n, err := d.GetNode(id)
 	if err != nil {
-		return err
+		return "", err
 	}
 	if !n.HasName() {
-		return fmt.Errorf("storage: cannot rename %v node %v", n.Kind, id)
+		return "", fmt.Errorf("storage: cannot rename %v node %v", n.Kind, id)
 	}
+	oldName := d.vocab.Name(n.Name)
 	sur, err := d.vocab.Intern(newName)
 	if err != nil {
-		return err
+		return "", err
 	}
 	if n.Kind == xmlmodel.KindElement && sur != n.Name {
 		if err := d.elem.Delete(elemKey(n.Name, n.ID)); err != nil && err != btree.ErrNotFound {
-			return err
+			return "", err
 		}
 		if err := d.elem.Insert(elemKey(sur, n.ID), nil); err != nil {
-			return err
+			return "", err
 		}
 	}
 	n.Name = sur
-	return d.doc.Insert(id.Encode(), xmlmodel.EncodeRecord(n))
+	return oldName, d.doc.Insert(id.Encode(), xmlmodel.EncodeRecord(n))
 }
 
 // DeleteSubtree removes the node labeled id together with every descendant
 // (including virtual attribute and string nodes) and returns the number of
 // nodes removed. Secondary index entries are maintained.
 func (d *Document) DeleteSubtree(id splid.ID) (int, error) {
-	d.latch.Lock()
-	defer d.latch.Unlock()
+	return d.ForTx(SystemTxn).DeleteSubtree(id)
+}
+
+// deleteSubtreeLocked performs DeleteSubtree and returns the removed nodes
+// (in document order) — both the result count and the undo payload source.
+func (d *Document) deleteSubtreeLocked(id splid.ID) ([]xmlmodel.Node, error) {
 	if id.IsRoot() {
-		return 0, errors.New("storage: cannot delete the document root")
+		return nil, errors.New("storage: cannot delete the document root")
 	}
 	var victims []xmlmodel.Node
 	err := d.ScanSubtree(id, func(n xmlmodel.Node) bool {
@@ -395,34 +437,36 @@ func (d *Document) DeleteSubtree(id splid.ID) (int, error) {
 		return true
 	})
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if len(victims) == 0 {
-		return 0, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
+		return nil, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
 	}
 	for _, n := range victims {
 		if n.Kind == xmlmodel.KindAttribute && d.vocab.Name(n.Name) == IDAttrName {
 			if v, err := d.Value(n.ID); err == nil {
 				if err := d.ids.Delete(v); err != nil && err != btree.ErrNotFound {
-					return 0, err
+					return nil, err
 				}
 			}
 		}
 	}
 	for _, n := range victims {
 		if err := d.deleteRaw(n); err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
-	return len(victims), nil
+	return victims, nil
 }
 
 // RestoreSubtree reinserts previously deleted node records (in document
 // order) and rebuilds the secondary index entries — the physical undo of
 // DeleteSubtree, run by aborting transactions that still hold their locks.
 func (d *Document) RestoreSubtree(nodes []xmlmodel.Node) error {
-	d.latch.Lock()
-	defer d.latch.Unlock()
+	return d.ForTx(SystemTxn).RestoreSubtree(nodes)
+}
+
+func (d *Document) restoreSubtreeLocked(nodes []xmlmodel.Node) error {
 	for _, n := range nodes {
 		if err := d.insertRaw(n); err != nil {
 			return err

@@ -13,9 +13,11 @@ import (
 
 // Document metadata page. Page 0 of the backend holds the roots of the
 // three B*-trees, the SPLID gap, and the vocabulary, so a document stored
-// on a file backend can be reopened.
+// on a file backend can be reopened. Like every page, it starts with the
+// pagestore recovery header; the metadata proper begins at metaBase.
+// Version 2 is exactly the version-1 layout shifted by that header.
 //
-// Layout:
+// Layout (offsets relative to metaBase):
 //
 //	off  0: magic "XTCD"
 //	off  4: version uint16
@@ -24,7 +26,10 @@ import (
 //	off 22: vocabulary blob length uint16, then the blob
 const (
 	metaMagic   = "XTCD"
-	metaVersion = 1
+	metaVersion = 2
+
+	metaBase    = pagestore.PageHeaderSize
+	metaBlobOff = metaBase + 24
 )
 
 var errBadMeta = errors.New("storage: invalid metadata page")
@@ -43,7 +48,7 @@ func (d *Document) writeMeta() error {
 		return err
 	}
 	defer d.store.Unfix(f)
-	p := f.Data()
+	p := f.Data()[metaBase:]
 	copy(p[0:4], metaMagic)
 	binary.BigEndian.PutUint16(p[4:6], metaVersion)
 	binary.BigEndian.PutUint32(p[6:10], d.alloc.Dist)
@@ -51,7 +56,7 @@ func (d *Document) writeMeta() error {
 	binary.BigEndian.PutUint32(p[14:18], uint32(d.elem.Root()))
 	binary.BigEndian.PutUint32(p[18:22], uint32(d.ids.Root()))
 	blob := d.vocab.Encode()
-	if len(blob) > pagestore.PageSize-24 {
+	if len(blob) > pagestore.PageSize-metaBlobOff {
 		return fmt.Errorf("storage: vocabulary (%d bytes) exceeds the metadata page", len(blob))
 	}
 	binary.BigEndian.PutUint16(p[22:24], uint16(len(blob)))
@@ -68,7 +73,7 @@ func Open(backend pagestore.Backend, opts Options) (*Document, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: reading metadata: %w", err)
 	}
-	p := f.Data()
+	p := f.Data()[metaBase:]
 	if string(p[0:4]) != metaMagic {
 		store.Unfix(f)
 		return nil, fmt.Errorf("%w: bad magic", errBadMeta)
@@ -82,7 +87,7 @@ func Open(backend pagestore.Backend, opts Options) (*Document, error) {
 	elemRoot := pagestore.PageID(binary.BigEndian.Uint32(p[14:18]))
 	idsRoot := pagestore.PageID(binary.BigEndian.Uint32(p[18:22]))
 	blobLen := int(binary.BigEndian.Uint16(p[22:24]))
-	if 24+blobLen > pagestore.PageSize {
+	if metaBlobOff+blobLen > pagestore.PageSize {
 		store.Unfix(f)
 		return nil, fmt.Errorf("%w: vocabulary length %d", errBadMeta, blobLen)
 	}

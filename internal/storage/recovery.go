@@ -1,0 +1,223 @@
+package storage
+
+// Crash recovery: ARIES-lite restart over the write-ahead log.
+//
+// Recover rebuilds a consistent document from whatever the crash left on
+// the page backend plus the log's durable prefix, in three passes:
+//
+//  1. Analysis — one log scan classifies transactions: a RecCommit makes a
+//     winner, a RecEnd closes a transaction (committed or fully rolled
+//     back), anything else with logged operations is a loser.
+//
+//  2. Redo — repeating history: every RecOp's page deltas are applied in
+//     log order to an in-memory page image, conditional on the page's
+//     stamped pageLSN (a page already carrying LSN >= the record's was
+//     written back after that operation and is skipped). Pages whose
+//     on-disk checksum fails — torn by a crash mid-writeback — are reset
+//     and rebuilt from their first logged full-page image; every page
+//     written back during the WAL epoch logged one (the first-touch image
+//     rule in logOp), so a torn page is always healable. Redone pages are
+//     checksummed and written back before the document is opened.
+//
+//  3. Undo — losers roll back by applying their logical undo payloads in
+//     reverse log order through the normal logged-mutation path, so
+//     compensations are themselves durable; a RecEnd per loser then makes
+//     repeated recovery skip them. Compensations logged by a crashed
+//     runtime abort carry their own inverses, so reverse-order undo
+//     telescopes through a half-finished rollback correctly.
+//
+// Running Recover twice (or crashing during recovery and recovering again)
+// converges on the same state: redo is pageLSN-conditional, undo is
+// resumable, and RecEnd records mark completed rollbacks.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pagestore"
+	"repro/internal/wal"
+)
+
+// RecoveryReport summarizes a Recover run.
+type RecoveryReport struct {
+	Records     int             // log records scanned
+	RedoneOps   int             // RecOp records whose deltas were (re)applied
+	SkippedOps  int             // RecOp records fully absorbed by pageLSNs
+	HealedPages int             // pages with failed checksums rebuilt from full images
+	Committed   map[uint64]bool // transactions with a durable commit record
+	Losers      []uint64        // transactions rolled back by this run
+	UndoneOps   int             // undo payloads applied during rollback
+}
+
+// loserOp is one undoable operation of an unfinished transaction.
+type loserOp struct {
+	lsn  wal.LSN
+	txn  uint64
+	undo []byte
+}
+
+// Recover restarts a document from backend and its write-ahead log. The
+// log must already be reopened post-crash (wal.Open truncates any torn
+// tail). The returned document has the log attached and is fully
+// consistent: effects of committed transactions are present, effects of
+// unfinished ones are rolled back and their rollbacks logged.
+func Recover(backend pagestore.Backend, log *wal.Log, opts Options) (*Document, *RecoveryReport, error) {
+	rep := &RecoveryReport{Committed: make(map[uint64]bool)}
+
+	// Pass 1+2 share one scan: classify transactions and redo page state.
+	// pages holds the in-memory after-image of every page the log touches;
+	// dirty marks those that differ from (or never reached) the backend.
+	pages := make(map[pagestore.PageID][]byte)
+	dirty := make(map[pagestore.PageID]bool)
+	torn := make(map[pagestore.PageID]bool)
+	seen := make(map[uint64]bool)
+	ended := make(map[uint64]bool)
+	undoLog := make(map[uint64][]loserOp)
+
+	load := func(id pagestore.PageID) []byte {
+		if p, ok := pages[id]; ok {
+			return p
+		}
+		p := make([]byte, pagestore.PageSize)
+		if id < backend.NumPages() {
+			if err := backend.ReadPage(id, p); err != nil || pagestore.VerifyChecksum(id, p) != nil {
+				// Unreadable or torn: reset and rebuild from the log. The
+				// page stays unusable unless a full image arrives, which
+				// the torn map enforces below.
+				for i := range p {
+					p[i] = 0
+				}
+				torn[id] = true
+				rep.HealedPages++
+			}
+		}
+		pages[id] = p
+		return p
+	}
+
+	err := log.Scan(func(r wal.Record) error {
+		rep.Records++
+		switch r.Type {
+		case wal.RecCommit:
+			rep.Committed[r.Txn] = true
+		case wal.RecEnd:
+			ended[r.Txn] = true
+		case wal.RecOp:
+			undo, deltas, err := wal.DecodeOp(r.Payload)
+			if err != nil {
+				return fmt.Errorf("storage: recovery at LSN %d: %w", r.LSN, err)
+			}
+			if r.Txn != SystemTxn {
+				seen[r.Txn] = true
+				if len(undo) > 0 {
+					undoLog[r.Txn] = append(undoLog[r.Txn], loserOp{r.LSN, r.Txn, undo})
+				}
+			}
+			applied := false
+			for _, dl := range deltas {
+				p := load(dl.Page)
+				if dl.FullImage() {
+					torn[dl.Page] = false
+				}
+				if pagestore.PageLSN(p) >= r.LSN {
+					continue // writeback already carried this operation
+				}
+				copy(p[dl.Off:], dl.Data)
+				pagestore.SetPageLSN(p, r.LSN)
+				dirty[dl.Page] = true
+				applied = true
+			}
+			if applied {
+				rep.RedoneOps++
+			} else if len(deltas) > 0 {
+				rep.SkippedOps++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	for id, t := range torn {
+		if t {
+			return nil, rep, fmt.Errorf("storage: recovery: page %d is corrupt and the log holds no full image", id)
+		}
+	}
+
+	// Materialize redone pages. Pages referenced beyond the backend's size
+	// were allocated by the crashed run but never written back.
+	if len(dirty) > 0 {
+		maxPage := pagestore.PageID(0)
+		for id := range dirty {
+			if id > maxPage {
+				maxPage = id
+			}
+		}
+		for backend.NumPages() <= maxPage {
+			if _, err := backend.Allocate(); err != nil {
+				return nil, rep, err
+			}
+		}
+		for id, d := range dirty {
+			if !d {
+				continue
+			}
+			p := pages[id]
+			pagestore.StampChecksum(p)
+			if err := backend.WritePage(id, p); err != nil {
+				return nil, rep, err
+			}
+		}
+		if err := backend.Sync(); err != nil {
+			return nil, rep, err
+		}
+	}
+
+	// Reopen the document over the repaired backend and re-arm logging.
+	d, err := Open(backend, opts)
+	if err != nil {
+		return nil, rep, fmt.Errorf("storage: recovery reopen: %w", err)
+	}
+	if err := d.AttachWAL(log); err != nil {
+		return nil, rep, err
+	}
+
+	// Undo pass: roll back losers in global reverse log order.
+	var losers []loserOp
+	for txn, ops := range undoLog {
+		if rep.Committed[txn] || ended[txn] {
+			continue
+		}
+		losers = append(losers, ops...)
+	}
+	for txn := range seen {
+		if !rep.Committed[txn] && !ended[txn] {
+			rep.Losers = append(rep.Losers, txn)
+		}
+	}
+	sort.Slice(losers, func(i, j int) bool { return losers[i].lsn > losers[j].lsn })
+	sort.Slice(rep.Losers, func(i, j int) bool { return rep.Losers[i] < rep.Losers[j] })
+	for _, op := range losers {
+		if err := applyUndo(d.ForTx(op.txn), op.undo); err != nil {
+			return nil, rep, fmt.Errorf("storage: undo for txn %d at LSN %d: %w", op.txn, op.lsn, err)
+		}
+		rep.UndoneOps++
+	}
+	var endLSN wal.LSN
+	for _, txn := range rep.Losers {
+		lsn, err := log.AppendEnd(txn)
+		if err != nil {
+			return nil, rep, err
+		}
+		endLSN = lsn
+	}
+	if len(rep.Losers) > 0 {
+		if err := log.Force(endLSN); err != nil {
+			return nil, rep, err
+		}
+	}
+	if err := d.Flush(); err != nil {
+		return nil, rep, err
+	}
+	return d, rep, nil
+}

@@ -27,6 +27,19 @@ var ErrRelabelRoot = errors.New("storage: cannot relabel the document root")
 func (d *Document) RelabelSubtree(old splid.ID) (splid.ID, error) {
 	d.latch.Lock()
 	defer d.latch.Unlock()
+	// Logged as a system operation: relabeling is its own recovery unit
+	// (redo-only, never undone) regardless of which transaction triggered it
+	// — XTC runs it under exclusive subtree access, outside user rollback.
+	var newRoot splid.ID
+	err := d.logOp(SystemTxn, func() ([]byte, error) {
+		var err error
+		newRoot, err = d.relabelSubtreeLocked(old)
+		return nil, err
+	})
+	return newRoot, err
+}
+
+func (d *Document) relabelSubtreeLocked(old splid.ID) (splid.ID, error) {
 	if old.IsRoot() {
 		return splid.Null, ErrRelabelRoot
 	}

@@ -1,0 +1,406 @@
+package storage
+
+// Transaction-attributed mutation and write-ahead logging.
+//
+// TxDoc is a transaction's view of a Document: every structural mutation
+// made through it is logged as ONE RecOp record carrying (a) the
+// physiological page deltas that redo it and (b) a logical undo payload
+// that reverts it. Because both travel in a single CRC-framed record, a
+// crash can never persist half an operation's pages-without-undo or
+// undo-without-pages: recovery sees the whole operation or none of it.
+//
+// The page deltas come from a pagestore capture (see pagestore/capture.go)
+// bracketing the operation: pre-images are snapshotted at Fix, and the
+// diff against them after the operation is the after-image set. The first
+// delta a page contributes after AttachWAL is upgraded to a full body
+// image — the anchor that lets redo heal a torn page whose on-disk bytes
+// fail their checksum.
+//
+// Undo is logical, not physical: the payload names the inverse operation
+// (delete this subtree, restore these nodes, set this old value/name), and
+// recovery applies it through the same TxDoc path, so compensations are
+// themselves logged with their own inverses. Rolling back a loser is then
+// just applying its undo payloads in reverse log order; compensation pairs
+// telescope away, and a RecEnd written afterwards makes the rollback
+// idempotent across repeated recoveries.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/pagestore"
+	"repro/internal/splid"
+	"repro/internal/wal"
+	"repro/internal/xmlmodel"
+)
+
+// SystemTxn is the transaction ID for system-attributed operations (bulk
+// load, relabeling, direct Document calls). Recovery redoes system
+// operations but never undoes them.
+const SystemTxn uint64 = 0
+
+// TxDoc is a transaction-scoped mutation handle. Zero-cost to create;
+// obtain one per operation via Document.ForTx.
+type TxDoc struct {
+	d   *Document
+	txn uint64
+}
+
+// ForTx returns a view of the document whose mutations are attributed (and,
+// once a WAL is attached, logged) to the given transaction.
+func (d *Document) ForTx(txn uint64) TxDoc { return TxDoc{d: d, txn: txn} }
+
+// Txn returns the transaction the view writes for.
+func (t TxDoc) Txn() uint64 { return t.txn }
+
+// Document returns the underlying document.
+func (t TxDoc) Document() *Document { return t.d }
+
+// AttachWAL flushes the document to establish a durable baseline and turns
+// on write-ahead logging: every subsequent mutation appends a RecOp, the
+// buffer manager enforces the WAL rule against log, and Txn.Commit/Abort
+// (via tx.Manager.SetWAL) write the matching commit/end records.
+func (d *Document) AttachWAL(log *wal.Log) error {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	if err := d.writeMeta(); err != nil {
+		return err
+	}
+	if err := d.store.Flush(); err != nil {
+		return err
+	}
+	d.wal = log
+	d.walImaged = make(map[pagestore.PageID]bool)
+	d.walMeta = d.metaSig()
+	d.store.SetWAL(log)
+	return nil
+}
+
+// WAL returns the attached log (nil when logging is off).
+func (d *Document) WAL() *wal.Log {
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	return d.wal
+}
+
+// metaSig summarizes the metadata page content that operations can change.
+// When it differs from the last logged signature, the metadata page is
+// rewritten inside the operation's capture so its deltas ride in the same
+// record — tree-root changes and vocabulary growth reach recovery that way.
+type metaSig struct {
+	docRoot, elemRoot, idsRoot pagestore.PageID
+	vocabLen                   int
+}
+
+func (d *Document) metaSig() metaSig {
+	return metaSig{
+		docRoot:  d.doc.Root(),
+		elemRoot: d.elem.Root(),
+		idsRoot:  d.ids.Root(),
+		vocabLen: d.vocab.Len(),
+	}
+}
+
+// logOp brackets one structural mutation with a page capture and appends
+// its RecOp. fn runs the mutation and returns the logical undo payload
+// (nil when the operation failed or needs no undo). Caller holds d.latch.
+//
+// Page deltas are logged even when fn errors: a failed operation may have
+// mutated pages before failing (the runtime treats that as residue for the
+// transaction's abort path), and redo must reproduce whatever the buffer
+// pool holds, or the pageLSN chain would lie.
+func (d *Document) logOp(txn uint64, fn func() (undo []byte, err error)) error {
+	if d.wal == nil {
+		_, err := fn()
+		return err
+	}
+	cap := d.store.BeginCapture()
+	defer cap.Close()
+	undo, opErr := fn()
+	if opErr != nil {
+		undo = nil
+	}
+	var metaErr error
+	if sig := d.metaSig(); sig != d.walMeta {
+		if metaErr = d.writeMeta(); metaErr == nil {
+			d.walMeta = sig
+		}
+	}
+	deltas := cap.Deltas(func(id pagestore.PageID) bool { return !d.walImaged[id] })
+	if len(deltas) == 0 && len(undo) == 0 {
+		if opErr != nil {
+			return opErr
+		}
+		return metaErr
+	}
+	lsn, appendErr := d.wal.AppendOp(txn, undo, deltas)
+	if appendErr == nil {
+		for _, dl := range deltas {
+			d.walImaged[dl.Page] = true
+		}
+		cap.Commit(lsn)
+	}
+	switch {
+	case opErr != nil:
+		return opErr
+	case metaErr != nil:
+		return metaErr
+	default:
+		return appendErr
+	}
+}
+
+// InsertElement adds an element node labeled id.
+func (t TxDoc) InsertElement(id splid.ID, name string) (xmlmodel.Node, error) {
+	d := t.d
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	var n xmlmodel.Node
+	err := d.logOp(t.txn, func() (undo []byte, err error) {
+		if n, err = d.insertElementLocked(id, name); err != nil {
+			return nil, err
+		}
+		return encodeUndoDelete(id), nil
+	})
+	return n, err
+}
+
+// InsertText adds a text node (and its string child) labeled id.
+func (t TxDoc) InsertText(id splid.ID, value []byte) (xmlmodel.Node, error) {
+	d := t.d
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	var n xmlmodel.Node
+	err := d.logOp(t.txn, func() (undo []byte, err error) {
+		if n, err = d.insertTextLocked(id, value); err != nil {
+			return nil, err
+		}
+		return encodeUndoDelete(id), nil
+	})
+	return n, err
+}
+
+// SetAttribute adds or overwrites an attribute on element el.
+func (t TxDoc) SetAttribute(el splid.ID, name string, value []byte) (xmlmodel.Node, error) {
+	d := t.d
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	var n xmlmodel.Node
+	err := d.logOp(t.txn, func() (undo []byte, err error) {
+		n, undo, err = d.setAttributeLocked(el, name, value)
+		return undo, err
+	})
+	return n, err
+}
+
+// SetValue overwrites the character data of a text or attribute node.
+func (t TxDoc) SetValue(id splid.ID, value []byte) error {
+	d := t.d
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	return d.logOp(t.txn, func() (undo []byte, err error) {
+		old, err := d.setValueLocked(id, value)
+		if err != nil {
+			return nil, err
+		}
+		return encodeUndoSetValue(id, old), nil
+	})
+}
+
+// Rename changes the name of an element or attribute node.
+func (t TxDoc) Rename(id splid.ID, newName string) error {
+	d := t.d
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	return d.logOp(t.txn, func() (undo []byte, err error) {
+		oldName, err := d.renameLocked(id, newName)
+		if err != nil {
+			return nil, err
+		}
+		return encodeUndoRename(id, oldName), nil
+	})
+}
+
+// DeleteSubtree removes the node labeled id and all its descendants.
+func (t TxDoc) DeleteSubtree(id splid.ID) (int, error) {
+	d := t.d
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	count := 0
+	err := d.logOp(t.txn, func() (undo []byte, err error) {
+		victims, err := d.deleteSubtreeLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		count = len(victims)
+		return encodeUndoRestore(victims), nil
+	})
+	return count, err
+}
+
+// RestoreSubtree reinserts previously deleted nodes (the inverse of
+// DeleteSubtree; also the operation recovery uses to undo deletions).
+func (t TxDoc) RestoreSubtree(nodes []xmlmodel.Node) error {
+	d := t.d
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	return d.logOp(t.txn, func() (undo []byte, err error) {
+		if err := d.restoreSubtreeLocked(nodes); err != nil {
+			return nil, err
+		}
+		if len(nodes) == 0 {
+			return nil, nil
+		}
+		return encodeUndoDelete(nodes[0].ID), nil
+	})
+}
+
+// Logical undo payload catalog. Each payload starts with a one-byte opcode
+// followed by opcode-specific fields; SPLIDs are length-prefixed with u16,
+// node records with u32.
+const (
+	undoDelete   byte = 1 // [u16 len][splid] — delete the subtree rooted here
+	undoSetValue byte = 2 // [u16 len][splid][old value] — restore a value
+	undoRename   byte = 3 // [u16 len][splid][old name] — restore a name
+	undoRestore  byte = 4 // [u32 n] n×([u16 len][splid][u32 len][record]) — reinsert
+)
+
+// errCorruptUndo reports an undecodable undo payload in a CRC-clean record.
+var errCorruptUndo = errors.New("storage: corrupt undo payload")
+
+func appendSplid(buf []byte, id splid.ID) []byte {
+	enc := id.Encode()
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(enc)))
+	buf = append(buf, l[:]...)
+	return append(buf, enc...)
+}
+
+func takeSplid(p []byte) (splid.ID, []byte, error) {
+	if len(p) < 2 {
+		return splid.Null, nil, errCorruptUndo
+	}
+	n := int(binary.BigEndian.Uint16(p))
+	p = p[2:]
+	if len(p) < n {
+		return splid.Null, nil, errCorruptUndo
+	}
+	id, err := splid.Decode(append([]byte(nil), p[:n]...))
+	if err != nil {
+		return splid.Null, nil, fmt.Errorf("%w: %v", errCorruptUndo, err)
+	}
+	return id, p[n:], nil
+}
+
+func encodeUndoDelete(id splid.ID) []byte {
+	return appendSplid([]byte{undoDelete}, id)
+}
+
+func encodeUndoSetValue(id splid.ID, old []byte) []byte {
+	return append(appendSplid([]byte{undoSetValue}, id), old...)
+}
+
+func encodeUndoRename(id splid.ID, oldName string) []byte {
+	return append(appendSplid([]byte{undoRename}, id), oldName...)
+}
+
+func encodeUndoRestore(nodes []xmlmodel.Node) []byte {
+	buf := []byte{undoRestore, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(buf[1:], uint32(len(nodes)))
+	for _, n := range nodes {
+		buf = appendSplid(buf, n.ID)
+		rec := xmlmodel.EncodeRecord(n)
+		var l [4]byte
+		binary.BigEndian.PutUint32(l[:], uint32(len(rec)))
+		buf = append(buf, l[:]...)
+		buf = append(buf, rec...)
+	}
+	return buf
+}
+
+// applyUndo executes one logical undo payload through the transaction
+// view, so the compensation is logged like any other operation. It is
+// tolerant of already-undone state (ErrNodeNotFound, ErrNodeExists):
+// recovery may replay an undo whose effect partially survives from a
+// runtime abort that crashed halfway.
+func applyUndo(t TxDoc, payload []byte) error {
+	if len(payload) == 0 {
+		return nil
+	}
+	op, p := payload[0], payload[1:]
+	switch op {
+	case undoDelete:
+		id, _, err := takeSplid(p)
+		if err != nil {
+			return err
+		}
+		if _, err := t.DeleteSubtree(id); err != nil && !errors.Is(err, ErrNodeNotFound) {
+			return err
+		}
+		return nil
+	case undoSetValue:
+		id, rest, err := takeSplid(p)
+		if err != nil {
+			return err
+		}
+		if err := t.SetValue(id, append([]byte(nil), rest...)); err != nil && !errors.Is(err, ErrNodeNotFound) {
+			return err
+		}
+		return nil
+	case undoRename:
+		id, rest, err := takeSplid(p)
+		if err != nil {
+			return err
+		}
+		if err := t.Rename(id, string(rest)); err != nil && !errors.Is(err, ErrNodeNotFound) {
+			return err
+		}
+		return nil
+	case undoRestore:
+		if len(p) < 4 {
+			return errCorruptUndo
+		}
+		n := int(binary.BigEndian.Uint32(p))
+		p = p[4:]
+		nodes := make([]xmlmodel.Node, 0, n)
+		for i := 0; i < n; i++ {
+			id, rest, err := takeSplid(p)
+			if err != nil {
+				return err
+			}
+			if len(rest) < 4 {
+				return errCorruptUndo
+			}
+			rl := int(binary.BigEndian.Uint32(rest))
+			rest = rest[4:]
+			if len(rest) < rl {
+				return errCorruptUndo
+			}
+			node, err := xmlmodel.DecodeRecord(id, append([]byte(nil), rest[:rl]...))
+			if err != nil {
+				return fmt.Errorf("%w: %v", errCorruptUndo, err)
+			}
+			nodes = append(nodes, node)
+			p = rest[rl:]
+		}
+		// Skip nodes that survived (a half-finished runtime abort may have
+		// restored a prefix already).
+		live := nodes[:0]
+		for _, node := range nodes {
+			ok, err := t.d.Exists(node.ID)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				live = append(live, node)
+			}
+		}
+		if len(live) == 0 {
+			return nil
+		}
+		return t.RestoreSubtree(live)
+	default:
+		return fmt.Errorf("%w: opcode %d", errCorruptUndo, op)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/wal"
 )
 
 // Level is an isolation level. The ordering matches the paper: stronger
@@ -79,8 +80,14 @@ const (
 	StatusAborted
 )
 
-// ErrNotActive is returned when operating on a finished transaction.
-var ErrNotActive = errors.New("tx: transaction is not active")
+// ErrTxnDone is returned when finishing an already-finished transaction:
+// Commit after Abort, Abort after Commit, or either one twice. The first
+// outcome always stands.
+var ErrTxnDone = errors.New("tx: transaction already finished")
+
+// ErrNotActive is the historical name for ErrTxnDone; both errors.Is checks
+// match the same sentinel.
+var ErrNotActive = ErrTxnDone
 
 // Txn is one transaction. A Txn is owned by a single goroutine; only the
 // status accessors are safe for cross-goroutine use.
@@ -157,6 +164,7 @@ type Stats struct {
 // Manager creates and finishes transactions against one lock manager.
 type Manager struct {
 	lm     *lock.Manager
+	wal    *wal.Log
 	nextID atomic.Uint64
 
 	begun     atomic.Uint64
@@ -172,6 +180,17 @@ func NewManager(lm *lock.Manager) *Manager {
 
 // LockManager returns the underlying lock manager.
 func (m *Manager) LockManager() *lock.Manager { return m.lm }
+
+// SetWAL attaches a write-ahead log: from now on Commit appends a commit
+// record and forces the log before reporting success (durability), and
+// Abort appends an end record after its rollback completes. Call before
+// starting transactions; the same log must be attached to the document
+// (storage.Document.AttachWAL) so operation records and commit records
+// land in one sequence.
+func (m *Manager) SetWAL(l *wal.Log) { m.wal = l }
+
+// WAL returns the attached log (nil when logging is off).
+func (m *Manager) WAL() *wal.Log { return m.wal }
 
 // Begin starts a transaction at the given isolation level.
 func (m *Manager) Begin(iso Level) *Txn {
@@ -189,11 +208,29 @@ func (m *Manager) Begin(iso Level) *Txn {
 }
 
 // Commit finishes the transaction successfully and releases all its locks.
+// With a WAL attached, the commit record is appended and the log forced
+// BEFORE the status flips: if durability fails (log crashed), the
+// transaction stays active so the caller can still Abort it.
 func (t *Txn) Commit() error {
 	t.mu.Lock()
 	if t.status != StatusActive {
 		t.mu.Unlock()
-		return ErrNotActive
+		return ErrTxnDone
+	}
+	t.mu.Unlock()
+	if w := t.mgr.wal; w != nil {
+		lsn, err := w.AppendCommit(t.id)
+		if err == nil {
+			err = w.Force(lsn)
+		}
+		if err != nil {
+			return fmt.Errorf("tx %d: commit not durable: %w", t.id, err)
+		}
+	}
+	t.mu.Lock()
+	if t.status != StatusActive {
+		t.mu.Unlock()
+		return ErrTxnDone
 	}
 	t.status = StatusCommitted
 	t.undo = nil
@@ -213,7 +250,7 @@ func (t *Txn) Abort() error {
 	t.mu.Lock()
 	if t.status != StatusActive {
 		t.mu.Unlock()
-		return ErrNotActive
+		return ErrTxnDone
 	}
 	t.status = StatusAborted
 	undo := t.undo
@@ -225,6 +262,13 @@ func (t *Txn) Abort() error {
 		if err := undo[i](); err != nil {
 			errs = append(errs, fmt.Errorf("tx %d: undo step %d: %w", t.id, i, err))
 		}
+	}
+	if w := t.mgr.wal; w != nil {
+		// Mark the rollback complete so recovery skips this transaction.
+		// Best effort, not forced: a crashed log must not block lock
+		// release, and an unlogged end just means recovery re-applies an
+		// idempotent rollback.
+		_, _ = w.AppendEnd(t.id)
 	}
 	if t.ltx != nil {
 		// The transaction layer owns the lock-cache lifecycle: an aborted

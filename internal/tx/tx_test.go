@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/lock"
+	"repro/internal/wal"
 )
 
 const (
@@ -198,4 +199,124 @@ func TestEndOperationNoopForRepeatable(t *testing.T) {
 		t.Error("repeatable read must keep read locks to commit")
 	}
 	t1.Commit()
+}
+
+func TestErrTxnDoneBothOrderings(t *testing.T) {
+	m := newMgr()
+
+	// Commit first, then every further finish fails with ErrTxnDone.
+	t1 := m.Begin(LevelRepeatable)
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Abort(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Abort after Commit = %v, want ErrTxnDone", err)
+	}
+	if err := t1.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Commit after Commit = %v, want ErrTxnDone", err)
+	}
+	if t1.Status() != StatusCommitted {
+		t.Errorf("status = %v after rejected finishes, want committed", t1.Status())
+	}
+
+	// Abort first, then every further finish fails with ErrTxnDone.
+	t2 := m.Begin(LevelRepeatable)
+	if err := t2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Commit after Abort = %v, want ErrTxnDone", err)
+	}
+	if err := t2.Abort(); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("Abort after Abort = %v, want ErrTxnDone", err)
+	}
+	if t2.Status() != StatusAborted {
+		t.Errorf("status = %v after rejected finishes, want aborted", t2.Status())
+	}
+
+	// The historical sentinel name still matches.
+	if !errors.Is(t2.Commit(), ErrNotActive) {
+		t.Error("ErrNotActive no longer matches the double-finish error")
+	}
+}
+
+func TestCommitForcesWALAndSurvivesLogCrash(t *testing.T) {
+	m := newMgr()
+	segs := wal.NewMemSegmentStore()
+	log, err := wal.Open(segs, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWAL(log)
+
+	// A committed transaction's commit record is durable immediately.
+	t1 := m.Begin(LevelRepeatable)
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var types []byte
+	var txns []uint64
+	if err := log.Scan(func(r wal.Record) error {
+		types = append(types, r.Type)
+		txns = append(txns, r.Txn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 1 || types[0] != wal.RecCommit || txns[0] != t1.ID() {
+		t.Fatalf("log after commit: types %v txns %v", types, txns)
+	}
+
+	// With a crashed log, Commit must fail and the transaction must STAY
+	// ACTIVE so the caller can still roll it back.
+	log.CrashNow()
+	t2 := m.Begin(LevelRepeatable)
+	if err := t2.Commit(); !errors.Is(err, wal.ErrCrashed) {
+		t.Fatalf("commit on crashed log = %v, want ErrCrashed", err)
+	}
+	if t2.Status() != StatusActive {
+		t.Fatalf("status = %v after failed commit, want active", t2.Status())
+	}
+	undone := false
+	t2.PushUndo(func() error { undone = true; return nil })
+	if err := t2.Abort(); err != nil {
+		t.Fatalf("abort after failed commit: %v", err)
+	}
+	if !undone {
+		t.Error("undo did not run on abort after failed commit")
+	}
+}
+
+func TestAbortAppendsEndRecord(t *testing.T) {
+	m := newMgr()
+	segs := wal.NewMemSegmentStore()
+	log, err := wal.Open(segs, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetWAL(log)
+	t1 := m.Begin(LevelRepeatable)
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log2, err := wal.Open(segs, wal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	found := false
+	if err := log2.Scan(func(r wal.Record) error {
+		if r.Type == wal.RecEnd && r.Txn == t1.ID() {
+			found = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Error("no end record for the aborted transaction")
+	}
 }

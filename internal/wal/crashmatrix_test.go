@@ -1,0 +1,114 @@
+// Crash-matrix: seeded end-to-end crash/recovery sweeps over the whole
+// stack (tamix burst -> wal crash -> storage recovery). The test lives in
+// the wal package's black-box suite because the log's crash semantics are
+// the contract under test; it drives them through the real document and
+// transaction layers rather than through synthetic records.
+package wal_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tamix"
+	"repro/internal/wal"
+)
+
+// recoverAndAudit runs recovery over a burst's residue and audits the
+// result against the workers' knowledge.
+func recoverAndAudit(t *testing.T, out *tamix.CrashOutcome) *storage.RecoveryReport {
+	t.Helper()
+	log, err := wal.Open(out.Segments, wal.Config{})
+	if err != nil {
+		t.Fatalf("reopening log: %v", err)
+	}
+	d, rep, err := storage.Recover(out.Backend, log, out.Opts)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer d.Close()
+	if err := tamix.AuditRecovered(d, out.Expected(rep)); err != nil {
+		t.Errorf("audit (commits %d, aborts %d, pending %d, losers %v): %v",
+			out.CommittedTxns, out.AbortedTxns, out.PendingTxns, rep.Losers, err)
+	}
+	return rep
+}
+
+// TestCrashMatrixLogCrash sweeps seeds over log-side crashes: the log
+// stops accepting appends after a seed-dependent count, mid-burst, and
+// pending (unsynced) records are dropped like a power failure would.
+func TestCrashMatrixLogCrash(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			out, err := tamix.CrashBurst(tamix.CrashConfig{
+				Seed:              int64(seed),
+				CrashAfterAppends: uint64(20 + seed*13%160),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := recoverAndAudit(t, out)
+			if out.CommittedTxns > 0 && len(rep.Committed) == 0 {
+				t.Errorf("%d commits acknowledged but none in the log", out.CommittedTxns)
+			}
+		})
+	}
+}
+
+// TestCrashMatrixTornWriteback sweeps seeds over storage-side crashes: a
+// seed-dependent write-back is torn mid-page and fails permanently, the
+// observing worker hard-stops the log, and recovery must heal the torn
+// page from its logged full image.
+func TestCrashMatrixTornWriteback(t *testing.T) {
+	seeds := 24
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			out, err := tamix.CrashBurst(tamix.CrashConfig{
+				Seed:        int64(1000 + seed),
+				TornWriteAt: uint64(1 + seed%12),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recoverAndAudit(t, out)
+		})
+	}
+}
+
+// TestCrashMatrixFullBudgetBurst runs bursts that exhaust their op budget
+// before any induced fault — the crash is then purely the final hard stop,
+// and every acknowledged commit must survive it.
+func TestCrashMatrixFullBudgetBurst(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			out, err := tamix.CrashBurst(tamix.CrashConfig{
+				Seed:         int64(5000 + seed),
+				OpsPerWorker: 25,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.CommittedTxns == 0 {
+				t.Fatal("burst committed nothing; the matrix is vacuous")
+			}
+			recoverAndAudit(t, out)
+		})
+	}
+}

@@ -1,0 +1,397 @@
+// Package wal is the write-ahead log of the engine: an append-only,
+// LSN-addressed record log with CRC framing, group commit through a
+// dedicated flusher goroutine, and segment rotation. It is the durability
+// substrate the ARIES-lite recovery in the storage layer replays
+// (DESIGN.md §9).
+//
+// Concurrency model: Append is cheap — it frames the record into an
+// in-memory pending buffer under the log mutex and returns its LSN. The
+// flusher goroutine drains the pending buffer to the current segment and
+// syncs it once per batch, so any number of concurrently committing
+// transactions share one fsync (group commit). Force blocks until the log
+// is durable up to a given LSN.
+//
+// Crash testing: CrashNow (or Config.CrashAfterAppends) turns the log
+// fail-stop — pending records are dropped, and every later Append, Force,
+// and FlushTo returns ErrCrashed. The buffer manager calls FlushTo before
+// every dirty-page write-back, so a dead log also stops all page traffic:
+// nothing unlogged can reach the backend after the "power failure".
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pagestore"
+)
+
+// ErrCrashed is returned by every operation after the log crashed (test
+// hook or injected failure).
+var ErrCrashed = errors.New("wal: log crashed")
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrCorruptLog reports CRC-invalid bytes before the end of the log — a
+// torn tail is healed silently by Open, but garbage in the middle of the
+// record stream is unrecoverable corruption.
+var ErrCorruptLog = errors.New("wal: corrupt record stream")
+
+// DefaultSegmentSize is the rotation threshold when Config.SegmentSize is
+// zero.
+const DefaultSegmentSize = 1 << 20
+
+// Config tunes a Log.
+type Config struct {
+	// SegmentSize is the rotation threshold in bytes (DefaultSegmentSize
+	// if <= 0). A batch is written entirely to one segment, so segments
+	// can overshoot by up to one batch; frames never straddle segments.
+	SegmentSize int
+	// CrashAfterAppends, when > 0, makes the Nth Append (and everything
+	// after it) fail with ErrCrashed, dropping all unsynced records — the
+	// deterministic crash point of the crash-matrix tests.
+	CrashAfterAppends uint64
+}
+
+// Stats counts log activity.
+type Stats struct {
+	// Appends counts records accepted.
+	Appends uint64
+	// Syncs counts segment fsyncs (group commit: Forces/Syncs > 1 means
+	// commits shared a sync).
+	Syncs uint64
+	// Forces counts Force calls that had to wait for durability.
+	Forces uint64
+	// Rotations counts segment rollovers.
+	Rotations uint64
+	// Durable is the current durable LSN.
+	Durable LSN
+	// Next is the LSN the next record will get.
+	Next LSN
+}
+
+// Log is the write-ahead log.
+type Log struct {
+	store SegmentStore
+	cfg   Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []byte
+	next    LSN
+	durable LSN
+	appends uint64
+	crashed bool
+	closed  bool
+	failure error
+
+	forces    uint64
+	syncs     uint64
+	rotations uint64
+
+	flushCh chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	// flusher-owned state
+	seg        Segment
+	segIdx     uint64
+	segWritten int
+}
+
+// Open replays the segment store's metadata and returns a ready log. A
+// torn tail (an incomplete or CRC-invalid final frame, the residue of
+// crashing mid-write) is truncated away; corruption before the tail is an
+// error.
+func Open(store SegmentStore, cfg Config) (*Log, error) {
+	if cfg.SegmentSize <= 0 {
+		cfg.SegmentSize = DefaultSegmentSize
+	}
+	l := &Log{
+		store:   store,
+		cfg:     cfg,
+		flushCh: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+
+	indices, err := store.List()
+	if err != nil {
+		return nil, err
+	}
+	// LSNs are 1-based byte positions (LSN = stable offset + 1): LSN 0 is
+	// reserved to mean "never stamped" in page headers, so pageLSN-
+	// conditional redo can tell an untouched page from one stamped by the
+	// very first record.
+	total := LSN(1)
+	for n, idx := range indices {
+		buf, err := store.ReadAll(idx)
+		if err != nil {
+			return nil, err
+		}
+		off := 0
+		for off < len(buf) {
+			_, next, ok := parseFrame(buf, off)
+			if !ok {
+				break
+			}
+			off = next
+		}
+		if off < len(buf) {
+			if n != len(indices)-1 {
+				return nil, fmt.Errorf("%w: segment %d has %d undecodable bytes before later segments",
+					ErrCorruptLog, idx, len(buf)-off)
+			}
+			if err := store.Truncate(idx, int64(off)); err != nil {
+				return nil, err
+			}
+		}
+		total += LSN(off)
+		l.segIdx = idx + 1
+	}
+	l.next, l.durable = total, total
+
+	l.wg.Add(1)
+	go l.flusher()
+	return l, nil
+}
+
+// Append frames one record into the pending buffer and returns its LSN.
+// The record is not durable until Force (or a page write-back's FlushTo)
+// covers it.
+func (l *Log) Append(typ byte, txn uint64, payload []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return 0, ErrCrashed
+	}
+	if l.failure != nil {
+		return 0, l.failure
+	}
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.appends++
+	if l.cfg.CrashAfterAppends > 0 && l.appends >= l.cfg.CrashAfterAppends {
+		l.crashLocked()
+		return 0, ErrCrashed
+	}
+	lsn := l.next
+	l.pending = appendFrame(l.pending, typ, txn, payload)
+	l.next += LSN(frameSize(len(payload)))
+	l.kick()
+	return lsn, nil
+}
+
+// AppendOp appends a RecOp built from an undo payload and page deltas.
+func (l *Log) AppendOp(txn uint64, undo []byte, deltas []pagestore.PageDelta) (LSN, error) {
+	return l.Append(RecOp, txn, EncodeOp(undo, deltas))
+}
+
+// AppendCommit appends a RecCommit. The caller must Force to the returned
+// LSN's end before reporting the commit; Txn.Commit does exactly that.
+func (l *Log) AppendCommit(txn uint64) (LSN, error) {
+	return l.Append(RecCommit, txn, nil)
+}
+
+// AppendEnd appends a RecEnd.
+func (l *Log) AppendEnd(txn uint64) (LSN, error) {
+	return l.Append(RecEnd, txn, nil)
+}
+
+// Force blocks until every record appended at or before lsn is durable.
+// Passing an LSN returned by Append covers that record (durability is
+// tracked past the record's full frame).
+func (l *Log) Force(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	waited := false
+	for {
+		if l.crashed {
+			return ErrCrashed
+		}
+		if l.failure != nil {
+			return l.failure
+		}
+		if l.durable > lsn || (l.durable == lsn && l.next == lsn) {
+			return nil
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if !waited {
+			l.forces++
+			waited = true
+		}
+		l.kick()
+		l.cond.Wait()
+	}
+}
+
+// FlushTo is the pagestore.LogSyncer hook: identical to Force. The buffer
+// manager calls it with a page's LSN before writing the page back.
+func (l *Log) FlushTo(lsn uint64) error { return l.Force(lsn) }
+
+// kick nudges the flusher without blocking. Caller holds l.mu.
+func (l *Log) kick() {
+	select {
+	case l.flushCh <- struct{}{}:
+	default:
+	}
+}
+
+// crashLocked turns the log fail-stop. Caller holds l.mu.
+func (l *Log) crashLocked() {
+	l.crashed = true
+	l.pending = nil
+	l.cond.Broadcast()
+}
+
+// CrashNow simulates a power failure: all pending (unsynced) records are
+// lost and every subsequent operation fails with ErrCrashed. The segment
+// store keeps only what was synced.
+func (l *Log) CrashNow() {
+	l.mu.Lock()
+	l.crashLocked()
+	l.mu.Unlock()
+}
+
+// Crashed reports whether the log is fail-stopped.
+func (l *Log) Crashed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashed
+}
+
+// flusher is the group-commit goroutine: it drains the pending buffer in
+// batches, rotating segments as they fill, and syncs once per batch.
+func (l *Log) flusher() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.done:
+			return
+		case <-l.flushCh:
+		}
+		l.mu.Lock()
+		batch := l.pending
+		l.pending = nil
+		l.mu.Unlock()
+		if len(batch) == 0 {
+			continue
+		}
+		err := l.writeBatch(batch)
+		l.mu.Lock()
+		if err != nil {
+			l.failure = fmt.Errorf("wal: flush: %w", err)
+		} else if !l.crashed {
+			l.durable += LSN(len(batch))
+			l.syncs++
+		}
+		l.cond.Broadcast()
+		l.mu.Unlock()
+	}
+}
+
+// writeBatch appends one batch to the current segment (rotating first if
+// it is full) and syncs it.
+func (l *Log) writeBatch(batch []byte) error {
+	if l.seg == nil || l.segWritten >= l.cfg.SegmentSize {
+		if l.seg != nil {
+			if err := l.seg.Close(); err != nil {
+				return err
+			}
+			l.mu.Lock()
+			l.rotations++
+			l.mu.Unlock()
+		}
+		seg, err := l.store.Create(l.segIdx)
+		if err != nil {
+			return err
+		}
+		l.seg = seg
+		l.segIdx++
+		l.segWritten = 0
+	}
+	if _, err := l.seg.Write(batch); err != nil {
+		return err
+	}
+	l.segWritten += len(batch)
+	return l.seg.Sync()
+}
+
+// Scan replays every durable record in LSN order. It reads from the
+// segment store, so it sees exactly what a crash would leave behind plus
+// anything synced since; a torn tail in the final segment ends the scan
+// cleanly.
+func (l *Log) Scan(fn func(Record) error) error {
+	indices, err := l.store.List()
+	if err != nil {
+		return err
+	}
+	lsn := LSN(1) // LSN = stable byte position + 1; see Open
+	for n, idx := range indices {
+		buf, err := l.store.ReadAll(idx)
+		if err != nil {
+			return err
+		}
+		off := 0
+		for off < len(buf) {
+			rec, next, ok := parseFrame(buf, off)
+			if !ok {
+				if n != len(indices)-1 {
+					return fmt.Errorf("%w: segment %d offset %d", ErrCorruptLog, idx, off)
+				}
+				return nil
+			}
+			rec.LSN = lsn + LSN(off)
+			if err := fn(rec); err != nil {
+				return err
+			}
+			off = next
+		}
+		lsn += LSN(off)
+	}
+	return nil
+}
+
+// Close flushes everything pending and stops the flusher. A crashed log
+// closes without flushing.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	for !l.crashed && l.failure == nil && l.durable < l.next {
+		l.kick()
+		l.cond.Wait()
+	}
+	err := l.failure
+	l.mu.Unlock()
+	close(l.done)
+	l.wg.Wait()
+	if l.seg != nil {
+		if cerr := l.seg.Close(); err == nil {
+			err = cerr
+		}
+		l.seg = nil
+	}
+	return err
+}
+
+// Stats snapshots the log counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Appends:   l.appends,
+		Syncs:     l.syncs,
+		Forces:    l.forces,
+		Rotations: l.rotations,
+		Durable:   l.durable,
+		Next:      l.next,
+	}
+}
