@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench-lock bench-wal chaos recovery
+.PHONY: build test verify bench-lock bench-wal bench-buffer chaos recovery
 
 build:
 	$(GO) build ./...
@@ -10,9 +10,10 @@ test:
 
 # chaos runs the fault-injection and recovery suite under the race
 # detector: seeded storage faults and torn writes, buffer-manager retry,
-# transaction restart loops, lock-timeout residue, and undo aggregation.
+# the buffer-pool torture and flusher tests, transaction restart loops,
+# lock-timeout residue, and undo aggregation.
 chaos:
-	$(GO) test -race -run 'Chaos|Fault|Retry|Torn|Timeout|Restart|Abort' \
+	$(GO) test -race -run 'Chaos|Fault|Retry|Torn|Timeout|Restart|Abort|Torture|Flusher' \
 		./internal/pagestore/ ./internal/tamix/ ./internal/node/ ./internal/tx/
 
 # recovery runs the WAL and crash-recovery suite under the race detector:
@@ -50,3 +51,17 @@ bench-wal:
 	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^BenchmarkWALAppend/ { \
 		printf "{\"date\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"mb_per_s\":%s,\"appends_per_sync\":%s}\n", date, $$1, $$2, $$3, $$5, $$7 }' \
 	>> BENCH_wal.json
+
+# bench-buffer runs the buffer-pool contention benchmark (sharded pool vs
+# the single-mutex LRU it replaced, at 1/4/16 goroutines, pure-hit and
+# mixed hit/miss scenarios) and appends one JSON line per result plus a
+# g16 speedup summary to BENCH_buffer.json.
+bench-buffer:
+	$(GO) test ./internal/pagestore/ -run XXX -bench BenchmarkBufferContention -benchtime 1s -benchmem | \
+	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^BenchmarkBufferContention/ { \
+		printf "{\"date\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", date, $$1, $$2, $$3, $$5, $$7; \
+		if ($$1 ~ /mixed\/sharded\/g16/) sharded = $$3; \
+		if ($$1 ~ /mixed\/mutex\/g16/) mutex = $$3 } \
+		END { if (sharded > 0 && mutex > 0) \
+			printf "{\"date\":\"%s\",\"bench\":\"BufferContentionSpeedup/mixed/g16\",\"mutex_ns_per_op\":%s,\"sharded_ns_per_op\":%s,\"speedup\":%.2f}\n", date, mutex, sharded, mutex / sharded }' \
+	>> BENCH_buffer.json

@@ -33,6 +33,8 @@ func main() {
 		faultProb   = flag.Float64("fault", 0, "transient storage-fault probability per page read/write (0 = off)")
 		tornWrites  = flag.Bool("torn-writes", false, "injected write faults also tear the page image")
 		frames      = flag.Int("frames", 0, "page-buffer frames (0 = default; shrink below the working set so -fault reaches the backend)")
+		shards      = flag.Int("buffer-shards", 0, "page-buffer table shards (0 = default 16; clamped to the pool size)")
+		flusher     = flag.Duration("flusher", 0, "background flusher interval for dirty pages (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -51,6 +53,8 @@ func main() {
 		}
 		cfg.MaxRestarts = *maxRestarts
 		cfg.Bib.BufferFrames = *frames
+		cfg.Bib.BufferShards = *shards
+		cfg.Bib.FlusherInterval = *flusher
 		if *faultProb > 0 {
 			cfg.Faults = &pagestore.FaultConfig{
 				Seed:       cfg.Seed,

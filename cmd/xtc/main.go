@@ -38,8 +38,12 @@ func main() {
 		id      = flag.String("id", "", "resolve an id attribute value to its element")
 		walDir  = flag.String("wal", "", "directory of write-ahead log segments to attach")
 		recover = flag.Bool("recover", false, "run ARIES-style recovery from -wal before opening (requires -open)")
+		shards  = flag.Int("buffer-shards", 0, "page-buffer table shards (0 = default 16; clamped to the pool size)")
+		flusher = flag.Duration("flusher", 0, "background flusher interval for dirty pages (0 = disabled)")
 	)
 	flag.Parse()
+
+	opts := storage.Options{BufferShards: *shards, FlusherInterval: *flusher}
 
 	var log *wal.Log
 	if *walDir != "" {
@@ -67,7 +71,7 @@ func main() {
 		if ferr != nil {
 			fatal(ferr)
 		}
-		doc, err = storage.Create(pagestore.NewMemBackend(), "doc", storage.Options{})
+		doc, err = storage.Create(pagestore.NewMemBackend(), "doc", opts)
 		if err == nil {
 			err = doc.ImportXML(bufio.NewReader(f))
 		}
@@ -82,12 +86,12 @@ func main() {
 		}
 		if *recover {
 			var rep *storage.RecoveryReport
-			doc, rep, err = storage.Recover(fb, log, storage.Options{})
+			doc, rep, err = storage.Recover(fb, log, opts)
 			if err == nil {
 				printRecovery(rep)
 			}
 		} else {
-			doc, err = storage.Open(fb, storage.Options{})
+			doc, err = storage.Open(fb, opts)
 			if err == nil && log != nil {
 				err = doc.AttachWAL(log)
 			}
@@ -122,7 +126,8 @@ func main() {
 		fmt.Printf("elem index: depth %d, %d keys\n", st.ElemTree.Depth, st.ElemTree.Keys)
 		fmt.Printf("id index:   depth %d, %d keys\n", st.IDTree.Depth, st.IDTree.Keys)
 		bs := doc.Store().Stats()
-		fmt.Printf("buffer:     %d hits, %d misses, %d evictions\n", bs.Hits, bs.Misses, bs.Evictions)
+		fmt.Printf("buffer:     %d shards, %d hits, %d misses, %d evictions, %d writebacks (%d by flusher)\n",
+			doc.Store().Shards(), bs.Hits, bs.Misses, bs.Evictions, bs.Writebacks, bs.FlusherWrites)
 	}
 	if *verify {
 		if err := doc.Verify(); err != nil {

@@ -8,10 +8,11 @@
 // limited to MaxKeyLen = 128 bytes — the document layer reacts to longer
 // labels with subtree relabeling, exactly as XTC does.
 //
-// Concurrency: a tree-level RWMutex admits parallel readers and serializes
-// writers. Transaction-level concurrency control happens above this layer
-// (that is the paper's subject); the tree only needs to be internally
-// consistent.
+// Concurrency: a tree-level striped reader latch (see latch.go) admits
+// parallel readers without sharing a reader-count cache line and
+// serializes writers. Transaction-level concurrency control happens above
+// this layer (that is the paper's subject); the tree only needs to be
+// internally consistent.
 //
 // Deletion is lazy: pages may become underfull, and a page is reclaimed
 // (onto an in-memory free list) only when it empties completely. This suits
@@ -24,7 +25,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/pagestore"
 )
@@ -98,7 +98,7 @@ var ErrNotFound = errors.New("btree: key not found")
 // Tree is a B+tree over a page store. Create with Create or attach to an
 // existing root with Open.
 type Tree struct {
-	mu    sync.RWMutex
+	mu    treeLatch
 	store *pagestore.Store
 	root  pagestore.PageID
 	free  []pagestore.PageID // reclaimed pages available for reuse
@@ -133,15 +133,15 @@ func Open(store *pagestore.Store, root pagestore.PageID) (*Tree, error) {
 // Root returns the current root page ID; callers persist it in their own
 // metadata to reopen the tree later.
 func (t *Tree) Root() pagestore.PageID {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	slot := t.mu.rlock()
+	defer t.mu.runlock(slot)
 	return t.root
 }
 
 // Len returns the number of keys in the tree.
 func (t *Tree) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	slot := t.mu.rlock()
+	defer t.mu.runlock(slot)
 	return t.size
 }
 
@@ -496,8 +496,8 @@ type TreeStats struct {
 
 // Stats walks the tree and returns its physical statistics.
 func (t *Tree) Stats() (TreeStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	slot := t.mu.rlock()
+	defer t.mu.runlock(slot)
 	var st TreeStats
 	err := t.statsRec(t.root, 1, &st)
 	return st, err

@@ -1,0 +1,61 @@
+package btree
+
+import (
+	"sync"
+	"unsafe"
+)
+
+// treeLatch is a striped "big-reader" tree latch: readers take one of
+// latchStripes read-write mutexes (picked per goroutine), writers take all
+// of them. With the buffer pool sharded, concurrent readers of one tree
+// otherwise all bounce the single RWMutex reader count on one cache line;
+// striping spreads that traffic so read-mostly workloads (navigation,
+// scans, the protocol contest's read transactions) scale with the Fix path
+// instead of re-serializing above it. Writers pay latchStripes lock
+// acquisitions — structural updates already dwarf that cost.
+type treeLatch struct {
+	stripes [latchStripes]paddedRWMutex
+}
+
+// latchStripes is the reader-stripe count (power of two).
+const latchStripes = 8
+
+// paddedRWMutex keeps each stripe on its own cache line so reader counts
+// on different stripes never false-share.
+type paddedRWMutex struct {
+	sync.RWMutex
+	_ [128 - unsafe.Sizeof(sync.RWMutex{})%128]byte
+}
+
+// rlock takes a read latch and returns the stripe token runlock needs.
+// The stripe is picked by hashing the address of a stack variable:
+// goroutines live on distinct stacks, so concurrent readers spread across
+// stripes, while a single goroutine's nested calls (none exist today) would
+// still land deterministically during one call.
+func (l *treeLatch) rlock() int {
+	var anchor byte
+	h := uintptr(unsafe.Pointer(&anchor))
+	slot := int((h >> 6) & (latchStripes - 1))
+	l.stripes[slot].RLock()
+	return slot
+}
+
+// runlock releases the read latch taken by rlock.
+func (l *treeLatch) runlock(slot int) {
+	l.stripes[slot].RUnlock()
+}
+
+// lock takes the latch exclusively. Stripes are acquired in index order, so
+// concurrent writers cannot deadlock against each other.
+func (l *treeLatch) lock() {
+	for i := range l.stripes {
+		l.stripes[i].Lock()
+	}
+}
+
+// unlock releases the exclusive latch.
+func (l *treeLatch) unlock() {
+	for i := range l.stripes {
+		l.stripes[i].Unlock()
+	}
+}

@@ -9,8 +9,8 @@ import (
 
 // Get returns a copy of the value stored under key, or ErrNotFound.
 func (t *Tree) Get(key []byte) ([]byte, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	slot := t.mu.rlock()
+	defer t.mu.runlock(slot)
 	f, err := t.findLeaf(key)
 	if err != nil {
 		return nil, err
@@ -85,8 +85,8 @@ func (t *Tree) Insert(key, val []byte) error {
 	if len(val) > MaxValueLen {
 		return fmt.Errorf("%w (%d bytes)", ErrValueTooLong, len(val))
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.lock()
+	defer t.mu.unlock()
 	sep, newID, added, err := t.insertRec(t.root, key, val)
 	if err != nil {
 		return err
@@ -307,8 +307,8 @@ func splitPoint(p []byte) int {
 
 // Delete removes key, returning ErrNotFound if absent.
 func (t *Tree) Delete(key []byte) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.lock()
+	defer t.mu.unlock()
 	removed, _, err := t.deleteRec(t.root, key)
 	if err != nil {
 		return err
@@ -417,8 +417,8 @@ func (t *Tree) unlinkLeaf(p []byte) error {
 // begins at the first key; a nil limit runs to the end. fn's slices alias
 // page memory and are only valid during the callback; return false to stop.
 func (t *Tree) Ascend(start, limit []byte, fn func(key, val []byte) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	lt := t.mu.rlock()
+	defer t.mu.runlock(lt)
 	var f *pagestore.Frame
 	var err error
 	if start == nil {
@@ -466,8 +466,8 @@ func (t *Tree) Ascend(start, limit []byte, fn func(key, val []byte) bool) error 
 // nil low runs to the first key. fn's slices alias page memory; return
 // false to stop.
 func (t *Tree) Descend(high, low []byte, fn func(key, val []byte) bool) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	lt := t.mu.rlock()
+	defer t.mu.runlock(lt)
 	var f *pagestore.Frame
 	var err error
 	var slot int

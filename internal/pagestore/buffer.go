@@ -1,7 +1,6 @@
 package pagestore
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -26,18 +25,59 @@ type Stats struct {
 	// RetryFailures counts operations whose transient failures outlived the
 	// retry budget and were escalated to permanent.
 	RetryFailures uint64
+	// FlusherWrites counts dirty pages trickled out by the background
+	// flusher.
+	FlusherWrites uint64
+	// FlusherErrors counts background write-backs that failed; the frame
+	// stays dirty and is retried on a later pass (or at eviction).
+	FlusherErrors uint64
 }
+
+// frameState is the I/O state of a frame, guarded by Frame.mu. Transitions
+// out of the in-flight states broadcast Frame.cond.
+type frameState int32
+
+const (
+	// frameResident: data holds the page image; the frame may be pinned.
+	frameResident frameState = iota
+	// frameLoading: a Fix miss owns the frame and is reading its page from
+	// the backend. Nobody may pin it; Fixers of the page wait on cond.
+	frameLoading
+	// frameWriting: an evictor, the background flusher, or Flush claimed
+	// the frame and is writing its image to the backend. Nobody may pin
+	// it; Fixers of the page wait on cond.
+	frameWriting
+	// frameFree: the frame is not mapped to any page (recycled after a
+	// failed load, parked on the shard free list).
+	frameFree
+)
 
 // Frame is a pinned buffer slot holding one page. It stays valid (and its
 // page stays in memory) until Unfix is called; a frame must not be used
 // afterwards.
 type Frame struct {
 	store *Store
-	id    PageID
+	shard *bufShard
 	data  []byte
-	pins  int32
-	dirty bool
-	elem  *list.Element // position in the LRU list when unpinned
+
+	// pins counts active Fixes. It is incremented only under shard.mu
+	// (read-locked) plus mu, so holders of the shard write lock or of mu
+	// that observe zero know no pin can appear underneath them. Decrements
+	// (Unfix) are lock-free.
+	pins atomic.Int32
+	// dirty marks content that must reach the backend before the frame is
+	// recycled.
+	dirty atomic.Bool
+	// ref is the CLOCK second-chance bit, set on every Fix.
+	ref atomic.Bool
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	state frameState
+	// id is the page held. Remapped only under shard.mu write-locked with
+	// pins == 0; stable while the frame is pinned or while its mapping is
+	// observed under shard.mu.
+	id PageID
 }
 
 // ID returns the page ID held by the frame.
@@ -49,28 +89,45 @@ func (f *Frame) Data() []byte { return f.data }
 
 // MarkDirty records that the page content changed and must be written back
 // before eviction.
-func (f *Frame) MarkDirty() {
-	f.store.mu.Lock()
-	f.dirty = true
-	f.store.mu.Unlock()
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+
+// bufShard is one partition of the buffer pool: a page table, the frames
+// backing it, and a CLOCK hand. Fix hits take only the shard read lock plus
+// the frame latch; the write lock is held for map surgery only — never
+// across backend I/O or WAL forces.
+type bufShard struct {
+	store *Store
+
+	mu     sync.RWMutex
+	pages  map[PageID]*Frame
+	frames []*Frame // every frame allocated in this shard
+	free   []*Frame // unmapped frames (recycled after failed loads)
+	hand   int      // CLOCK hand over frames
+	cap    int
 }
 
-// Store is the buffer manager: a fixed pool of page frames over a Backend
-// with LRU replacement of unpinned frames.
+// Store is the buffer manager: a fixed pool of page frames over a Backend,
+// partitioned into power-of-two shards with per-shard CLOCK replacement of
+// unpinned frames.
 type Store struct {
-	backend Backend
-	mu      sync.Mutex
-	frames  map[PageID]*Frame
-	lru     *list.List // unpinned frames, front = least recently used
-	cap     int
-	wal     LogSyncer
-	capture *Capture
+	backend   Backend
+	shards    []*bufShard
+	shardMask uint32
+	cap       int
+
+	wal     atomic.Pointer[walRef]
+	capture atomic.Pointer[Capture]
 
 	retry    RetryPolicy
 	retryMu  sync.Mutex
 	retryRng *rand.Rand
 
+	flusherStop chan struct{}
+	flusherWG   sync.WaitGroup
+	flusherOnce sync.Once
+
 	hits, misses, evictions, writebacks, retries, retryFailures atomic.Uint64
+	flusherWrites, flusherErrors                                atomic.Uint64
 }
 
 // LogSyncer is the write-ahead log hook the WAL rule needs: FlushTo blocks
@@ -82,12 +139,20 @@ type LogSyncer interface {
 	FlushTo(lsn uint64) error
 }
 
+// walRef boxes the LogSyncer so the attached log can be swapped and read
+// without a lock.
+type walRef struct{ ls LogSyncer }
+
 // SetWAL attaches a write-ahead log. From then on every dirty-page
 // write-back first forces the log up to the page's LSN (the WAL rule).
-func (s *Store) SetWAL(w LogSyncer) {
-	s.mu.Lock()
-	s.wal = w
-	s.mu.Unlock()
+func (s *Store) SetWAL(w LogSyncer) { s.wal.Store(&walRef{ls: w}) }
+
+// walSyncer returns the attached log, or nil.
+func (s *Store) walSyncer() LogSyncer {
+	if r := s.wal.Load(); r != nil {
+		return r.ls
+	}
+	return nil
 }
 
 // RetryPolicy bounds how the buffer manager re-attempts backend operations
@@ -105,8 +170,9 @@ type RetryPolicy struct {
 }
 
 // DefaultRetryPolicy absorbs short transient glitches without stalling the
-// engine: backoffs stay in the microsecond range because some retries run
-// under the buffer-table mutex.
+// engine. Retries never run under a page-table lock (I/O is done in the
+// frameLoading/frameWriting states), so only Fixers of the affected page
+// wait out a backoff.
 var DefaultRetryPolicy = RetryPolicy{
 	MaxRetries:  5,
 	BaseBackoff: 50 * time.Microsecond,
@@ -172,80 +238,149 @@ func (s *Store) withRetry(op func() error) error {
 	return &RetryExhaustedError{Attempts: s.retry.MaxRetries + 1, Err: err}
 }
 
-// ErrNoFrames is returned when every frame is pinned and a new page is
-// requested.
+// ErrNoFrames is returned when every frame in the target shard is pinned
+// and a new page is requested.
 var ErrNoFrames = errors.New("pagestore: all buffer frames pinned")
 
 // DefaultFrames is the default buffer pool capacity.
 const DefaultFrames = 1024
 
+// DefaultShards is the default shard count; the effective count is clamped
+// so small pools keep whole-pool eviction semantics (see Config).
+const DefaultShards = 16
+
+// minFramesPerShard is the smallest per-shard capacity sharding is allowed
+// to produce. Below it the pool degrades to fewer shards (ultimately one):
+// a tiny shard would return ErrNoFrames while other shards still had room,
+// which small fixed-capacity configurations (tests, chaos harnesses) rely
+// on not happening.
+const minFramesPerShard = 64
+
+// Config configures a buffer-manager Store.
+type Config struct {
+	// Frames is the pool capacity (DefaultFrames if <= 0).
+	Frames int
+	// Shards is the requested page-table shard count (DefaultShards if
+	// <= 0). It is rounded down to a power of two and clamped so every
+	// shard holds at least minFramesPerShard frames.
+	Shards int
+	// FlusherInterval enables the background flusher: every interval, all
+	// dirty unpinned frames are trickled to the backend so evictions
+	// rarely stall on a write-back. Zero or negative disables it.
+	FlusherInterval time.Duration
+}
+
 // Open wraps backend in a buffer manager with the given frame capacity
-// (DefaultFrames if frames <= 0).
+// (DefaultFrames if frames <= 0) and default sharding.
 func Open(backend Backend, frames int) *Store {
+	return OpenConfig(backend, Config{Frames: frames})
+}
+
+// OpenConfig wraps backend in a buffer manager per cfg.
+func OpenConfig(backend Backend, cfg Config) *Store {
+	frames := cfg.Frames
 	if frames <= 0 {
 		frames = DefaultFrames
 	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	for shards&(shards-1) != 0 {
+		shards &= shards - 1 // round down to a power of two
+	}
+	for shards > 1 && frames/shards < minFramesPerShard {
+		shards >>= 1
+	}
 	s := &Store{
-		backend: backend,
-		frames:  make(map[PageID]*Frame, frames),
-		lru:     list.New(),
-		cap:     frames,
+		backend:   backend,
+		shards:    make([]*bufShard, shards),
+		shardMask: uint32(shards - 1),
+		cap:       frames,
+	}
+	base, rem := frames/shards, frames%shards
+	for i := range s.shards {
+		c := base
+		if i < rem {
+			c++
+		}
+		s.shards[i] = &bufShard{store: s, pages: make(map[PageID]*Frame, c), cap: c}
 	}
 	s.SetRetryPolicy(DefaultRetryPolicy)
+	if cfg.FlusherInterval > 0 {
+		s.startFlusher(cfg.FlusherInterval)
+	}
 	return s
+}
+
+// Shards reports the effective shard count after clamping.
+func (s *Store) Shards() int { return len(s.shards) }
+
+// shardFor hashes a page ID onto its shard. Multiplicative hashing spreads
+// the sequential IDs Allocate hands out across all shards.
+func (s *Store) shardFor(id PageID) *bufShard {
+	h := uint32(id) * 0x9E3779B1
+	h ^= h >> 16
+	return s.shards[h&s.shardMask]
 }
 
 // Backend exposes the underlying backend (used by tests and tools).
 func (s *Store) Backend() Backend { return s.backend }
 
+// newFrame allocates an empty frame for a shard.
+func newFrame(s *Store, sh *bufShard) *Frame {
+	f := &Frame{store: s, shard: sh, data: make([]byte, PageSize)}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
 // Fix pins the page into a frame, reading it from the backend on a miss.
-// Every successful Fix must be paired with exactly one Unfix.
+// Every successful Fix must be paired with exactly one Unfix. A hit on a
+// resident page touches only its shard's read lock and the frame latch.
 func (s *Store) Fix(id PageID) (*Frame, error) {
-	s.mu.Lock()
-	if f, ok := s.frames[id]; ok {
-		f.pins++
-		if f.elem != nil {
-			s.lru.Remove(f.elem)
-			f.elem = nil
+	sh := s.shardFor(id)
+	for {
+		sh.mu.RLock()
+		if f := sh.pages[id]; f != nil {
+			f.mu.Lock()
+			if f.state == frameResident {
+				f.pins.Add(1)
+				f.mu.Unlock()
+				sh.mu.RUnlock()
+				f.ref.Store(true)
+				s.hits.Add(1)
+				s.noteCapture(f)
+				return f, nil
+			}
+			// The frame is mid-I/O (being loaded, or written back by an
+			// evictor/flusher). Wait on the frame, not the shard, then
+			// retry the lookup from scratch: the frame may belong to a
+			// different page by the time it settles.
+			sh.mu.RUnlock()
+			for f.state == frameLoading || f.state == frameWriting {
+				f.cond.Wait()
+			}
+			f.mu.Unlock()
+			continue
 		}
-		if s.capture != nil {
-			s.capture.noteLocked(f)
+		sh.mu.RUnlock()
+
+		f, err := sh.alloc(id)
+		if err != nil {
+			return nil, err
 		}
-		s.mu.Unlock()
-		s.hits.Add(1)
+		if f == nil {
+			// Lost the allocation race to a concurrent Fix of the same
+			// page; its frame is (or will shortly be) in the table.
+			continue
+		}
+		if err := s.loadFrame(sh, f, id); err != nil {
+			return nil, err
+		}
+		s.misses.Add(1)
+		s.noteCapture(f)
 		return f, nil
 	}
-	f, err := s.allocFrameLocked(id)
-	if err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	// The read happens under the table lock: once the frame is mapped, a
-	// concurrent Fix for the same page would pin it and expect loaded data,
-	// so the frame must not become visible-but-empty. Transient-fault
-	// retries therefore also sleep under the lock — backoffs are bounded to
-	// microseconds by the retry policy.
-	if err := s.withRetry(func() error { return s.backend.ReadPage(id, f.data) }); err != nil {
-		s.dropFrameLocked(f)
-		s.mu.Unlock()
-		return nil, err
-	}
-	// Detect torn or corrupt images at read time: the checksum was stamped
-	// by the last write-back, so a mismatch means the backend returned a
-	// page that was never completely written. Classified permanent — the
-	// retry loop must not spin on it; recovery (full-image redo) is the
-	// only heal.
-	if err := VerifyChecksum(id, f.data); err != nil {
-		s.dropFrameLocked(f)
-		s.mu.Unlock()
-		return nil, err
-	}
-	if s.capture != nil {
-		s.capture.noteLocked(f)
-	}
-	s.mu.Unlock()
-	s.misses.Add(1)
-	return f, nil
 }
 
 // FixNew allocates a fresh zeroed page in the backend and pins it.
@@ -255,63 +390,202 @@ func (s *Store) FixNew() (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	f, err := s.allocFrameLocked(id)
+	sh := s.shardFor(id)
+	f, err := sh.alloc(id)
 	if err != nil {
 		return nil, err
 	}
-	f.dirty = true
-	if s.capture != nil {
-		s.capture.noteLocked(f)
+	if f == nil {
+		// Allocate hands out fresh IDs, so nobody can be loading this page
+		// concurrently; reaching here means the ID was recycled behind our
+		// back. Fall back to a plain Fix of the (zeroed) page.
+		return s.Fix(id)
 	}
+	clear(f.data)
+	f.dirty.Store(true)
+	f.mu.Lock()
+	f.state = frameResident
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	s.noteCapture(f)
 	return f, nil
 }
 
-// allocFrameLocked finds or evicts a frame for page id, pins it once, and
-// maps it. The caller holds s.mu. The returned frame's data is zeroed.
-func (s *Store) allocFrameLocked(id PageID) (*Frame, error) {
-	var f *Frame
-	if len(s.frames) < s.cap {
-		f = &Frame{store: s, data: make([]byte, PageSize)}
-	} else {
-		el := s.lru.Front()
-		if el == nil {
-			return nil, fmt.Errorf("%w (capacity %d)", ErrNoFrames, s.cap)
+// alloc claims a frame for page id: it re-checks the table, reuses a free
+// frame, grows the shard up to its capacity, or CLOCK-evicts. The returned
+// frame is mapped to id, pinned once, and in frameLoading state — the
+// caller must fill data and publish frameResident (or fail the load). A
+// nil, nil return means another goroutine mapped id concurrently; the
+// caller should retry its lookup.
+func (sh *bufShard) alloc(id PageID) (*Frame, error) {
+	s := sh.store
+	for {
+		sh.mu.Lock()
+		if _, ok := sh.pages[id]; ok {
+			sh.mu.Unlock()
+			return nil, nil
 		}
-		f = el.Value.(*Frame)
-		s.lru.Remove(el)
-		f.elem = nil
-		delete(s.frames, f.id)
-		s.evictions.Add(1)
-		if f.dirty {
-			if err := s.writeBackLocked(f); err != nil {
-				// Re-insert the victim so the page is not lost.
-				s.frames[f.id] = f
-				f.elem = s.lru.PushFront(f)
-				return nil, err
+		if n := len(sh.free); n > 0 {
+			f := sh.free[n-1]
+			sh.free = sh.free[:n-1]
+			sh.mapFrameLocked(f, id)
+			sh.mu.Unlock()
+			return f, nil
+		}
+		if len(sh.frames) < sh.cap {
+			f := newFrame(s, sh)
+			sh.frames = append(sh.frames, f)
+			sh.mapFrameLocked(f, id)
+			sh.mu.Unlock()
+			return f, nil
+		}
+
+		// CLOCK sweep: up to two revolutions (the first may only clear
+		// reference bits). A victim must be resident, unpinned, and
+		// unreferenced. It is claimed by moving it to frameWriting under
+		// its latch before the shard lock is dropped, which atomically
+		// excludes the background flusher and concurrent Fixers.
+		var victim, inflight *Frame
+		for i := 0; i < 2*len(sh.frames); i++ {
+			f := sh.frames[sh.hand]
+			sh.hand = (sh.hand + 1) % len(sh.frames)
+			f.mu.Lock()
+			if f.state != frameResident {
+				if f.state == frameLoading || f.state == frameWriting {
+					inflight = f
+				}
+				f.mu.Unlock()
+				continue
 			}
+			if f.pins.Load() != 0 {
+				f.mu.Unlock()
+				continue
+			}
+			if f.ref.Load() {
+				f.ref.Store(false)
+				f.mu.Unlock()
+				continue
+			}
+			f.state = frameWriting
+			f.mu.Unlock()
+			victim = f
+			break
 		}
-		for i := range f.data {
-			f.data[i] = 0
+		if victim == nil {
+			sh.mu.Unlock()
+			if inflight == nil {
+				return nil, fmt.Errorf("%w (capacity %d)", ErrNoFrames, s.cap)
+			}
+			// Every unpinned frame is mid-I/O; wait for one to settle and
+			// rescan instead of failing a pool that is about to have room.
+			inflight.mu.Lock()
+			for inflight.state == frameLoading || inflight.state == frameWriting {
+				inflight.cond.Wait()
+			}
+			inflight.mu.Unlock()
+			continue
 		}
+
+		if !victim.dirty.Load() {
+			delete(sh.pages, victim.id)
+			sh.mapFrameLocked(victim, id)
+			s.evictions.Add(1)
+			sh.mu.Unlock()
+			return victim, nil
+		}
+
+		// Dirty victim: write it back with no shard lock held. The frame
+		// stays mapped in frameWriting, so Fixers of the old page block on
+		// the frame latch — not the whole shard — and cannot pin it while
+		// the backend reads its bytes.
+		sh.mu.Unlock()
+		err := s.writeBack(victim)
+		sh.mu.Lock()
+		if err != nil {
+			// Requeue: the page stays buffered and dirty — a failed
+			// write-back must never drop content. The error surfaces to
+			// the caller (permanent or retry-exhausted by now).
+			victim.mu.Lock()
+			victim.state = frameResident
+			victim.cond.Broadcast()
+			victim.mu.Unlock()
+			sh.mu.Unlock()
+			return nil, err
+		}
+		victim.dirty.Store(false)
+		s.evictions.Add(1)
+		if _, ok := sh.pages[id]; ok {
+			// Someone mapped our target page while we wrote; release the
+			// victim as a clean resident frame and retry the lookup.
+			victim.mu.Lock()
+			victim.state = frameResident
+			victim.cond.Broadcast()
+			victim.mu.Unlock()
+			sh.mu.Unlock()
+			return nil, nil
+		}
+		delete(sh.pages, victim.id)
+		sh.mapFrameLocked(victim, id)
+		sh.mu.Unlock()
+		return victim, nil
 	}
-	f.id = id
-	f.pins = 1
-	s.frames[id] = f
-	return f, nil
 }
 
-// writeBackLocked persists one dirty frame: it enforces the WAL rule
-// (force the log up to the page's LSN first — with no attached log the
-// rule is vacuous), stamps the page checksum, and writes through the retry
-// policy. The caller holds s.mu. FlushTo is called unconditionally, even
-// for pages with LSN 0: a crashed log fails every FlushTo, which is
-// exactly the barrier that keeps post-crash unlogged content off the
-// backend.
-func (s *Store) writeBackLocked(f *Frame) error {
-	if s.wal != nil {
-		if err := s.wal.FlushTo(PageLSN(f.data)); err != nil {
+// mapFrameLocked binds an unpinned, unmapped (or just-claimed) frame to
+// page id in frameLoading state with one pin for the caller. The caller
+// holds sh.mu write-locked.
+func (sh *bufShard) mapFrameLocked(f *Frame, id PageID) {
+	f.mu.Lock()
+	f.state = frameLoading
+	f.mu.Unlock()
+	f.id = id
+	f.pins.Store(1)
+	f.ref.Store(true)
+	f.dirty.Store(false)
+	sh.pages[id] = f
+}
+
+// loadFrame fills a just-mapped frame from the backend and publishes it
+// resident. On failure the frame is unmapped and recycled through the free
+// list; waiters retry their lookup and surface their own errors.
+func (s *Store) loadFrame(sh *bufShard, f *Frame, id PageID) error {
+	err := s.withRetry(func() error { return s.backend.ReadPage(id, f.data) })
+	if err == nil {
+		// Detect torn or corrupt images at read time: the checksum was
+		// stamped by the last write-back, so a mismatch means the backend
+		// returned a page that was never completely written. Classified
+		// permanent — recovery (full-image redo) is the only heal.
+		err = VerifyChecksum(id, f.data)
+	}
+	if err == nil {
+		f.mu.Lock()
+		f.state = frameResident
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		return nil
+	}
+	sh.mu.Lock()
+	delete(sh.pages, id)
+	f.mu.Lock()
+	f.state = frameFree
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	f.pins.Store(0)
+	sh.free = append(sh.free, f)
+	sh.mu.Unlock()
+	return err
+}
+
+// writeBack persists one frame the caller has claimed in frameWriting: it
+// enforces the WAL rule (force the log up to the page's LSN first — with no
+// attached log the rule is vacuous), stamps the page checksum, and writes
+// through the retry policy. No table lock is held. FlushTo is called
+// unconditionally, even for pages with LSN 0: a crashed log fails every
+// FlushTo, which is exactly the barrier that keeps post-crash unlogged
+// content off the backend.
+func (s *Store) writeBack(f *Frame) error {
+	if w := s.walSyncer(); w != nil {
+		if err := w.FlushTo(PageLSN(f.data)); err != nil {
 			return fmt.Errorf("pagestore: WAL rule for page %d: %w", f.id, err)
 		}
 	}
@@ -320,53 +594,80 @@ func (s *Store) writeBackLocked(f *Frame) error {
 		return err
 	}
 	s.writebacks.Add(1)
-	f.dirty = false
 	return nil
 }
 
-// dropFrameLocked removes a freshly allocated frame after a failed read.
-func (s *Store) dropFrameLocked(f *Frame) {
-	delete(s.frames, f.id)
-	f.pins = 0
-}
-
 // Unfix releases one pin. When the pin count reaches zero the frame becomes
-// eligible for eviction (dirty content is written back lazily).
+// eligible for eviction (dirty content is written back lazily, or earlier
+// by the background flusher). Unfixing an already-unpinned frame is always
+// a caller bug — the pin count would silently corrupt — so it panics with
+// the frame's page identity.
 func (s *Store) Unfix(f *Frame) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if f.pins <= 0 {
-		panic("pagestore: Unfix without matching Fix")
-	}
 	// A frame inside an active capture keeps its pins until the capture
 	// closes: its content may be ahead of the log, so it must not become
 	// evictable before the operation's record is appended and stamped.
-	if s.capture != nil && s.capture.deferUnfixLocked(f) {
+	if c := s.capture.Load(); c != nil && c.deferUnfix(f) {
 		return
 	}
-	f.pins--
-	if f.pins == 0 {
-		f.elem = s.lru.PushBack(f)
+	for {
+		n := f.pins.Load()
+		if n <= 0 {
+			panic(fmt.Sprintf("pagestore: Unfix without matching Fix on frame for page %d", f.id))
+		}
+		if f.pins.CompareAndSwap(n, n-1) {
+			return
+		}
 	}
 }
 
-// Flush writes all dirty buffered pages to the backend and syncs it.
+// Flush writes all dirty buffered pages (pinned ones included — callers
+// quiesce mutators) to the backend and syncs it.
 func (s *Store) Flush() error {
-	s.mu.Lock()
-	for _, f := range s.frames {
-		if f.dirty {
-			if err := s.writeBackLocked(f); err != nil {
-				s.mu.Unlock()
-				return err
-			}
+	for _, sh := range s.shards {
+		if err := sh.flushAll(); err != nil {
+			return err
 		}
 	}
-	s.mu.Unlock()
 	return s.withRetry(s.backend.Sync)
 }
 
-// Close flushes and closes the backend.
+// flushAll writes every dirty frame of the shard, waiting out in-flight
+// I/O. Unlike the flusher it does not skip pinned frames: Flush is a
+// checkpoint barrier and its callers hold the document quiescent.
+func (sh *bufShard) flushAll() error {
+	s := sh.store
+	sh.mu.RLock()
+	frames := append([]*Frame(nil), sh.frames...)
+	sh.mu.RUnlock()
+	for _, f := range frames {
+		f.mu.Lock()
+		for f.state == frameLoading || f.state == frameWriting {
+			f.cond.Wait()
+		}
+		if f.state != frameResident || !f.dirty.Load() {
+			f.mu.Unlock()
+			continue
+		}
+		f.state = frameWriting
+		f.mu.Unlock()
+		err := s.writeBack(f)
+		f.mu.Lock()
+		f.state = frameResident
+		if err == nil {
+			f.dirty.Store(false)
+		}
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops the background flusher, flushes, and closes the backend.
 func (s *Store) Close() error {
+	s.stopFlusher()
 	if err := s.Flush(); err != nil {
 		s.backend.Close()
 		return err
@@ -374,7 +675,8 @@ func (s *Store) Close() error {
 	return s.backend.Close()
 }
 
-// Stats returns a snapshot of the buffer counters.
+// Stats returns a snapshot of the buffer counters. All counters are
+// atomics; the snapshot is race-clean against concurrent operation.
 func (s *Store) Stats() Stats {
 	return Stats{
 		Hits:          s.hits.Load(),
@@ -383,19 +685,34 @@ func (s *Store) Stats() Stats {
 		Writebacks:    s.writebacks.Load(),
 		Retries:       s.retries.Load(),
 		RetryFailures: s.retryFailures.Load(),
+		FlusherWrites: s.flusherWrites.Load(),
+		FlusherErrors: s.flusherErrors.Load(),
 	}
 }
 
 // PinnedFrames reports how many frames currently hold at least one pin
 // (test and debugging aid for pin-leak detection).
 func (s *Store) PinnedFrames() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, f := range s.frames {
-		if f.pins > 0 {
-			n++
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for _, f := range sh.frames {
+			if f.pins.Load() > 0 {
+				n++
+			}
 		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ResidentPages reports how many pages are currently buffered (all shards).
+func (s *Store) ResidentPages() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.pages)
+		sh.mu.RUnlock()
 	}
 	return n
 }

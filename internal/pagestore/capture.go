@@ -1,5 +1,7 @@
 package pagestore
 
+import "sync"
+
 // Page-image capture: the hook the storage layer uses to turn one logical
 // document operation into a physiological WAL record. While a capture is
 // active on a Store, every page fixed (or newly allocated) gets its
@@ -7,6 +9,10 @@ package pagestore
 // until the capture closes. The deferral is load-bearing: a captured page
 // can hold modified content whose log record has not been appended yet, so
 // it must not become evictable (the WAL rule could not be honored for it).
+// Because the evictor, the background flusher, and Flush all require a
+// zero pin count before touching a frame's bytes, the retained pins are
+// exactly what keeps ahead-of-log content out of every concurrent
+// write-back path.
 //
 // At the end of the operation the capture diffs each page body against its
 // pre-image, the storage layer logs the deltas in a single record, and
@@ -46,9 +52,15 @@ type captureEntry struct {
 // Capture is one active page-image capture session. It is created by
 // Store.BeginCapture and must be finished with Close exactly once. A Store
 // supports at most one active capture; the storage layer's document latch
-// provides that exclusion.
+// provides that exclusion. The capture has its own mutex — the sharded
+// store no longer has a global lock to piggyback on — guarding entries
+// against the race between the owner's Fixes and other transactions'
+// concurrent Unfix calls.
 type Capture struct {
-	s       *Store
+	s *Store
+
+	mu      sync.Mutex
+	closed  bool
 	entries map[PageID]*captureEntry
 	order   []PageID // insertion order, for deterministic delta layout
 }
@@ -57,19 +69,28 @@ type Capture struct {
 // snapshots the page's pre-image and Unfix calls on captured frames are
 // deferred.
 func (s *Store) BeginCapture() *Capture {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.capture != nil {
+	c := &Capture{s: s, entries: make(map[PageID]*captureEntry)}
+	if !s.capture.CompareAndSwap(nil, c) {
 		panic("pagestore: nested capture")
 	}
-	c := &Capture{s: s, entries: make(map[PageID]*captureEntry)}
-	s.capture = c
 	return c
 }
 
-// noteLocked snapshots f's pre-image on its first Fix within the capture.
-// The caller holds s.mu.
-func (c *Capture) noteLocked(f *Frame) {
+// noteCapture snapshots f into the active capture, if any. Called with the
+// caller's pin held, after the frame is resident.
+func (s *Store) noteCapture(f *Frame) {
+	if c := s.capture.Load(); c != nil {
+		c.note(f)
+	}
+}
+
+// note snapshots f's pre-image on its first Fix within the capture.
+func (c *Capture) note(f *Frame) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
 	if _, ok := c.entries[f.id]; ok {
 		return
 	}
@@ -79,9 +100,15 @@ func (c *Capture) noteLocked(f *Frame) {
 	c.order = append(c.order, f.id)
 }
 
-// deferUnfixLocked intercepts an Unfix on a captured frame. The caller
-// holds s.mu. Returns false when the frame is not part of the capture.
-func (c *Capture) deferUnfixLocked(f *Frame) bool {
+// deferUnfix intercepts an Unfix on a captured frame. Returns false when
+// the frame is not part of the capture (or the capture already closed), in
+// which case the caller performs a normal unpin.
+func (c *Capture) deferUnfix(f *Frame) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
 	e, ok := c.entries[f.id]
 	if !ok || e.f != f {
 		return false
@@ -97,8 +124,8 @@ func (c *Capture) deferUnfixLocked(f *Frame) bool {
 // header bytes are excluded: pageLSN and checksum are recovery metadata,
 // not logged content.
 func (c *Capture) Deltas(needFull func(PageID) bool) []PageDelta {
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var out []PageDelta
 	for _, id := range c.order {
 		e := c.entries[id]
@@ -139,41 +166,40 @@ func diffRange(pre, cur []byte) (lo, hi int) {
 
 // Commit stamps lsn into every page Deltas reported changed and marks them
 // dirty, establishing the pageLSN the WAL rule and conditional redo key on.
-// Call it after the log record holding the deltas has been appended.
+// Call it after the log record holding the deltas has been appended. The
+// stamped frames are still pinned (their unpins are deferred), so no
+// concurrent write-back can observe a half-stamped page.
 func (c *Capture) Commit(lsn uint64) {
-	c.s.mu.Lock()
-	defer c.s.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, id := range c.order {
 		e := c.entries[id]
 		if !e.logged {
 			continue
 		}
 		SetPageLSN(e.f.data, lsn)
-		e.f.dirty = true
+		e.f.dirty.Store(true)
 	}
 }
 
 // Close ends the capture: deferred unpins are applied and the store stops
-// snapshotting. Must be called exactly once, after Deltas/Commit.
+// snapshotting. Must be called exactly once, after Deltas/Commit. The
+// capture pointer is cleared first, so Unfix calls that race with Close
+// either get deferred before the drain below or fall through to a normal
+// unpin — never both.
 func (c *Capture) Close() {
-	s := c.s
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.capture != c {
+	if !c.s.capture.CompareAndSwap(c, nil) {
 		panic("pagestore: capture closed twice or out of order")
 	}
-	s.capture = nil
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
 	for _, id := range c.order {
 		e := c.entries[id]
-		f := e.f
-		for ; e.deferred > 0; e.deferred-- {
-			if f.pins <= 0 {
+		if e.deferred > 0 {
+			if n := e.f.pins.Add(-e.deferred); n < 0 {
 				panic("pagestore: capture pin accounting underflow")
 			}
-			f.pins--
-		}
-		if f.pins == 0 && f.elem == nil {
-			f.elem = s.lru.PushBack(f)
 		}
 	}
 }

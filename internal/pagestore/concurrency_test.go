@@ -1,0 +1,503 @@
+package pagestore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShardClamping pins the shard-count policy: requested counts are
+// rounded down to powers of two and clamped so each shard holds at least
+// minFramesPerShard frames — tiny pools must keep whole-pool semantics.
+func TestShardClamping(t *testing.T) {
+	cases := []struct {
+		frames, shards, want int
+	}{
+		{2, 0, 1},        // tiny pool: single shard
+		{64, 16, 1},      // one shard's worth of frames
+		{128, 16, 2},     // clamped to frames/minFramesPerShard
+		{256, 16, 4},     // clamped
+		{1024, 0, 16},    // default frames/shards
+		{1024, 5, 4},     // rounded down to a power of two
+		{4096, 16, 16},   // fits
+		{100000, 64, 64}, // large pool honors the request
+		{DefaultFrames, DefaultShards, 16},
+	}
+	for _, c := range cases {
+		s := OpenConfig(NewMemBackend(), Config{Frames: c.frames, Shards: c.shards})
+		if got := s.Shards(); got != c.want {
+			t.Errorf("frames=%d shards=%d: got %d shards, want %d", c.frames, c.shards, got, c.want)
+		}
+		s.Close()
+	}
+}
+
+// TestShardCapacitySum checks the per-shard capacities sum to the pool
+// capacity (the remainder frames must not be lost).
+func TestShardCapacitySum(t *testing.T) {
+	s := OpenConfig(NewMemBackend(), Config{Frames: 1030, Shards: 16})
+	defer s.Close()
+	total := 0
+	for _, sh := range s.shards {
+		total += sh.cap
+	}
+	if total != 1030 {
+		t.Errorf("shard capacities sum to %d, want 1030", total)
+	}
+}
+
+// TestUnfixPanicMessage is the regression test for the double-Unfix
+// corruption bug: an Unfix on an already-unpinned frame must panic — not
+// silently push the pin count negative — and the message must identify the
+// frame by its page so the caller can be found.
+func TestUnfixPanicMessage(t *testing.T) {
+	s := Open(NewMemBackend(), 4)
+	defer s.Close()
+	f, err := s.FixNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID()
+	s.Unfix(f)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on double Unfix")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		if !strings.Contains(msg, fmt.Sprintf("page %d", id)) {
+			t.Errorf("panic %q does not name page %d", msg, id)
+		}
+		if got := f.pins.Load(); got != 0 {
+			t.Errorf("pin count corrupted to %d by double Unfix", got)
+		}
+	}()
+	s.Unfix(f)
+}
+
+// stampPage writes the torture test's content oracle into a page body:
+// every page holds its ID and version, then a deterministic byte pattern.
+func stampPage(data []byte, id PageID, version uint32) {
+	binary.BigEndian.PutUint32(data[PageHeaderSize:], uint32(id))
+	binary.BigEndian.PutUint32(data[PageHeaderSize+4:], version)
+	seed := byte(uint32(id)*31 + version)
+	for i := PageHeaderSize + 8; i < PageHeaderSize+64; i++ {
+		data[i] = seed + byte(i)
+	}
+}
+
+// checkPage verifies the oracle pattern; returns the stored version.
+func checkPage(data []byte, id PageID) (uint32, error) {
+	if got := PageID(binary.BigEndian.Uint32(data[PageHeaderSize:])); got != id {
+		return 0, fmt.Errorf("page %d holds content of page %d", id, got)
+	}
+	version := binary.BigEndian.Uint32(data[PageHeaderSize+4:])
+	seed := byte(uint32(id)*31 + version)
+	for i := PageHeaderSize + 8; i < PageHeaderSize+64; i++ {
+		if data[i] != seed+byte(i) {
+			return 0, fmt.Errorf("page %d version %d corrupt at offset %d", id, version, i)
+		}
+	}
+	return version, nil
+}
+
+// TestBufferTorture is the randomized multi-goroutine Fix/Unfix/MarkDirty
+// torture test: a pool at half the working-set size (every miss evicts),
+// the background flusher racing every write, and a content + version
+// oracle. Per-page RW locks in the test serialize content access the way
+// the layers above the buffer do, so any corruption the test observes is
+// the buffer manager's fault. Run it under -race.
+func TestBufferTorture(t *testing.T) {
+	const (
+		pages   = 512
+		frames  = 256 // half the working set: constant eviction traffic
+		workers = 8
+		iters   = 400
+	)
+	s := OpenConfig(NewMemBackend(), Config{
+		Frames:          frames,
+		Shards:          16, // clamps to 4
+		FlusherInterval: 200 * time.Microsecond,
+	})
+	defer s.Close()
+
+	ids := make([]PageID, pages)
+	versions := make([]atomic.Uint32, pages)
+	pageLocks := make([]sync.RWMutex, pages)
+	for i := range ids {
+		f, err := s.FixNew()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stampPage(f.Data(), f.ID(), 0)
+		f.MarkDirty()
+		ids[i] = f.ID()
+		s.Unfix(f)
+	}
+
+	var wg sync.WaitGroup
+	var fails atomic.Int32
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				if fails.Load() > 0 {
+					return
+				}
+				n := rng.Intn(pages)
+				switch op := rng.Intn(10); {
+				case op < 6: // read and verify
+					pageLocks[n].RLock()
+					f, err := s.Fix(ids[n])
+					if err != nil {
+						t.Errorf("Fix(%d): %v", ids[n], err)
+						fails.Add(1)
+						pageLocks[n].RUnlock()
+						return
+					}
+					v, err := checkPage(f.Data(), ids[n])
+					if err == nil && v != versions[n].Load() {
+						err = fmt.Errorf("page %d at version %d, oracle says %d", ids[n], v, versions[n].Load())
+					}
+					s.Unfix(f)
+					pageLocks[n].RUnlock()
+					if err != nil {
+						t.Error(err)
+						fails.Add(1)
+						return
+					}
+				case op < 9: // mutate
+					pageLocks[n].Lock()
+					f, err := s.Fix(ids[n])
+					if err != nil {
+						t.Errorf("Fix(%d): %v", ids[n], err)
+						fails.Add(1)
+						pageLocks[n].Unlock()
+						return
+					}
+					if _, err := checkPage(f.Data(), ids[n]); err != nil {
+						t.Error(err)
+						fails.Add(1)
+						s.Unfix(f)
+						pageLocks[n].Unlock()
+						return
+					}
+					v := versions[n].Load() + 1
+					stampPage(f.Data(), ids[n], v)
+					f.MarkDirty()
+					versions[n].Store(v)
+					s.Unfix(f)
+					pageLocks[n].Unlock()
+				default: // double pin: same page must come back as one frame
+					pageLocks[n].RLock()
+					f1, err1 := s.Fix(ids[n])
+					f2, err2 := s.Fix(ids[n])
+					if err1 == nil && err2 == nil && f1 != f2 {
+						t.Errorf("page %d pinned as two frames", ids[n])
+						fails.Add(1)
+					}
+					if err1 == nil {
+						s.Unfix(f1)
+					}
+					if err2 == nil {
+						s.Unfix(f2)
+					}
+					pageLocks[n].RUnlock()
+					if err1 != nil || err2 != nil {
+						t.Errorf("double pin of %d: %v / %v", ids[n], err1, err2)
+						fails.Add(1)
+						return
+					}
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Residency/pin oracle: no leaked pins, residency within capacity.
+	if n := s.PinnedFrames(); n != 0 {
+		t.Errorf("pin leak: %d frames still pinned", n)
+	}
+	if n := s.ResidentPages(); n > frames {
+		t.Errorf("%d resident pages exceed pool capacity %d", n, frames)
+	}
+	// Every page must hold its final oracle version, whether it survived in
+	// the buffer or went through eviction and reload.
+	for n, id := range ids {
+		f, err := s.Fix(id)
+		if err != nil {
+			t.Fatalf("final Fix(%d): %v", id, err)
+		}
+		v, err := checkPage(f.Data(), id)
+		if err == nil && v != versions[n].Load() {
+			err = fmt.Errorf("page %d final version %d, oracle says %d", id, v, versions[n].Load())
+		}
+		s.Unfix(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Error("torture run saw no evictions; pool sizing is wrong for this test")
+	}
+}
+
+// TestEvictionUnderFault proves a failed write-back requeues the victim
+// instead of dropping the page: the Fix that triggered the eviction fails,
+// but the victim's content stays buffered and dirty, and is written back
+// successfully once the fault clears.
+func TestEvictionUnderFault(t *testing.T) {
+	inner := NewMemBackend()
+	fb := NewFaultBackend(inner, FaultConfig{
+		Schedule: []ScheduledFault{{Op: OpWrite, N: 1, Class: ClassPermanent}},
+	})
+	fb.Disarm()
+	s := Open(fb, 2) // 1 shard of 2 frames
+	defer s.Close()
+
+	// Three pages through a two-frame pool; creating C evicts A cleanly
+	// while the injector is disarmed. B and C stay buffered and dirty.
+	mk := func(tag byte) PageID {
+		f, err := s.FixNew()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[PageHeaderSize] = tag
+		f.MarkDirty()
+		id := f.ID()
+		s.Unfix(f)
+		return id
+	}
+	a, b, c := mk('a'), mk('b'), mk('c')
+
+	// Fixing A forces a dirty eviction; the scheduled permanent write
+	// fault fails it. The error must surface as permanent and unretried.
+	fb.Arm()
+	if _, err := s.Fix(a); err == nil {
+		t.Fatal("Fix(a) should fail when the eviction write-back faults")
+	} else if !IsPermanent(err) {
+		t.Fatalf("eviction failure %v not classified permanent", err)
+	}
+	fb.Disarm()
+	if got := s.Stats().Retries; got != 0 {
+		t.Errorf("permanent fault was retried %d times", got)
+	}
+
+	// The victim was requeued: both B and C are still buffered (hits, no
+	// backend read) with intact content and dirty bits.
+	before := s.Stats().Hits
+	for _, pc := range []struct {
+		id  PageID
+		tag byte
+	}{{b, 'b'}, {c, 'c'}} {
+		f, err := s.Fix(pc.id)
+		if err != nil {
+			t.Fatalf("Fix(%d) after failed eviction: %v", pc.id, err)
+		}
+		if f.Data()[PageHeaderSize] != pc.tag {
+			t.Errorf("page %d content %q, want %q — failed write-back dropped content",
+				pc.id, f.Data()[PageHeaderSize], pc.tag)
+		}
+		s.Unfix(f)
+	}
+	if got := s.Stats().Hits - before; got != 2 {
+		t.Errorf("pages B/C were not retained in the buffer (hits +%d, want +2)", got)
+	}
+
+	// With the fault cleared the blocked eviction goes through and A comes
+	// back with its original content.
+	f, err := s.Fix(a)
+	if err != nil {
+		t.Fatalf("Fix(a) after fault cleared: %v", err)
+	}
+	if f.Data()[PageHeaderSize] != 'a' {
+		t.Errorf("page a content %q, want 'a'", f.Data()[PageHeaderSize])
+	}
+	s.Unfix(f)
+}
+
+// togglingSyncer is a LogSyncer whose FlushTo can be switched between
+// success and failure, emulating a live and a crashed log.
+type togglingSyncer struct{ fail atomic.Bool }
+
+func (l *togglingSyncer) FlushTo(uint64) error {
+	if l.fail.Load() {
+		return errors.New("log unavailable")
+	}
+	return nil
+}
+
+// TestFlusherTrickles checks the background flusher writes dirty unpinned
+// frames to the backend without evicting them, and leaves pinned frames
+// alone.
+func TestFlusherTrickles(t *testing.T) {
+	mb := NewMemBackend()
+	s := OpenConfig(mb, Config{Frames: 8, FlusherInterval: time.Millisecond})
+	defer s.Close()
+
+	f, err := s.FixNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(f.Data()[PageHeaderSize:], "trickled")
+	f.MarkDirty()
+	id := f.ID()
+
+	// Pinned: the flusher must not touch it.
+	time.Sleep(10 * time.Millisecond)
+	if got := s.Stats().FlusherWrites; got != 0 {
+		t.Fatalf("flusher wrote %d pinned frames", got)
+	}
+	s.Unfix(f)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().FlusherWrites == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never wrote the dirty unpinned frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	raw := make([]byte, PageSize)
+	if err := mb.ReadPage(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[PageHeaderSize:PageHeaderSize+8]) != "trickled" {
+		t.Error("flusher write did not reach the backend")
+	}
+	if err := VerifyChecksum(id, raw); err != nil {
+		t.Errorf("flusher wrote an unstamped page: %v", err)
+	}
+	// The page was trickled, not evicted: fetching it is a hit.
+	before := s.Stats().Hits
+	f2, err := s.Fix(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Unfix(f2)
+	if s.Stats().Hits != before+1 {
+		t.Error("trickled page left the buffer")
+	}
+}
+
+// TestFlusherHonorsWALRule checks the flusher enforces the WAL rule: while
+// the log refuses FlushTo (crashed), dirty pages must not reach the
+// backend; once the log recovers, they trickle out.
+func TestFlusherHonorsWALRule(t *testing.T) {
+	mb := NewMemBackend()
+	s := OpenConfig(mb, Config{Frames: 8, FlusherInterval: time.Millisecond})
+	defer s.Close()
+	log := &togglingSyncer{}
+	log.fail.Store(true)
+	s.SetWAL(log)
+
+	f, err := s.FixNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(f.Data()[PageHeaderSize:], "guarded")
+	f.MarkDirty()
+	id := f.ID()
+	s.Unfix(f)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Stats().FlusherErrors == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never attempted the dirty frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	raw := make([]byte, PageSize)
+	if err := mb.ReadPage(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[PageHeaderSize:PageHeaderSize+7]) == "guarded" {
+		t.Fatal("flusher wrote page content ahead of the log")
+	}
+
+	log.fail.Store(false)
+	for s.Stats().FlusherWrites == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never recovered after the log came back")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := mb.ReadPage(id, raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[PageHeaderSize:PageHeaderSize+7]) != "guarded" {
+		t.Error("page content missing after the log recovered")
+	}
+}
+
+// TestConcurrentSamePageMiss checks that concurrent Fix misses of one page
+// load it exactly once and everybody gets the same frame.
+func TestConcurrentSamePageMiss(t *testing.T) {
+	mb := NewMemBackend()
+	s := Open(mb, 8)
+	f, err := s.FixNew()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data()[PageHeaderSize] = 'x'
+	f.MarkDirty()
+	id := f.ID()
+	s.Unfix(f)
+	if err := s.Close(); err != nil { // write it out, then reopen cold
+		t.Fatal(err)
+	}
+	s = Open(mb, 8)
+	defer s.Close()
+
+	const workers = 16
+	frames := make([]*Frame, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f, err := s.Fix(id)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			frames[i] = f
+		}(w)
+	}
+	wg.Wait()
+	for _, f := range frames {
+		if f == nil {
+			t.Fatal("a worker failed to fix the page")
+		}
+		if f != frames[0] {
+			t.Fatal("concurrent misses produced distinct frames for one page")
+		}
+		if f.Data()[PageHeaderSize] != 'x' {
+			t.Fatal("loaded content wrong")
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (single load)", st.Misses)
+	}
+	for range frames {
+		s.Unfix(frames[0])
+	}
+	if s.PinnedFrames() != 0 {
+		t.Error("pins leaked")
+	}
+}

@@ -1,0 +1,91 @@
+package pagestore
+
+import "time"
+
+// Background flusher: a goroutine that periodically trickles dirty,
+// unpinned, resident frames to the backend so that CLOCK eviction almost
+// always finds clean victims and a Fix miss rarely stalls on a synchronous
+// write-back. Every trickled write goes through the same writeBack path as
+// eviction, so the WAL rule (FlushTo before the page image leaves the
+// buffer) and the transient-retry policy apply unchanged. A failed trickle
+// leaves the frame dirty — it is simply retried on a later pass or, at the
+// latest, by the evictor — and is counted in Stats.FlusherErrors.
+
+// startFlusher launches the background flusher goroutine.
+func (s *Store) startFlusher(interval time.Duration) {
+	s.flusherStop = make(chan struct{})
+	s.flusherWG.Add(1)
+	go func() {
+		defer s.flusherWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.flusherStop:
+				return
+			case <-t.C:
+				s.FlushDirty()
+			}
+		}
+	}()
+}
+
+// stopFlusher terminates the flusher goroutine (if any) and waits for an
+// in-flight pass to finish. Idempotent.
+func (s *Store) stopFlusher() {
+	if s.flusherStop == nil {
+		return
+	}
+	s.flusherOnce.Do(func() { close(s.flusherStop) })
+	s.flusherWG.Wait()
+}
+
+// FlushDirty performs one flusher pass over all shards: every frame that is
+// dirty, unpinned, and resident is written back. Exported so tools and
+// tests can force a pass; the background flusher calls it on every tick.
+// Unlike Flush it skips pinned frames (their holders may be mutating the
+// bytes) and does not sync the backend.
+func (s *Store) FlushDirty() {
+	for _, sh := range s.shards {
+		sh.trickle()
+	}
+}
+
+// trickle writes back the shard's dirty unpinned frames. Candidates are
+// collected under the read lock; each is then claimed via the frameWriting
+// protocol under its own latch, which re-validates the frame (it may have
+// been pinned, evicted, or cleaned since the scan) and excludes concurrent
+// evictors. Pins only appear under the frame latch, so the pins == 0 check
+// inside the latch is authoritative: once the frame is in frameWriting no
+// Fix can pin it until the write finishes.
+func (sh *bufShard) trickle() {
+	s := sh.store
+	sh.mu.RLock()
+	var cands []*Frame
+	for _, f := range sh.frames {
+		if f.dirty.Load() && f.pins.Load() == 0 {
+			cands = append(cands, f)
+		}
+	}
+	sh.mu.RUnlock()
+	for _, f := range cands {
+		f.mu.Lock()
+		if f.state != frameResident || f.pins.Load() != 0 || !f.dirty.Load() {
+			f.mu.Unlock()
+			continue
+		}
+		f.state = frameWriting
+		f.mu.Unlock()
+		err := s.writeBack(f)
+		f.mu.Lock()
+		f.state = frameResident
+		if err == nil {
+			f.dirty.Store(false)
+			s.flusherWrites.Add(1)
+		} else {
+			s.flusherErrors.Add(1)
+		}
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/pagestore"
@@ -68,12 +69,27 @@ type Options struct {
 	Dist uint32
 	// BufferFrames sizes the page buffer (pagestore.DefaultFrames if zero).
 	BufferFrames int
+	// BufferShards requests a page-table shard count
+	// (pagestore.DefaultShards if zero; clamped to the pool size).
+	BufferShards int
+	// FlusherInterval enables the buffer pool's background flusher
+	// (disabled if zero).
+	FlusherInterval time.Duration
+}
+
+// bufferConfig translates the options into a pagestore configuration.
+func (o Options) bufferConfig() pagestore.Config {
+	return pagestore.Config{
+		Frames:          o.BufferFrames,
+		Shards:          o.BufferShards,
+		FlusherInterval: o.FlusherInterval,
+	}
 }
 
 // Create builds an empty document (just the root element, named rootName)
 // on the given backend.
 func Create(backend pagestore.Backend, rootName string, opts Options) (*Document, error) {
-	store := pagestore.Open(backend, opts.BufferFrames)
+	store := pagestore.OpenConfig(backend, opts.bufferConfig())
 	// Reserve page 0 for the metadata page before any tree allocates it.
 	if store.Backend().NumPages() == 0 {
 		meta, err := store.FixNew()

@@ -8,6 +8,7 @@ package tamix
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/pagestore"
 	"repro/internal/storage"
@@ -34,6 +35,12 @@ type BibConfig struct {
 	// (pagestore.DefaultFrames when zero). Chaos tests shrink it so the
 	// run does real backend I/O instead of staying buffer-resident.
 	BufferFrames int
+	// BufferShards requests a page-table shard count
+	// (pagestore.DefaultShards when zero; clamped to the pool size).
+	BufferShards int
+	// FlusherInterval enables the buffer pool's background flusher
+	// (disabled when zero).
+	FlusherInterval time.Duration
 	// Seed makes generation deterministic.
 	Seed int64
 }
@@ -89,7 +96,12 @@ type Catalog struct {
 // GenerateBib builds the bib document on the given backend and returns it
 // with the catalog of jump targets.
 func GenerateBib(backend pagestore.Backend, cfg BibConfig) (*storage.Document, *Catalog, error) {
-	doc, err := storage.Create(backend, "bib", storage.Options{Dist: cfg.Dist, BufferFrames: cfg.BufferFrames})
+	doc, err := storage.Create(backend, "bib", storage.Options{
+		Dist:            cfg.Dist,
+		BufferFrames:    cfg.BufferFrames,
+		BufferShards:    cfg.BufferShards,
+		FlusherInterval: cfg.FlusherInterval,
+	})
 	if err != nil {
 		return nil, nil, err
 	}

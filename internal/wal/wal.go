@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pagestore"
 )
@@ -75,6 +76,17 @@ type Stats struct {
 type Log struct {
 	store SegmentStore
 	cfg   Config
+
+	// fastDurable mirrors durable for the lock-free Force/FlushTo fast
+	// path: a Force whose lsn is already strictly below the watermark
+	// returns without touching the log mutex, so the sharded buffer
+	// pool's concurrent write-backs of already-durable pages never
+	// serialize here. Zero means "disabled": the watermark is zeroed the
+	// moment the log crashes or fails, restoring the slow path's
+	// every-FlushTo-fails barrier (see crashLocked). The zeroing happens
+	// under mu before any caller can learn of the crash, so a page made
+	// evictable after a failed append can never slip past the fast path.
+	fastDurable atomic.Uint64
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -151,6 +163,7 @@ func Open(store SegmentStore, cfg Config) (*Log, error) {
 		l.segIdx = idx + 1
 	}
 	l.next, l.durable = total, total
+	l.fastDurable.Store(total)
 
 	l.wg.Add(1)
 	go l.flusher()
@@ -204,6 +217,14 @@ func (l *Log) AppendEnd(txn uint64) (LSN, error) {
 // Passing an LSN returned by Append covers that record (durability is
 // tracked past the record's full frame).
 func (l *Log) Force(lsn LSN) error {
+	// Fast path: the record is already durable and the log was healthy
+	// when the watermark was last published. Records synced before a
+	// crash stay durable, but a crashed log must still fail every Force —
+	// crashLocked zeroes the watermark, so only the slow path (which
+	// checks crashed) can answer then.
+	if d := l.fastDurable.Load(); d != 0 && d > lsn {
+		return nil
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	waited := false
@@ -244,6 +265,7 @@ func (l *Log) kick() {
 // crashLocked turns the log fail-stop. Caller holds l.mu.
 func (l *Log) crashLocked() {
 	l.crashed = true
+	l.fastDurable.Store(0)
 	l.pending = nil
 	l.cond.Broadcast()
 }
@@ -285,8 +307,10 @@ func (l *Log) flusher() {
 		l.mu.Lock()
 		if err != nil {
 			l.failure = fmt.Errorf("wal: flush: %w", err)
+			l.fastDurable.Store(0)
 		} else if !l.crashed {
 			l.durable += LSN(len(batch))
+			l.fastDurable.Store(l.durable)
 			l.syncs++
 		}
 		l.cond.Broadcast()
