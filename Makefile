@@ -1,6 +1,13 @@
+# The bench targets pipe `go test -bench` through awk; without pipefail a
+# failing test binary would vanish behind awk's exit 0 and the target would
+# "succeed" while appending nothing. bash + pipefail makes every pipeline
+# stage's failure the target's failure.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
 GO ?= go
 
-.PHONY: build test verify bench-lock bench-wal bench-buffer chaos recovery
+.PHONY: build test verify bench-lock bench-wal bench-buffer bench-all chaos recovery metrics
 
 build:
 	$(GO) build ./...
@@ -24,15 +31,24 @@ recovery:
 	$(GO) test -race -run 'Recover|Crash|TxnDone|Checksum|Corrupt|WAL|GroupCommit' \
 		./internal/wal/ ./internal/storage/ ./internal/tx/ ./internal/pagestore/
 
+# metrics runs the observability-layer suite under the race detector: the
+# histogram property tests, concurrent recorders, registry access, the
+# debug endpoint, the run-report golden schema, and the lock manager's
+# shutdown-drain test.
+metrics:
+	$(GO) test -race -run 'Percentile|Histogram|Bucket|Concurrent|Registry|Snapshot|Merge|Debug|ServeDebug|Nil|Report|MinDur|CloseDrains' \
+		./internal/metrics/ ./internal/tamix/ ./internal/lock/
+
 # verify is the full pre-merge gate: compile, vet, the complete test suite
 # under the race detector (the lock package's equivalence tests lean on it
-# heavily), and the focused chaos and recovery suites.
+# heavily), and the focused chaos, recovery, and metrics suites.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
 	$(MAKE) recovery
+	$(MAKE) metrics
 
 # bench-lock runs the lock-table contention benchmark and appends one JSON
 # line per result to BENCH_lock.json, so successive runs accumulate a
@@ -65,3 +81,7 @@ bench-buffer:
 		END { if (sharded > 0 && mutex > 0) \
 			printf "{\"date\":\"%s\",\"bench\":\"BufferContentionSpeedup/mixed/g16\",\"mutex_ns_per_op\":%s,\"sharded_ns_per_op\":%s,\"speedup\":%.2f}\n", date, mutex, sharded, mutex / sharded }' \
 	>> BENCH_buffer.json
+
+# bench-all runs every benchmark suite; any failing stage fails the target
+# (pipefail, see SHELL above).
+bench-all: bench-lock bench-wal bench-buffer

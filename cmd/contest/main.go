@@ -6,16 +6,21 @@
 //
 //	contest                  # quick, scaled-down run
 //	contest -depth 5 -doc 0.05 -time 0.005
+//	contest -json report.json            # machine-readable run report
+//	contest -json -                      # report to stdout, table to stderr
+//	contest -debug-addr localhost:6060   # live /metrics + pprof while running
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
+	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/pagestore"
 	"repro/internal/protocol"
 	"repro/internal/tamix"
@@ -35,16 +40,39 @@ func main() {
 		frames      = flag.Int("frames", 0, "page-buffer frames (0 = default; shrink below the working set so -fault reaches the backend)")
 		shards      = flag.Int("buffer-shards", 0, "page-buffer table shards (0 = default 16; clamped to the pool size)")
 		flusher     = flag.Duration("flusher", 0, "background flusher interval for dirty pages (0 = disabled)")
+		useWAL      = flag.Bool("wal", true, "attach an in-memory WAL so commits pay a durability force (wal.* latencies)")
+		jsonOut     = flag.String("json", "", "write the JSON run report to this file (\"-\" = stdout, table moves to stderr)")
+		debugAddr   = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 
-	type row struct {
-		proto   string
-		group   string
-		result  *tamix.Result
-		ranking float64
+	// The debug endpoint follows the protocol currently under test: each run
+	// gets a fresh registry (distributions must not mix protocols) and the
+	// endpoint reads whichever one is live.
+	var liveReg atomic.Pointer[metrics.Registry]
+	if *debugAddr != "" {
+		addr, stop, err := metrics.ServeDebug(*debugAddr, func() *metrics.Snapshot {
+			return liveReg.Load().Snapshot() // nil-safe: empty snapshot between runs
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "contest: debug endpoint:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/ (metrics, pprof)\n", addr)
 	}
-	var rows []row
+
+	report := &tamix.ContestReport{
+		DocScale:  *docScale,
+		TimeScale: *timeSc,
+		Depth:     *depth,
+		Seed:      *seed,
+	}
+	type row struct {
+		group  string
+		result *tamix.Result
+	}
+	rows := map[string]row{}
 	for _, p := range protocol.All() {
 		cfg := tamix.Cluster1Config(p.Name(), tx.LevelRepeatable, *depth, *docScale, *timeSc)
 		cfg.Seed += *seed
@@ -55,6 +83,7 @@ func main() {
 		cfg.Bib.BufferFrames = *frames
 		cfg.Bib.BufferShards = *shards
 		cfg.Bib.FlusherInterval = *flusher
+		cfg.WAL = *useWAL
 		if *faultProb > 0 {
 			cfg.Faults = &pagestore.FaultConfig{
 				Seed:       cfg.Seed,
@@ -63,6 +92,9 @@ func main() {
 				TornWrites: *tornWrites,
 			}
 		}
+		reg := metrics.NewRegistry()
+		cfg.Metrics = reg
+		liveReg.Store(reg)
 		fmt.Fprintf(os.Stderr, "running %-10s ...", p.Name())
 		start := time.Now()
 		res, err := tamix.Run(cfg)
@@ -72,19 +104,54 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, " %6.1f tx/5min, %d deadlocks, %d restarts (%s)\n",
 			res.Throughput(), res.Deadlocks, res.Restarts, time.Since(start).Round(time.Millisecond))
-		rows = append(rows, row{p.Name(), p.Group(), res, res.Throughput()})
+		rows[p.Name()] = row{p.Group(), res}
+		report.Results = append(report.Results, tamix.RankedReport{
+			Group:  p.Group(),
+			Report: res.Report(),
+		})
 	}
-	sort.SliceStable(rows, func(i, j int) bool { return rows[i].ranking > rows[j].ranking })
+	report.Rank()
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "rank\tprotocol\tgroup\tthroughput\tcommitted\taborted\trestarts\tdropped\tdeadlocks\tconv-deadlocks\tlock requests\tcache hits\tlock waits\tfaults\tretries")
-	for i, r := range rows {
-		fmt.Fprintf(w, "%d\t%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
-			i+1, r.proto, r.group, r.result.Throughput(),
-			r.result.Committed, r.result.Aborted, r.result.Restarts, r.result.Dropped,
-			r.result.Deadlocks, r.result.ConversionDeadlocks, r.result.LockRequests,
-			r.result.LockCacheHits, r.result.LockWaits,
-			r.result.FaultsInjected, r.result.BufferRetries)
+	tableOut := io.Writer(os.Stdout)
+	if *jsonOut == "-" {
+		tableOut = os.Stderr
+	}
+	w := tabwriter.NewWriter(tableOut, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "rank\tprotocol\tgroup\tthroughput\tcommitted\taborted\trestarts\tdropped\tdeadlocks\tconv-deadlocks\tlock requests\tcache hits\tlock waits\twait p95\tfix-miss p95\twal-force p95\tfaults\tretries")
+	for _, rr := range report.Results {
+		r := rows[rr.Protocol]
+		fmt.Fprintf(w, "%d\t%s\t%s\t%.1f\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\t%d\t%d\n",
+			rr.Rank, rr.Protocol, r.group, rr.Throughput,
+			rr.Committed, rr.Aborted, rr.Restarts, rr.Dropped,
+			rr.Deadlocks, rr.ConversionDeadlocks, rr.LockRequests,
+			rr.LockCacheHits, rr.LockWaits,
+			p95(rr.Latencies["lock.wait"]), p95(rr.Latencies["buffer.fix_miss"]), p95(rr.Latencies["wal.force"]),
+			rr.FaultsInjected, rr.BufferRetries)
 	}
 	w.Flush()
+
+	if *jsonOut != "" {
+		out := io.Writer(os.Stdout)
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "contest:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "contest:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// p95 formats a latency digest's p95 for the table ("-" when empty).
+func p95(s metrics.LatencySummary) string {
+	if s.Count == 0 {
+		return "-"
+	}
+	return time.Duration(s.P95).Round(time.Microsecond).String()
 }

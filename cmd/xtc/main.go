@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/btree"
+	"repro/internal/metrics"
 	"repro/internal/pagestore"
 	"repro/internal/splid"
 	"repro/internal/storage"
@@ -30,20 +32,38 @@ import (
 
 func main() {
 	var (
-		load    = flag.String("load", "", "XML file to import into a fresh in-memory document")
-		open    = flag.String("open", "", "XTC document file to open")
-		stats   = flag.Bool("stats", false, "print document statistics")
-		verify  = flag.Bool("verify", false, "run the structural verifier")
-		dump    = flag.String("dump", "", "SPLID of a subtree to export as XML (\"root\" for everything)")
-		id      = flag.String("id", "", "resolve an id attribute value to its element")
-		walDir  = flag.String("wal", "", "directory of write-ahead log segments to attach")
-		recover = flag.Bool("recover", false, "run ARIES-style recovery from -wal before opening (requires -open)")
-		shards  = flag.Int("buffer-shards", 0, "page-buffer table shards (0 = default 16; clamped to the pool size)")
-		flusher = flag.Duration("flusher", 0, "background flusher interval for dirty pages (0 = disabled)")
+		load      = flag.String("load", "", "XML file to import into a fresh in-memory document")
+		open      = flag.String("open", "", "XTC document file to open")
+		stats     = flag.Bool("stats", false, "print document statistics")
+		verify    = flag.Bool("verify", false, "run the structural verifier")
+		dump      = flag.String("dump", "", "SPLID of a subtree to export as XML (\"root\" for everything)")
+		id        = flag.String("id", "", "resolve an id attribute value to its element")
+		walDir    = flag.String("wal", "", "directory of write-ahead log segments to attach")
+		recover   = flag.Bool("recover", false, "run ARIES-style recovery from -wal before opening (requires -open)")
+		shards    = flag.Int("buffer-shards", 0, "page-buffer table shards (0 = default 16; clamped to the pool size)")
+		flusher   = flag.Duration("flusher", 0, "background flusher interval for dirty pages (0 = disabled)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while running")
+		metricsFl = flag.Bool("metrics", false, "print the buffer/WAL latency digests after the run")
 	)
 	flag.Parse()
 
-	opts := storage.Options{BufferShards: *shards, FlusherInterval: *flusher}
+	// One registry for the whole invocation: the buffer pool and the WAL
+	// report into it, the debug endpoint reads it live, and -metrics prints
+	// the digests at the end.
+	var reg *metrics.Registry
+	if *debugAddr != "" || *metricsFl {
+		reg = metrics.NewRegistry()
+	}
+	if *debugAddr != "" {
+		addr, stop, err := metrics.ServeDebug(*debugAddr, reg.Snapshot)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/ (metrics, pprof)\n", addr)
+	}
+
+	opts := storage.Options{BufferShards: *shards, FlusherInterval: *flusher, Metrics: reg}
 
 	var log *wal.Log
 	if *walDir != "" {
@@ -52,7 +72,7 @@ func main() {
 			fatal(serr)
 		}
 		var lerr error
-		log, lerr = wal.Open(segs, wal.Config{})
+		log, lerr = wal.Open(segs, wal.Config{Metrics: reg})
 		if lerr != nil {
 			fatal(lerr)
 		}
@@ -159,6 +179,33 @@ func main() {
 		if err := doc.ExportXML(w, target); err != nil {
 			fatal(err)
 		}
+	}
+	if *metricsFl {
+		printMetrics(reg.Snapshot())
+	}
+}
+
+// printMetrics prints the registry's latency digests and counters — the
+// offline twin of the -debug-addr /metrics/summary endpoint.
+func printMetrics(s *metrics.Snapshot) {
+	for _, name := range s.HistogramNames() {
+		d := s.Summary(name)
+		if d.Count == 0 {
+			continue
+		}
+		fmt.Printf("latency %-24s n=%-8d avg=%-12v p50=%-12v p95=%-12v p99=%-12v max=%v\n",
+			name, d.Count,
+			time.Duration(d.Avg).Round(time.Nanosecond),
+			time.Duration(d.P50), time.Duration(d.P95), time.Duration(d.P99),
+			time.Duration(d.Max))
+	}
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("counter %-24s %d\n", name, s.Counters[name])
 	}
 }
 

@@ -119,6 +119,9 @@ func runCluster1(proto string, iso tx.Level, depth int, o Options) (*tamix.Resul
 				agg.PartitionWaits[i] += w
 			}
 		}
+		if agg.Metrics != nil && r.Metrics != nil {
+			agg.Metrics.Merge(r.Metrics)
+		}
 		for typ, st := range r.PerType {
 			dst := agg.PerType[typ]
 			dst.Committed += st.Committed
@@ -127,7 +130,9 @@ func runCluster1(proto string, iso tx.Level, depth int, o Options) (*tamix.Resul
 			dst.RestartWait += st.RestartWait
 			dst.Dropped += st.Dropped
 			dst.TotalDur += st.TotalDur
-			if st.MinDur > 0 && (dst.MinDur == 0 || st.MinDur < dst.MinDur) {
+			// MinDur uses -1 as "unset": take any set value over unset,
+			// including a legitimate zero-duration minimum.
+			if st.MinDur >= 0 && (dst.MinDur < 0 || st.MinDur < dst.MinDur) {
 				dst.MinDur = st.MinDur
 			}
 			if st.MaxDur > dst.MaxDur {

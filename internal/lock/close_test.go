@@ -1,0 +1,86 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCloseDrainsPendingKick pins the shutdown-drain contract: a deadlock
+// cycle whose kick is still pending when Close runs must be resolved before
+// Close returns. Before the drain fix, detectorLoop's select could pick
+// detStop over the ready detKick and exit without a pass, leaving both
+// waiters blocked on a formed cycle until their timeouts.
+//
+// The race window is made deterministic with newManager: the detector loop
+// is NOT started until the cycle exists and the kick sits in the buffered
+// channel, so the loop's very first select sees detStop and detKick ready
+// simultaneously — the exact interleaving the old code lost.
+func TestCloseDrainsPendingKick(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		m := newManager(testTable(), Options{Timeout: time.Minute})
+		t1, t2 := m.Begin(), m.Begin()
+		if err := m.Lock(t1, "res-a", tX, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Lock(t2, "res-b", tX, false); err != nil {
+			t.Fatal(err)
+		}
+
+		type outcome struct {
+			tx  *Tx
+			err error
+		}
+		results := make(chan outcome, 2)
+		go func() { results <- outcome{t1, m.Lock(t1, "res-b", tX, false)} }()
+		go func() { results <- outcome{t2, m.Lock(t2, "res-a", tX, false)} }()
+
+		// stats.waits increments after the request is enqueued, so seeing 2
+		// means the cycle's last edge is published (and both enqueues kicked
+		// the — not yet running — detector).
+		deadline := time.Now().Add(10 * time.Second)
+		for m.Stats().Waits < 2 {
+			if time.Now().After(deadline) {
+				t.Fatal("requests never blocked")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+
+		go m.detectorLoop()
+		m.Close()
+
+		// Close has returned: the drain pass must already have broken the
+		// cycle. No sleeping here — anything still blocked is the bug.
+		select {
+		case o := <-results:
+			if !errors.Is(o.err, ErrDeadlockVictim) {
+				t.Fatalf("round %d: first finished waiter got %v, want ErrDeadlockVictim", round, o.err)
+			}
+			m.ReleaseAll(o.tx) // victim aborts: frees its lock, unblocking the survivor
+			o = <-results
+			if o.err != nil {
+				t.Fatalf("round %d: survivor got %v after victim released", round, o.err)
+			}
+			m.ReleaseAll(o.tx)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: cycle survived Close: pending kick dropped", round)
+		}
+	}
+}
+
+// TestCloseIdempotent pins that Close can be called repeatedly and from
+// multiple goroutines.
+func TestCloseIdempotent(t *testing.T) {
+	m := NewManager(testTable(), Options{})
+	done := make(chan struct{}, 3)
+	for i := 0; i < 3; i++ {
+		go func() { m.Close(); done <- struct{}{} }()
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close hung")
+		}
+	}
+}

@@ -31,10 +31,21 @@ import "sort"
 // aborts it.
 
 // detectorLoop runs until Close; each kick triggers one detection pass.
+//
+// Shutdown is a deterministic drain: when detStop closes, one final pass
+// runs unconditionally before the loop exits. Without it, a kick enqueued
+// after the last pass but before detStop wins the select would be dropped
+// (the select picks randomly among ready cases), leaving a just-formed
+// cycle undetected while its waiters still block. The final pass takes
+// every partition mutex, so it observes every edge published before Close —
+// and Close waits on detDone, so by the time Close returns no pre-Close
+// cycle can be outstanding.
 func (m *Manager) detectorLoop() {
+	defer close(m.detDone)
 	for {
 		select {
 		case <-m.detStop:
+			m.detectAndResolve()
 			return
 		case <-m.detKick:
 			m.detectAndResolve()
@@ -69,6 +80,8 @@ func (m *Manager) unlockAllStripes() {
 // detectAndResolve takes a cross-partition snapshot and breaks every cycle
 // in it, newest waiter first, until none remain.
 func (m *Manager) detectAndResolve() {
+	t0 := m.hDetector.Start()
+	defer m.hDetector.Since(t0)
 	m.lockAllStripes()
 	defer m.unlockAllStripes()
 	for {

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // TxID identifies a transaction within one Manager.
@@ -152,6 +154,11 @@ type Options struct {
 	// on the detector goroutine with every partition mutex held and must
 	// return quickly without calling back into the Manager.
 	OnDeadlock func(DeadlockInfo)
+	// Metrics, when non-nil, receives the manager's instruments: the
+	// lock.* counters and the acquire/wait/conversion-wait/detector-pass
+	// latency histograms. A nil registry disables latency recording
+	// entirely (no clock reads on the locking path).
+	Metrics *metrics.Registry
 }
 
 // stripe is one lock-table partition: its own mutex, granted groups, and
@@ -194,8 +201,16 @@ type Manager struct {
 
 	stats counters
 
+	// Latency histograms (nil without Options.Metrics — recording and the
+	// clock reads feeding it are skipped entirely then).
+	hAcquire  *metrics.Histogram // lock.acquire: every slow-path acquisition
+	hWait     *metrics.Histogram // lock.wait: blocked time until grant/abort/timeout
+	hConvWait *metrics.Histogram // lock.conversion_wait: blocked conversions only
+	hDetector *metrics.Histogram // lock.detector_pass: one detection pass
+
 	detKick   chan struct{}
 	detStop   chan struct{}
+	detDone   chan struct{}
 	closeOnce sync.Once
 }
 
@@ -203,6 +218,15 @@ type Manager struct {
 // deadlock-detector goroutine. Call Close when the manager is no longer
 // needed to stop the detector.
 func NewManager(table ModeTable, opts Options) *Manager {
+	m := newManager(table, opts)
+	go m.detectorLoop()
+	return m
+}
+
+// newManager builds the manager without starting the detector goroutine —
+// shared by NewManager and by tests that need a pending kick to survive
+// until they start the loop themselves.
+func newManager(table ModeTable, opts Options) *Manager {
 	to := opts.Timeout
 	if to <= 0 {
 		to = DefaultTimeout
@@ -223,18 +247,28 @@ func NewManager(table ModeTable, opts Options) *Manager {
 		mask:    uint64(pow - 1),
 		detKick: make(chan struct{}, 1),
 		detStop: make(chan struct{}),
+		detDone: make(chan struct{}),
 	}
 	for i := range m.stripes {
 		m.stripes[i].locks = make(map[Resource]*lockHead)
 	}
-	go m.detectorLoop()
+	if reg := opts.Metrics; reg != nil {
+		m.hAcquire = reg.Histogram("lock.acquire")
+		m.hWait = reg.Histogram("lock.wait")
+		m.hConvWait = reg.Histogram("lock.conversion_wait")
+		m.hDetector = reg.Histogram("lock.detector_pass")
+		m.registerCounters(reg)
+	}
 	return m
 }
 
-// Close stops the deadlock-detector goroutine. Safe to call more than once.
-// Transactions must not use the manager after Close.
+// Close stops the deadlock-detector goroutine and waits for it to finish
+// its final drain pass, so a kick that raced with Close is never dropped
+// (any cycle formed before Close is resolved before Close returns). Safe to
+// call more than once. Transactions must not use the manager after Close.
 func (m *Manager) Close() {
 	m.closeOnce.Do(func() { close(m.detStop) })
+	<-m.detDone
 }
 
 // Table returns the manager's mode table.
@@ -333,6 +367,7 @@ func (m *Manager) Lock(tx *Tx, res Resource, mode Mode, short bool) error {
 }
 
 func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
+	t0 := m.hAcquire.Start()
 	s := m.stripeFor(res)
 	s.mu.Lock()
 	tx.mu.Lock()
@@ -358,6 +393,7 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 			tx.mu.Unlock()
 			s.mu.Unlock()
 			m.stats.immediateGrants.Add(1)
+			m.hAcquire.Since(t0)
 			return nil
 		}
 		m.stats.conversions.Add(1)
@@ -367,6 +403,7 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 			tx.mu.Unlock()
 			s.mu.Unlock()
 			m.stats.immediateGrants.Add(1)
+			m.hAcquire.Since(t0)
 			return nil
 		}
 		req = &request{tx: tx, res: res, target: target, short: short,
@@ -389,6 +426,7 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 			tx.mu.Unlock()
 			s.mu.Unlock()
 			m.stats.immediateGrants.Add(1)
+			m.hAcquire.Since(t0)
 			return nil
 		}
 		req = &request{tx: tx, res: res, target: mode, short: short,
@@ -403,10 +441,25 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 	m.stats.waits.Add(1)
 	m.kickDetector()
 
+	// Blocked-time accounting: every exit from the select records the wait
+	// into lock.wait (conversions also into lock.conversion_wait) and the
+	// whole slow-path acquisition into lock.acquire — tail latency is the
+	// signal the protocol contest is about, so timeouts and deadlock aborts
+	// are recorded too, not just grants.
+	tw := m.hWait.Start()
+	record := func() {
+		m.hWait.Since(tw)
+		if req.conversion {
+			m.hConvWait.Since(tw)
+		}
+		m.hAcquire.Since(t0)
+	}
+
 	timer := time.NewTimer(m.timeout)
 	defer timer.Stop()
 	select {
 	case err := <-req.result:
+		record()
 		if err == nil {
 			tx.noteGrant(res, req.grantedMode, req.grantedShort)
 		}
@@ -417,6 +470,7 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 		case err := <-req.result:
 			// Grant raced with the timeout; honor the grant.
 			s.mu.Unlock()
+			record()
 			if err == nil {
 				tx.noteGrant(res, req.grantedMode, req.grantedShort)
 			}
@@ -431,6 +485,7 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 		tx.mu.Unlock()
 		s.mu.Unlock()
 		m.stats.timeouts.Add(1)
+		record()
 		return ErrLockTimeout
 	}
 }

@@ -1,6 +1,10 @@
 package lock
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
 
 // Stats are monotonic counters describing lock-manager activity. They feed
 // the paper's performance metrics (lock requests, blocks, deadlocks). The
@@ -57,4 +61,20 @@ func (c *counters) snapshot() Stats {
 // table.
 func (m *Manager) Stats() Stats {
 	return m.stats.snapshot()
+}
+
+// registerCounters unifies the manager's atomic counters onto a metrics
+// registry as computed values: the hot path keeps its single-atomic-add
+// discipline and the registry reads the same atomics at snapshot time
+// (including the derived request/immediate-grant totals — see snapshot).
+func (m *Manager) registerCounters(reg *metrics.Registry) {
+	reg.Func("lock.requests", func() uint64 { return m.stats.requests.Load() + m.stats.cacheHits.Load() })
+	reg.Func("lock.cache_hits", m.stats.cacheHits.Load)
+	reg.Func("lock.immediate_grants", func() uint64 { return m.stats.immediateGrants.Load() + m.stats.cacheHits.Load() })
+	reg.Func("lock.waits", m.stats.waits.Load)
+	reg.Func("lock.conversions", m.stats.conversions.Load)
+	reg.Func("lock.deadlocks", m.stats.deadlocks.Load)
+	reg.Func("lock.conversion_deadlocks", m.stats.conversionDeadlocks.Load)
+	reg.Func("lock.subtree_deadlocks", m.stats.subtreeDeadlocks.Load)
+	reg.Func("lock.timeouts", m.stats.timeouts.Load)
 }

@@ -1,0 +1,112 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func debugServer(t *testing.T) (*Registry, *httptest.Server) {
+	t.Helper()
+	r := NewRegistry()
+	srv := httptest.NewServer(DebugMux(r.Snapshot))
+	t.Cleanup(srv.Close)
+	return r, srv
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestDebugMetricsEndpoint(t *testing.T) {
+	r, srv := debugServer(t)
+	r.Counter("lock.requests").Add(7)
+	r.Histogram("lock.wait").Record(1500)
+
+	code, body := get(t, srv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v\n%s", err, body)
+	}
+	if snap.CounterValue("lock.requests") != 7 {
+		t.Errorf("counter not served: %+v", snap.Counters)
+	}
+	if snap.Hist("lock.wait").Count != 1 {
+		t.Errorf("histogram not served: %+v", snap.Histograms)
+	}
+
+	// The endpoint is live: a later recording shows up on the next fetch.
+	r.Counter("lock.requests").Add(1)
+	_, body = get(t, srv.URL+"/metrics")
+	if !strings.Contains(body, `"lock.requests":8`) {
+		t.Errorf("endpoint not live: %s", body)
+	}
+}
+
+func TestDebugSummaryEndpoint(t *testing.T) {
+	r, srv := debugServer(t)
+	for i := 0; i < 100; i++ {
+		r.Histogram("wal.force").Record(uint64(i) * 1000)
+	}
+	code, body := get(t, srv.URL+"/metrics/summary")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var out map[string]LatencySummary
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("summary is not JSON: %v", err)
+	}
+	d := out["wal.force"]
+	if d.Count != 100 || d.P95 < d.P50 || d.Max != 99_000 {
+		t.Errorf("digest inconsistent: %+v", d)
+	}
+}
+
+func TestDebugIndexAndPprof(t *testing.T) {
+	r, srv := debugServer(t)
+	r.Counter("tx.committed").Add(5)
+	code, body := get(t, srv.URL+"/")
+	if code != http.StatusOK || !strings.Contains(body, "tx.committed") {
+		t.Errorf("index page: status %d body %q", code, body)
+	}
+	code, body = get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/no-such-page"); code != http.StatusNotFound {
+		t.Errorf("unknown path should 404, got %d", code)
+	}
+}
+
+func TestServeDebugLifecycle(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	addr, stop, err := ServeDebug("127.0.0.1:0", r.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, _ := get(t, "http://"+addr+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	stop()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Error("server still reachable after stop")
+	}
+}

@@ -1,0 +1,225 @@
+// Package metrics is the engine's unified observability layer: a
+// dependency-free registry of atomic counters, gauges, and fixed-bucket
+// latency histograms. Every subsystem (lock manager, buffer pool, WAL,
+// transaction layer) registers its instruments here; run harnesses snapshot
+// the registry into a mergeable, JSON-serializable document (DESIGN.md §11).
+//
+// Design constraints, in order:
+//
+//  1. Recording must be hot-path cheap: a histogram record is three atomic
+//     adds plus a rare CAS for the max — no locks, no allocation, no
+//     time formatting.
+//  2. Everything is nil-safe: a nil *Registry hands out nil instruments,
+//     and every instrument method no-ops on a nil receiver. Instrumented
+//     code therefore never branches on "is metrics enabled" — it just
+//     records — and a benchmark built without a registry pays only a
+//     predicted-not-taken nil check (and, via Histogram.Start, skips the
+//     clock read entirely).
+//  3. Snapshots are plain values: mergeable across runs (figures average
+//     over repetitions) and stable under JSON for golden tests.
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets is the fixed bucket count: bucket 0 holds the value 0, bucket
+// k (k >= 1) holds values v with 2^(k-1) <= v < 2^k — i.e. bits.Len64(v)
+// == k. 64-bit values therefore always land in a bucket and the index is
+// one machine instruction.
+const numBuckets = 65
+
+// bucketIndex maps a value to its power-of-two bucket.
+func bucketIndex(v uint64) int { return bits.Len64(v) }
+
+// bucketUpper is the largest value bucket i can hold.
+func bucketUpper(i int) uint64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Histogram is a lock-free latency/size histogram with power-of-two
+// buckets. The zero value is ready to use; a nil *Histogram ignores all
+// records, which is how disabled instrumentation costs (almost) nothing.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Record adds one observation. Safe for any number of concurrent callers;
+// the cost is three atomic adds plus a CAS loop that only runs while v
+// exceeds the current maximum.
+func (h *Histogram) Record(v uint64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Observe records a duration in nanoseconds (negative durations clamp to
+// zero: the wall clock can step backwards, a histogram must not).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.Record(uint64(d))
+}
+
+// Start returns a timestamp for a later Since. On a nil histogram it
+// returns the zero time WITHOUT reading the clock — the pattern
+//
+//	t0 := h.Start()
+//	... work ...
+//	h.Since(t0)
+//
+// therefore compiles to two nil checks when instrumentation is off.
+func (h *Histogram) Start() time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Since records the time elapsed since a Start timestamp; it no-ops on a
+// nil histogram or a zero timestamp.
+func (h *Histogram) Since(t0 time.Time) {
+	if h == nil || t0.IsZero() {
+		return
+	}
+	h.Observe(time.Since(t0))
+}
+
+// Snapshot copies the histogram into a plain value. Counters are loaded
+// individually, so under concurrent recording the cross-field relations
+// (sum vs count) can be off by in-flight records — the usual contract of
+// lock-free metrics.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			if s.Buckets == nil {
+				s.Buckets = make(map[int]uint64, 8)
+			}
+			s.Buckets[i] = n
+		}
+	}
+	return s
+}
+
+// HistSnapshot is the plain-value form of a Histogram: mergeable,
+// JSON-serializable, and the source of percentile estimates. Buckets maps
+// bucket index -> count and holds only non-empty buckets (bucket i covers
+// [2^(i-1), 2^i); bucket 0 holds exact zeros).
+type HistSnapshot struct {
+	Count   uint64         `json:"count"`
+	Sum     uint64         `json:"sum"`
+	Max     uint64         `json:"max"`
+	Buckets map[int]uint64 `json:"buckets,omitempty"`
+}
+
+// Merge folds o into s (counts add, max takes the larger), so per-run or
+// per-shard snapshots can be combined into one distribution.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	if len(o.Buckets) > 0 && s.Buckets == nil {
+		s.Buckets = make(map[int]uint64, len(o.Buckets))
+	}
+	for i, n := range o.Buckets {
+		s.Buckets[i] += n
+	}
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistSnapshot) Mean() uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / s.Count
+}
+
+// Percentile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the rank-⌈q·Count⌉ observation, capped at the observed
+// maximum. The estimate is conservative: it never undershoots the true
+// order statistic and overshoots it by at most 2x (one power-of-two
+// bucket), which is the resolution/overhead trade the fixed layout buys.
+func (s HistSnapshot) Percentile(q float64) uint64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) || rank == 0 {
+		rank++ // ceil, and rank is 1-based
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		n := s.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum >= rank {
+			if u := bucketUpper(i); u < s.Max {
+				return u
+			}
+			return s.Max
+		}
+	}
+	return s.Max
+}
+
+// LatencySummary is the compact, human- and JSON-friendly digest of a
+// histogram: the percentile set the run report and the figures harness
+// consume. All values are nanoseconds (or raw units for size histograms).
+type LatencySummary struct {
+	Count uint64 `json:"count"`
+	Avg   uint64 `json:"avg_ns"`
+	P50   uint64 `json:"p50_ns"`
+	P95   uint64 `json:"p95_ns"`
+	P99   uint64 `json:"p99_ns"`
+	Max   uint64 `json:"max_ns"`
+}
+
+// Summary digests the snapshot into the standard percentile set.
+func (s HistSnapshot) Summary() LatencySummary {
+	return LatencySummary{
+		Count: s.Count,
+		Avg:   s.Mean(),
+		P50:   s.Percentile(0.50),
+		P95:   s.Percentile(0.95),
+		P99:   s.Percentile(0.99),
+		Max:   s.Max,
+	}
+}

@@ -1,0 +1,240 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11}, {^uint64(0), 64},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		// The value must be <= its bucket's upper bound and (for non-zero
+		// buckets) > the previous bucket's.
+		if u := bucketUpper(bucketIndex(c.v)); c.v > u {
+			t.Errorf("value %d above its bucket upper %d", c.v, u)
+		}
+		if b := bucketIndex(c.v); b > 0 && c.v <= bucketUpper(b-1) {
+			t.Errorf("value %d should not fit bucket %d", c.v, b-1)
+		}
+	}
+}
+
+// oracle computes the exact rank-⌈q·n⌉ order statistic from the recorded
+// values — the reference the bucketed estimate is checked against.
+func oracle(sorted []uint64, q float64) uint64 {
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) || rank == 0 {
+		rank++
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestPercentileVsOracle is the property test of the percentile contract:
+// for arbitrary distributions the estimate never undershoots the true order
+// statistic and overshoots it by less than 2x (one power-of-two bucket).
+func TestPercentileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() uint64{
+		"uniform":     func() uint64 { return uint64(rng.Int63n(1_000_000)) },
+		"exponential": func() uint64 { return uint64(rng.ExpFloat64() * 50_000) },
+		"powers":      func() uint64 { return uint64(1) << uint(rng.Intn(40)) },
+		"zero-heavy": func() uint64 {
+			if rng.Intn(4) != 0 {
+				return 0
+			}
+			return uint64(rng.Int63n(1000))
+		},
+		"constant": func() uint64 { return 12345 },
+	}
+	quantiles := []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0}
+	for name, gen := range distributions {
+		for _, n := range []int{1, 2, 10, 1000, 10000} {
+			var h Histogram
+			values := make([]uint64, n)
+			var sum uint64
+			for i := range values {
+				values[i] = gen()
+				sum += values[i]
+				h.Record(values[i])
+			}
+			sort.Slice(values, func(a, b int) bool { return values[a] < values[b] })
+			s := h.Snapshot()
+			if s.Count != uint64(n) || s.Sum != sum || s.Max != values[n-1] {
+				t.Fatalf("%s/n=%d: snapshot count=%d sum=%d max=%d, want %d/%d/%d",
+					name, n, s.Count, s.Sum, s.Max, n, sum, values[n-1])
+			}
+			for _, q := range quantiles {
+				est, truth := s.Percentile(q), oracle(values, q)
+				if est < truth {
+					t.Errorf("%s/n=%d: p%g = %d undershoots true %d", name, n, q*100, est, truth)
+				}
+				if truth == 0 {
+					if est != 0 {
+						t.Errorf("%s/n=%d: p%g = %d, want exactly 0", name, n, q*100, est)
+					}
+				} else if est >= 2*truth {
+					// truth lives in bucket [2^(k-1), 2^k), whose upper bound
+					// is < 2*truth — the estimate can never reach 2x.
+					t.Errorf("%s/n=%d: p%g = %d overshoots true %d beyond one bucket", name, n, q*100, est, truth)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeMatchesCombinedRecording: merging per-shard snapshots must be
+// indistinguishable from recording everything into one histogram.
+func TestMergeMatchesCombinedRecording(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var whole, partA, partB Histogram
+	for i := 0; i < 5000; i++ {
+		v := uint64(rng.Int63n(1 << 30))
+		whole.Record(v)
+		if i%2 == 0 {
+			partA.Record(v)
+		} else {
+			partB.Record(v)
+		}
+	}
+	merged := partA.Snapshot()
+	merged.Merge(partB.Snapshot())
+	want := whole.Snapshot()
+	if merged.Count != want.Count || merged.Sum != want.Sum || merged.Max != want.Max {
+		t.Fatalf("merged %+v, want %+v", merged, want)
+	}
+	for i := 0; i < numBuckets; i++ {
+		if merged.Buckets[i] != want.Buckets[i] {
+			t.Fatalf("bucket %d: merged %d, want %d", i, merged.Buckets[i], want.Buckets[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if merged.Percentile(q) != want.Percentile(q) {
+			t.Errorf("p%g differs after merge", q*100)
+		}
+	}
+}
+
+// TestMergeIntoEmpty pins that merging into a zero-value snapshot (the
+// figures aggregation path) does not drop buckets.
+func TestMergeIntoEmpty(t *testing.T) {
+	var h Histogram
+	h.Record(5)
+	h.Record(500)
+	var acc HistSnapshot
+	acc.Merge(h.Snapshot())
+	if acc.Count != 2 || acc.Max != 500 || len(acc.Buckets) != 2 {
+		t.Fatalf("merge into empty lost data: %+v", acc)
+	}
+}
+
+// TestConcurrentRecorders hammers one histogram from many goroutines; run
+// under -race this is the lock-freedom check, and the totals must still be
+// exact (atomics lose nothing).
+func TestConcurrentRecorders(t *testing.T) {
+	const goroutines, perG = 8, 10000
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(uint64(g*perG + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	n := uint64(goroutines * perG)
+	if s.Count != n {
+		t.Errorf("count %d, want %d", s.Count, n)
+	}
+	if want := n * (n - 1) / 2; s.Sum != want {
+		t.Errorf("sum %d, want %d", s.Sum, want)
+	}
+	if want := n - 1; s.Max != want {
+		t.Errorf("max %d, want %d", s.Max, want)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Buckets {
+		bucketTotal += c
+	}
+	if bucketTotal != n {
+		t.Errorf("bucket total %d, want %d", bucketTotal, n)
+	}
+}
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var h *Histogram
+	h.Record(1)
+	h.Observe(time.Second)
+	if t0 := h.Start(); !t0.IsZero() {
+		t.Error("nil Start must not read the clock")
+	}
+	h.Since(time.Time{})
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Error("nil snapshot not empty")
+	}
+	var c *Counter
+	c.Add(1)
+	if c.Load() != 0 {
+		t.Error("nil counter")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Load() != 0 {
+		t.Error("nil gauge")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Error("nil registry must hand out nil instruments")
+	}
+	r.Func("x", func() uint64 { return 1 })
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestObserveClampsNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max != 0 || s.Buckets[0] != 1 {
+		t.Fatalf("negative observation not clamped to zero: %+v", s)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var s HistSnapshot
+	if s.Percentile(0.99) != 0 || s.Mean() != 0 || s.Summary().Count != 0 {
+		t.Error("empty snapshot must report zeros")
+	}
+}
+
+func TestStartSinceRecords(t *testing.T) {
+	var h Histogram
+	t0 := h.Start()
+	if t0.IsZero() {
+		t.Fatal("Start on live histogram returned zero time")
+	}
+	h.Since(t0)
+	if s := h.Snapshot(); s.Count != 1 {
+		t.Fatalf("Since did not record: %+v", s)
+	}
+}

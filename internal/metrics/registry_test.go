@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRegistrySharesInstrumentsByName(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same counter name must return the same instrument")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("same histogram name must return the same instrument")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same gauge name must return the same instrument")
+	}
+	if r.Counter("a") == r.Counter("b") {
+		t.Error("different names must not alias")
+	}
+}
+
+func TestSnapshotValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.Gauge("resident").Set(17)
+	r.Histogram("lat").Record(100)
+	var flips uint64 = 9
+	r.Func("derived", func() uint64 { return flips })
+
+	s := r.Snapshot()
+	if s.CounterValue("hits") != 3 || s.CounterValue("derived") != 9 {
+		t.Errorf("counters: %+v", s.Counters)
+	}
+	if s.Gauges["resident"] != 17 {
+		t.Errorf("gauges: %+v", s.Gauges)
+	}
+	if s.Hist("lat").Count != 1 || s.Summary("lat").Max != 100 {
+		t.Errorf("histograms: %+v", s.Histograms)
+	}
+	// Funcs are evaluated at snapshot time, not registration time.
+	flips = 11
+	if r.Snapshot().CounterValue("derived") != 11 {
+		t.Error("func not re-evaluated per snapshot")
+	}
+	// Re-registration replaces.
+	r.Func("derived", func() uint64 { return 1 })
+	if r.Snapshot().CounterValue("derived") != 1 {
+		t.Error("func re-registration must replace")
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("c").Add(2)
+	r2.Counter("c").Add(5)
+	r2.Counter("only2").Add(1)
+	r1.Gauge("g").Set(1)
+	r2.Gauge("g").Set(9)
+	r1.Histogram("h").Record(4)
+	r2.Histogram("h").Record(1000)
+
+	s := r1.Snapshot()
+	s.Merge(r2.Snapshot())
+	if s.CounterValue("c") != 7 || s.CounterValue("only2") != 1 {
+		t.Errorf("counter merge: %+v", s.Counters)
+	}
+	if s.Gauges["g"] != 9 {
+		t.Errorf("gauge merge must take the newer value: %+v", s.Gauges)
+	}
+	h := s.Hist("h")
+	if h.Count != 2 || h.Max != 1000 {
+		t.Errorf("histogram merge: %+v", h)
+	}
+	// nil receivers and operands are no-ops.
+	var nilSnap *Snapshot
+	nilSnap.Merge(s)
+	s.Merge(nil)
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(42)
+	r.Histogram("h").Record(300)
+	s := r.Snapshot()
+	raw, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Counters, back.Counters) {
+		t.Errorf("counters changed across JSON: %+v vs %+v", s.Counters, back.Counters)
+	}
+	if !reflect.DeepEqual(s.Histograms, back.Histograms) {
+		t.Errorf("histograms changed across JSON: %+v vs %+v", s.Histograms, back.Histograms)
+	}
+}
+
+func TestHistogramNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"z", "a", "m"} {
+		r.Histogram(n).Record(1)
+	}
+	got := r.Snapshot().HistogramNames()
+	want := []string{"a", "m", "z"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("names %v, want %v", got, want)
+	}
+}
+
+// TestRegistryConcurrentAccess drives get-or-create, recording, and
+// snapshotting from many goroutines (the -race check for the registry map).
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	names := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				name := names[(g+i)%len(names)]
+				r.Counter(name).Add(1)
+				r.Histogram(name).Record(uint64(i))
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	var total uint64
+	for _, n := range names {
+		total += s.CounterValue(n)
+	}
+	if total != 8*500 {
+		t.Errorf("lost counter increments: %d, want %d", total, 8*500)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/splid"
 	"repro/internal/storage"
@@ -34,6 +35,11 @@ type Options struct {
 	LockTimeout time.Duration
 	// OnDeadlock observes detected deadlocks (the XTCdeadlockDetector hook).
 	OnDeadlock func(lock.DeadlockInfo)
+	// Metrics, when non-nil, receives the lock manager's and transaction
+	// manager's instruments (the lock.* and tx.* namespaces). Harnesses
+	// pass the same registry into storage.Options so every layer reports
+	// into one document.
+	Metrics *metrics.Registry
 }
 
 // Manager executes transactional DOM operations on one document under one
@@ -52,12 +58,15 @@ func New(doc *storage.Document, proto protocol.Protocol, opts Options) *Manager 
 	lm := lock.NewManager(proto.Table(), lock.Options{
 		Timeout:    opts.LockTimeout,
 		OnDeadlock: opts.OnDeadlock,
+		Metrics:    opts.Metrics,
 	})
+	tm := tx.NewManager(lm)
+	tm.SetMetrics(opts.Metrics)
 	return &Manager{
 		doc:   doc,
 		proto: proto,
 		lm:    lm,
-		tm:    tx.NewManager(lm),
+		tm:    tm,
 		depth: opts.Depth,
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Stats aggregates buffer-manager counters. Values are monotonically
@@ -104,6 +106,13 @@ type bufShard struct {
 	free   []*Frame // unmapped frames (recycled after failed loads)
 	hand   int      // CLOCK hand over frames
 	cap    int
+
+	// Per-shard instruments (nil without Config.Metrics; Counter and
+	// Histogram methods no-op on nil). They localize the contention
+	// picture the same way the lock table's PartitionWaits does: which
+	// shard the hits, misses, evictions, and write-back stalls landed on.
+	cHits, cMisses, cEvictions *metrics.Counter
+	hWriteback                 *metrics.Histogram
 }
 
 // Store is the buffer manager: a fixed pool of page frames over a Backend,
@@ -128,6 +137,12 @@ type Store struct {
 
 	hits, misses, evictions, writebacks, retries, retryFailures atomic.Uint64
 	flusherWrites, flusherErrors                                atomic.Uint64
+
+	// Latency histograms (nil without Config.Metrics): miss-path load
+	// latency (backend read + checksum + retries) and write-back latency
+	// (WAL force + checksum stamp + backend write + retries).
+	hFixMiss   *metrics.Histogram
+	hWriteback *metrics.Histogram
 }
 
 // LogSyncer is the write-ahead log hook the WAL rule needs: FlushTo blocks
@@ -268,6 +283,11 @@ type Config struct {
 	// dirty unpinned frames are trickled to the backend so evictions
 	// rarely stall on a write-back. Zero or negative disables it.
 	FlusherInterval time.Duration
+	// Metrics, when non-nil, receives the buffer instruments: the buffer.*
+	// counters, fix-miss and write-back latency histograms, and per-shard
+	// hit/miss/eviction counters plus write-back latency. Nil disables all
+	// latency recording (no clock reads on the Fix path).
+	Metrics *metrics.Registry
 }
 
 // Open wraps backend in a buffer manager with the given frame capacity
@@ -306,11 +326,38 @@ func OpenConfig(backend Backend, cfg Config) *Store {
 		}
 		s.shards[i] = &bufShard{store: s, pages: make(map[PageID]*Frame, c), cap: c}
 	}
+	if reg := cfg.Metrics; reg != nil {
+		s.hFixMiss = reg.Histogram("buffer.fix_miss")
+		s.hWriteback = reg.Histogram("buffer.writeback")
+		for i, sh := range s.shards {
+			prefix := fmt.Sprintf("buffer.shard%02d.", i)
+			sh.cHits = reg.Counter(prefix + "hits")
+			sh.cMisses = reg.Counter(prefix + "misses")
+			sh.cEvictions = reg.Counter(prefix + "evictions")
+			sh.hWriteback = reg.Histogram(prefix + "writeback")
+		}
+		s.registerCounters(reg)
+	}
 	s.SetRetryPolicy(DefaultRetryPolicy)
 	if cfg.FlusherInterval > 0 {
 		s.startFlusher(cfg.FlusherInterval)
 	}
 	return s
+}
+
+// registerCounters unifies the store's atomic counters onto a metrics
+// registry as snapshot-time computed values; the hot paths keep their
+// existing single atomic adds.
+func (s *Store) registerCounters(reg *metrics.Registry) {
+	reg.Func("buffer.hits", s.hits.Load)
+	reg.Func("buffer.misses", s.misses.Load)
+	reg.Func("buffer.evictions", s.evictions.Load)
+	reg.Func("buffer.writebacks", s.writebacks.Load)
+	reg.Func("buffer.retries", s.retries.Load)
+	reg.Func("buffer.retry_failures", s.retryFailures.Load)
+	reg.Func("buffer.flusher_writes", s.flusherWrites.Load)
+	reg.Func("buffer.flusher_errors", s.flusherErrors.Load)
+	reg.Func("buffer.resident_pages", func() uint64 { return uint64(s.ResidentPages()) })
 }
 
 // Shards reports the effective shard count after clamping.
@@ -349,6 +396,7 @@ func (s *Store) Fix(id PageID) (*Frame, error) {
 				sh.mu.RUnlock()
 				f.ref.Store(true)
 				s.hits.Add(1)
+				sh.cHits.Add(1)
 				s.noteCapture(f)
 				return f, nil
 			}
@@ -374,10 +422,14 @@ func (s *Store) Fix(id PageID) (*Frame, error) {
 			// page; its frame is (or will shortly be) in the table.
 			continue
 		}
+		t0 := s.hFixMiss.Start()
 		if err := s.loadFrame(sh, f, id); err != nil {
+			s.hFixMiss.Since(t0)
 			return nil, err
 		}
+		s.hFixMiss.Since(t0)
 		s.misses.Add(1)
+		sh.cMisses.Add(1)
 		s.noteCapture(f)
 		return f, nil
 	}
@@ -490,6 +542,7 @@ func (sh *bufShard) alloc(id PageID) (*Frame, error) {
 			delete(sh.pages, victim.id)
 			sh.mapFrameLocked(victim, id)
 			s.evictions.Add(1)
+			sh.cEvictions.Add(1)
 			sh.mu.Unlock()
 			return victim, nil
 		}
@@ -514,6 +567,7 @@ func (sh *bufShard) alloc(id PageID) (*Frame, error) {
 		}
 		victim.dirty.Store(false)
 		s.evictions.Add(1)
+		sh.cEvictions.Add(1)
 		if _, ok := sh.pages[id]; ok {
 			// Someone mapped our target page while we wrote; release the
 			// victim as a clean resident frame and retry the lookup.
@@ -584,16 +638,21 @@ func (s *Store) loadFrame(sh *bufShard, f *Frame, id PageID) error {
 // FlushTo, which is exactly the barrier that keeps post-crash unlogged
 // content off the backend.
 func (s *Store) writeBack(f *Frame) error {
+	t0 := s.hWriteback.Start()
 	if w := s.walSyncer(); w != nil {
 		if err := w.FlushTo(PageLSN(f.data)); err != nil {
+			s.hWriteback.Since(t0)
 			return fmt.Errorf("pagestore: WAL rule for page %d: %w", f.id, err)
 		}
 	}
 	StampChecksum(f.data)
 	if err := s.withRetry(func() error { return s.backend.WritePage(f.id, f.data) }); err != nil {
+		s.hWriteback.Since(t0)
 		return err
 	}
 	s.writebacks.Add(1)
+	s.hWriteback.Since(t0)
+	f.shard.hWriteback.Since(t0)
 	return nil
 }
 

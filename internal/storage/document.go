@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/btree"
+	"repro/internal/metrics"
 	"repro/internal/pagestore"
 	"repro/internal/splid"
 	"repro/internal/wal"
@@ -75,6 +76,10 @@ type Options struct {
 	// FlusherInterval enables the buffer pool's background flusher
 	// (disabled if zero).
 	FlusherInterval time.Duration
+	// Metrics, when non-nil, receives the buffer pool's instruments (the
+	// buffer.* namespace); run harnesses pass one registry through every
+	// layer so the run report is a single document.
+	Metrics *metrics.Registry
 }
 
 // bufferConfig translates the options into a pagestore configuration.
@@ -83,6 +88,7 @@ func (o Options) bufferConfig() pagestore.Config {
 		Frames:          o.BufferFrames,
 		Shards:          o.BufferShards,
 		FlusherInterval: o.FlusherInterval,
+		Metrics:         o.Metrics,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/pagestore"
 	"repro/internal/storage"
 )
@@ -41,6 +42,11 @@ type BibConfig struct {
 	// FlusherInterval enables the buffer pool's background flusher
 	// (disabled when zero).
 	FlusherInterval time.Duration
+	// Metrics, when non-nil, receives the document's buffer-pool
+	// instruments (the buffer.* namespace). Generation traffic is recorded
+	// too; harnesses that only want measurement-interval numbers snapshot
+	// before and after and subtract, or simply accept the warm-up tail.
+	Metrics *metrics.Registry
 	// Seed makes generation deterministic.
 	Seed int64
 }
@@ -101,6 +107,7 @@ func GenerateBib(backend pagestore.Backend, cfg BibConfig) (*storage.Document, *
 		BufferFrames:    cfg.BufferFrames,
 		BufferShards:    cfg.BufferShards,
 		FlusherInterval: cfg.FlusherInterval,
+		Metrics:         cfg.Metrics,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -9,10 +9,12 @@ import (
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/pagestore"
 	"repro/internal/protocol"
 	"repro/internal/tx"
+	"repro/internal/wal"
 )
 
 // Config describes one TaMix benchmark run.
@@ -71,6 +73,19 @@ type Config struct {
 	UseUpdateLocks bool
 	// Bib sizes the document.
 	Bib BibConfig
+	// Metrics, when non-nil, receives every layer's instruments for this
+	// run (lock.*, buffer.*, tx.*, and wal.* with WAL set). Use a fresh
+	// registry per run — instruments accumulate for the registry's
+	// lifetime, so sharing one across runs mixes protocols. Result.Metrics
+	// carries the end-of-run snapshot.
+	Metrics *metrics.Registry
+	// WAL attaches an in-memory write-ahead log to the run: operations
+	// append redo/undo records and every commit forces the log, so commit
+	// latency includes a durability wait and the wal.* instruments
+	// (append/force latency, group-commit batch size) see the measured
+	// workload. The log lives in memory — it exercises the logging path,
+	// not the disk.
+	WAL bool
 	// Seed drives all randomness of the run.
 	Seed int64
 }
@@ -99,8 +114,19 @@ type TypeStats struct {
 	// consecutive aborts.
 	Dropped  int
 	TotalDur time.Duration
-	MinDur   time.Duration
-	MaxDur   time.Duration
+	// MinDur is the shortest committed duration, -1 while no transaction
+	// of the type has committed (0 is a legitimate duration on coarse
+	// clocks, so it cannot double as the "unset" sentinel).
+	MinDur time.Duration
+	MaxDur time.Duration
+}
+
+// NewTypeStats returns an empty TypeStats with MinDur at its -1 "unset"
+// sentinel. Aggregators that build TypeStats by hand must start from this
+// (or handle MinDur<0) or a zero-duration commit is lost to the old
+// 0-as-unset ambiguity.
+func NewTypeStats() *TypeStats {
+	return &TypeStats{MinDur: -1}
 }
 
 // AvgDur returns the mean duration of committed transactions.
@@ -114,7 +140,7 @@ func (s *TypeStats) AvgDur() time.Duration {
 func (s *TypeStats) record(d time.Duration) {
 	s.Committed++
 	s.TotalDur += d
-	if s.MinDur == 0 || d < s.MinDur {
+	if s.MinDur < 0 || d < s.MinDur {
 		s.MinDur = d
 	}
 	if d > s.MaxDur {
@@ -169,6 +195,12 @@ type Result struct {
 	// DeadlockCycleLengths histograms the detected cycle sizes (index =
 	// number of transactions on the cycle; index 0 collects longer ones).
 	DeadlockCycleLengths [8]uint64
+	// Metrics is the end-of-run snapshot of Config.Metrics (nil when the
+	// run had no registry): counters plus latency distributions for lock
+	// waits, buffer fixes, WAL forces, commits. Captured after the
+	// measurement interval but before the verification pass, so audit
+	// traffic does not pollute the distributions.
+	Metrics *metrics.Snapshot
 }
 
 // Throughput returns committed transactions, normalized to the paper's
@@ -219,13 +251,26 @@ func Run(cfg Config) (*Result, error) {
 		fb.Disarm() // generation must run fault-free
 		backend = fb
 	}
-	doc, cat, err := GenerateBib(backend, cfg.Bib)
+	bib := cfg.Bib
+	bib.Metrics = cfg.Metrics
+	doc, cat, err := GenerateBib(backend, bib)
 	if err != nil {
 		return nil, err
 	}
 	defer doc.Close()
 	if cfg.Retry != nil {
 		doc.Store().SetRetryPolicy(*cfg.Retry)
+	}
+	var wlog *wal.Log
+	if cfg.WAL {
+		wlog, err = wal.Open(wal.NewMemSegmentStore(), wal.Config{Metrics: cfg.Metrics})
+		if err != nil {
+			return nil, err
+		}
+		defer wlog.Close()
+		if err := doc.AttachWAL(wlog); err != nil {
+			return nil, err
+		}
 	}
 
 	lockTimeout := cfg.LockTimeout
@@ -261,6 +306,7 @@ func Run(cfg Config) (*Result, error) {
 	mgr := node.New(doc, p, node.Options{
 		Depth:       cfg.Depth,
 		LockTimeout: lockTimeout,
+		Metrics:     cfg.Metrics,
 		OnDeadlock: func(info lock.DeadlockInfo) {
 			dlMu.Lock()
 			defer dlMu.Unlock()
@@ -275,8 +321,11 @@ func Run(cfg Config) (*Result, error) {
 		},
 	})
 	defer mgr.Close()
+	if wlog != nil {
+		mgr.TxManager().SetWAL(wlog)
+	}
 	for _, t := range TxTypes {
-		res.PerType[t] = &TypeStats{}
+		res.PerType[t] = NewTypeStats()
 	}
 
 	// Graceful degradation: the first engine error cancels every worker
@@ -340,6 +389,9 @@ func Run(cfg Config) (*Result, error) {
 	bs := doc.Store().Stats()
 	res.BufferRetries = bs.Retries
 	res.BufferRetryFailures = bs.RetryFailures
+	if cfg.Metrics != nil {
+		res.Metrics = cfg.Metrics.Snapshot()
+	}
 
 	if runErr != nil {
 		return nil, fmt.Errorf("tamix: run failed under %s (%s fault): %w",

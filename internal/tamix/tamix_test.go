@@ -129,7 +129,7 @@ func TestCluster1RunsAllTypes(t *testing.T) {
 		t.Error("throughput should be positive")
 	}
 	q := res.PerType[TAqueryBook]
-	if q.Committed > 0 && (q.MinDur <= 0 || q.MaxDur < q.MinDur || q.AvgDur() < q.MinDur) {
+	if q.Committed > 0 && (q.MinDur < 0 || q.MaxDur < q.MinDur || q.AvgDur() < q.MinDur) {
 		t.Errorf("duration stats inconsistent: min=%v avg=%v max=%v", q.MinDur, q.AvgDur(), q.MaxDur)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/lock"
+	"repro/internal/metrics"
 	"repro/internal/wal"
 )
 
@@ -170,6 +171,12 @@ type Manager struct {
 	begun     atomic.Uint64
 	committed atomic.Uint64
 	aborted   atomic.Uint64
+
+	// Latency histograms (nil without SetMetrics): the Commit call (undo
+	// discard + durability force + lock release) and the Abort call
+	// (rollback + lock release).
+	hCommit *metrics.Histogram
+	hAbort  *metrics.Histogram
 }
 
 // NewManager builds a transaction manager over lm (which may be nil only if
@@ -191,6 +198,20 @@ func (m *Manager) SetWAL(l *wal.Log) { m.wal = l }
 
 // WAL returns the attached log (nil when logging is off).
 func (m *Manager) WAL() *wal.Log { return m.wal }
+
+// SetMetrics registers the transaction instruments on a registry: the tx.*
+// counters (computed at snapshot time from the existing atomics) and
+// commit/abort latency histograms. Call before starting transactions.
+func (m *Manager) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	m.hCommit = reg.Histogram("tx.commit")
+	m.hAbort = reg.Histogram("tx.abort")
+	reg.Func("tx.begun", m.begun.Load)
+	reg.Func("tx.committed", m.committed.Load)
+	reg.Func("tx.aborted", m.aborted.Load)
+}
 
 // Begin starts a transaction at the given isolation level.
 func (m *Manager) Begin(iso Level) *Txn {
@@ -218,6 +239,7 @@ func (t *Txn) Commit() error {
 		return ErrTxnDone
 	}
 	t.mu.Unlock()
+	t0 := t.mgr.hCommit.Start()
 	if w := t.mgr.wal; w != nil {
 		lsn, err := w.AppendCommit(t.id)
 		if err == nil {
@@ -239,6 +261,7 @@ func (t *Txn) Commit() error {
 		t.mgr.lm.ReleaseAll(t.ltx)
 	}
 	t.mgr.committed.Add(1)
+	t.mgr.hCommit.Since(t0)
 	return nil
 }
 
@@ -256,6 +279,7 @@ func (t *Txn) Abort() error {
 	undo := t.undo
 	t.undo = nil
 	t.mu.Unlock()
+	t0 := t.mgr.hAbort.Start()
 
 	var errs []error
 	for i := len(undo) - 1; i >= 0; i-- {
@@ -278,6 +302,7 @@ func (t *Txn) Abort() error {
 		t.mgr.lm.ReleaseAll(t.ltx)
 	}
 	t.mgr.aborted.Add(1)
+	t.mgr.hAbort.Since(t0)
 	return errors.Join(errs...)
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/metrics"
 	"repro/internal/pagestore"
 )
 
@@ -53,6 +54,10 @@ type Config struct {
 	// after it) fail with ErrCrashed, dropping all unsynced records — the
 	// deterministic crash point of the crash-matrix tests.
 	CrashAfterAppends uint64
+	// Metrics, when non-nil, receives the log's instruments: the wal.*
+	// counters, append/force latency histograms, and the group-commit
+	// batch-size distribution. Nil disables latency recording.
+	Metrics *metrics.Registry
 }
 
 // Stats counts log activity.
@@ -88,15 +93,22 @@ type Log struct {
 	// evictable after a failed append can never slip past the fast path.
 	fastDurable atomic.Uint64
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []byte
-	next    LSN
-	durable LSN
-	appends uint64
-	crashed bool
-	closed  bool
-	failure error
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pending     []byte
+	pendingRecs uint64 // records in pending (group-commit batch sizing)
+	next        LSN
+	durable     LSN
+	appends     uint64
+	crashed     bool
+	closed      bool
+	failure     error
+
+	// Instruments (nil without Config.Metrics; all methods nil-safe).
+	hAppend *metrics.Histogram // wal.append: Append call latency
+	hForce  *metrics.Histogram // wal.force: Force latency (slow path; the
+	// lock-free fast path is sub-observation noise and records nothing)
+	hBatch *metrics.Histogram // wal.batch_records: records per synced batch
 
 	forces    uint64
 	syncs     uint64
@@ -127,6 +139,12 @@ func Open(store SegmentStore, cfg Config) (*Log, error) {
 		done:    make(chan struct{}),
 	}
 	l.cond = sync.NewCond(&l.mu)
+	if reg := cfg.Metrics; reg != nil {
+		l.hAppend = reg.Histogram("wal.append")
+		l.hForce = reg.Histogram("wal.force")
+		l.hBatch = reg.Histogram("wal.batch_records")
+		l.registerCounters(reg)
+	}
 
 	indices, err := store.List()
 	if err != nil {
@@ -174,6 +192,8 @@ func Open(store SegmentStore, cfg Config) (*Log, error) {
 // The record is not durable until Force (or a page write-back's FlushTo)
 // covers it.
 func (l *Log) Append(typ byte, txn uint64, payload []byte) (LSN, error) {
+	t0 := l.hAppend.Start()
+	defer l.hAppend.Since(t0)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.crashed {
@@ -192,6 +212,7 @@ func (l *Log) Append(typ byte, txn uint64, payload []byte) (LSN, error) {
 	}
 	lsn := l.next
 	l.pending = appendFrame(l.pending, typ, txn, payload)
+	l.pendingRecs++
 	l.next += LSN(frameSize(len(payload)))
 	l.kick()
 	return lsn, nil
@@ -225,6 +246,8 @@ func (l *Log) Force(lsn LSN) error {
 	if d := l.fastDurable.Load(); d != 0 && d > lsn {
 		return nil
 	}
+	t0 := l.hForce.Start()
+	defer l.hForce.Since(t0)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	waited := false
@@ -267,6 +290,7 @@ func (l *Log) crashLocked() {
 	l.crashed = true
 	l.fastDurable.Store(0)
 	l.pending = nil
+	l.pendingRecs = 0
 	l.cond.Broadcast()
 }
 
@@ -298,7 +322,9 @@ func (l *Log) flusher() {
 		}
 		l.mu.Lock()
 		batch := l.pending
+		recs := l.pendingRecs
 		l.pending = nil
+		l.pendingRecs = 0
 		l.mu.Unlock()
 		if len(batch) == 0 {
 			continue
@@ -312,6 +338,7 @@ func (l *Log) flusher() {
 			l.durable += LSN(len(batch))
 			l.fastDurable.Store(l.durable)
 			l.syncs++
+			l.hBatch.Record(recs)
 		}
 		l.cond.Broadcast()
 		l.mu.Unlock()
@@ -404,6 +431,21 @@ func (l *Log) Close() error {
 		l.seg = nil
 	}
 	return err
+}
+
+// registerCounters unifies the log's counters onto a metrics registry as
+// snapshot-time computed values (they live under the log mutex, which a
+// snapshot may briefly take).
+func (l *Log) registerCounters(reg *metrics.Registry) {
+	stat := func(pick func(Stats) uint64) func() uint64 {
+		return func() uint64 { return pick(l.Stats()) }
+	}
+	reg.Func("wal.appends", stat(func(s Stats) uint64 { return s.Appends }))
+	reg.Func("wal.syncs", stat(func(s Stats) uint64 { return s.Syncs }))
+	reg.Func("wal.forces", stat(func(s Stats) uint64 { return s.Forces }))
+	reg.Func("wal.rotations", stat(func(s Stats) uint64 { return s.Rotations }))
+	reg.Func("wal.durable_lsn", stat(func(s Stats) uint64 { return uint64(s.Durable) }))
+	reg.Func("wal.next_lsn", stat(func(s Stats) uint64 { return uint64(s.Next) }))
 }
 
 // Stats snapshots the log counters.
