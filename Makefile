@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test verify bench-lock bench-wal bench-buffer bench-all chaos recovery metrics
+.PHONY: build test verify bench-lock bench-wal bench-buffer bench-all bench-server chaos recovery metrics server
 
 build:
 	$(GO) build ./...
@@ -39,9 +39,19 @@ metrics:
 	$(GO) test -race -run 'Percentile|Histogram|Bucket|Concurrent|Registry|Snapshot|Merge|Debug|ServeDebug|Nil|Report|MinDur|CloseDrains' \
 		./internal/metrics/ ./internal/tamix/ ./internal/lock/
 
+# server runs the client/server suite under the race detector: the loopback
+# TaMix smoke test (every protocol selectable per session), the
+# abrupt-disconnect and lock-wait-cancellation teardown tests, the server
+# metrics golden test, plus the wire-protocol codec tests and the frame/
+# message fuzz seed corpus (go test runs fuzz targets over their corpus
+# unless -fuzz starts an expedition).
+server:
+	$(GO) test -race ./internal/server/ ./internal/client/ ./internal/bibserve/
+	$(GO) test -race -run 'Fuzz|Frame|Msg|Codec|Roundtrip' ./internal/wire/
+
 # verify is the full pre-merge gate: compile, vet, the complete test suite
 # under the race detector (the lock package's equivalence tests lean on it
-# heavily), and the focused chaos, recovery, and metrics suites.
+# heavily), and the focused chaos, recovery, metrics, and server suites.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -49,6 +59,7 @@ verify:
 	$(MAKE) chaos
 	$(MAKE) recovery
 	$(MAKE) metrics
+	$(MAKE) server
 
 # bench-lock runs the lock-table contention benchmark and appends one JSON
 # line per result to BENCH_lock.json, so successive runs accumulate a
@@ -82,6 +93,14 @@ bench-buffer:
 			printf "{\"date\":\"%s\",\"bench\":\"BufferContentionSpeedup/mixed/g16\",\"mutex_ns_per_op\":%s,\"sharded_ns_per_op\":%s,\"speedup\":%.2f}\n", date, mutex, sharded, mutex / sharded }' \
 	>> BENCH_buffer.json
 
+# bench-server sweeps the CLUSTER1 workload over every protocol at 1/16/64
+# pooled connections against an in-process loopback xtcd, appending one JSON
+# line per cell (throughput + request-latency percentiles) to
+# BENCH_server.json. Every cell also runs the server-side Verify + LeakCheck
+# audit, so this is an end-to-end integrity gate too.
+bench-server:
+	$(GO) run ./cmd/tamix -server self -out BENCH_server.json
+
 # bench-all runs every benchmark suite; any failing stage fails the target
 # (pipefail, see SHELL above).
-bench-all: bench-lock bench-wal bench-buffer
+bench-all: bench-lock bench-wal bench-buffer bench-server

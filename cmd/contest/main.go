@@ -43,8 +43,15 @@ func main() {
 		useWAL      = flag.Bool("wal", true, "attach an in-memory WAL so commits pay a durability force (wal.* latencies)")
 		jsonOut     = flag.String("json", "", "write the JSON run report to this file (\"-\" = stdout, table moves to stderr)")
 		debugAddr   = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while running")
+		protoList   = flag.String("protocols", "all", "protocols to contest ("+protocol.NamesHelp()+")")
 	)
 	flag.Parse()
+
+	contestants, err := protocol.ParseList(*protoList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "contest:", err)
+		os.Exit(1)
+	}
 
 	// The debug endpoint follows the protocol currently under test: each run
 	// gets a fresh registry (distributions must not mix protocols) and the
@@ -73,7 +80,7 @@ func main() {
 		result *tamix.Result
 	}
 	rows := map[string]row{}
-	for _, p := range protocol.All() {
+	for _, p := range contestants {
 		cfg := tamix.Cluster1Config(p.Name(), tx.LevelRepeatable, *depth, *docScale, *timeSc)
 		cfg.Seed += *seed
 		if *lockTimeout > 0 {

@@ -12,18 +12,37 @@
 // Scaling: -doc scales the bib document (1.0 = 2000 books), -time scales
 // the run-control intervals (1.0 = 5-minute runs). Throughput is always
 // normalized to the paper's 5-minute interval.
+//
+// Server mode drives the same workload through the xtcd wire protocol
+// instead of an in-process engine:
+//
+//	tamix -server self               # spin up a loopback xtcd, bench it
+//	tamix -server localhost:4410     # bench a running xtcd
+//	tamix -server self -protocols taDOM* -conns 1,16,64
+//
+// Each (protocol, connection-count) cell appends one JSON line — throughput
+// plus the client request-latency percentiles — to BENCH_server.json.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/bibserve"
 	"repro/internal/figures"
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/server"
 	"repro/internal/tamix"
+	"repro/internal/tx"
 )
 
 func main() {
@@ -37,8 +56,20 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write CSV files into this directory")
 		seed     = flag.Int64("seed", 0, "workload seed offset")
 		lockTO   = flag.Duration("lock-timeout", 0, "lock-wait timeout (0 = scaled default)")
+
+		serverAddr = flag.String("server", "", "bench an xtcd server instead of regenerating figures: an address, or \"self\" for an in-process loopback daemon")
+		protoList  = flag.String("protocols", "all", "server mode: protocols to bench ("+protocol.NamesHelp()+")")
+		connList   = flag.String("conns", "1,16,64", "server mode: comma-separated pooled-connection counts to sweep")
+		benchOut   = flag.String("out", "BENCH_server.json", "server mode: append one JSON line per cell to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
+
+	if *serverAddr != "" {
+		if err := runServerBench(*serverAddr, *protoList, *connList, *benchOut, *docScale, *timeSc, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	ds, err := parseDepths(*depths)
 	if err != nil {
@@ -135,6 +166,109 @@ func writeCSV(dir, name string, series []figures.Series) {
 	}
 	defer f.Close()
 	figures.WriteSeriesCSV(f, series)
+}
+
+// serverBenchRow is one BENCH_server.json line: one protocol at one
+// connection count, with throughput (commits normalized to the paper's
+// 5-minute interval) and the client-side request-latency percentiles.
+type serverBenchRow struct {
+	Date         string                 `json:"date"`
+	Server       string                 `json:"server"`
+	Protocol     string                 `json:"protocol"`
+	Conns        int                    `json:"conns"`
+	Committed    int                    `json:"committed"`
+	Aborted      int                    `json:"aborted"`
+	Deadlocks    uint64                 `json:"deadlocks"`
+	Timeouts     uint64                 `json:"timeouts"`
+	LockRequests uint64                 `json:"lock_requests"`
+	Throughput   float64                `json:"throughput"`
+	Latency      metrics.LatencySummary `json:"request_latency"`
+}
+
+// runServerBench sweeps the CLUSTER1 workload over (protocol × connection
+// count) against an xtcd server — a loopback daemon started in-process when
+// addr is "self" — and appends one JSON line per cell to the out file. Every
+// run carries the server-side audit (Verify + LeakCheck) from the remote
+// TaMix path, so this doubles as an end-to-end integrity gate.
+func runServerBench(addr, protoList, connList, out string, docScale, timeSc float64, seed int64) error {
+	protos, err := protocol.ParseList(protoList)
+	if err != nil {
+		return err
+	}
+	var conns []int
+	for _, part := range strings.Split(connList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad connection count %q", part)
+		}
+		conns = append(conns, n)
+	}
+
+	serverLabel := addr
+	if addr == "self" {
+		srv, err := bibserve.Start(bibserve.Options{
+			Bib:         tamix.Scaled(docScale),
+			LockTimeout: tamix.ScaledTiming(timeSc).LockTimeout,
+		}, server.Config{})
+		if err != nil {
+			return fmt.Errorf("start loopback server: %w", err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "tamix: loopback shutdown:", err)
+			}
+		}()
+		addr = srv.Addr()
+		serverLabel = "self"
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.OpenFile(out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	date := time.Now().UTC().Format(time.RFC3339)
+
+	for _, p := range protos {
+		for _, c := range conns {
+			cfg := tamix.Cluster1Config(p.Name(), tx.LevelRepeatable, 5, docScale, timeSc)
+			cfg.Remote = addr
+			cfg.RemoteConns = c
+			cfg.Seed = seed
+			cfg.Metrics = metrics.NewRegistry() // fresh per cell: distributions must not mix
+			res, err := tamix.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s @ %d conns: %w", p.Name(), c, err)
+			}
+			row := serverBenchRow{
+				Date:         date,
+				Server:       serverLabel,
+				Protocol:     p.Name(),
+				Conns:        c,
+				Committed:    res.Committed,
+				Aborted:      res.Aborted,
+				Deadlocks:    res.Deadlocks,
+				Timeouts:     res.Timeouts,
+				LockRequests: res.LockRequests,
+				Throughput:   res.Throughput(),
+				Latency:      res.Metrics.Summary("client.request_ns"),
+			}
+			if err := enc.Encode(row); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "%-12s conns=%-3d committed=%-6d tpmC=%-10.1f p95=%s\n",
+				p.Name(), c, res.Committed, row.Throughput,
+				time.Duration(row.Latency.P95))
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

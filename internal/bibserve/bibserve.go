@@ -1,0 +1,72 @@
+// Package bibserve glues the TaMix bib document generator to the xtcd
+// server: the engine factory that cmd/xtcd and the loopback test harnesses
+// share. Each protocol a session names gets its own freshly generated bib
+// document under its own lock manager — protocols have different mode
+// tables, so a document is never shared across them.
+package bibserve
+
+import (
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/pagestore"
+	"repro/internal/protocol"
+	"repro/internal/server"
+	"repro/internal/tamix"
+	"repro/internal/wire"
+)
+
+// Options configure the engines a factory builds.
+type Options struct {
+	// Bib sizes each engine's document (tamix.DefaultBibConfig when the
+	// Topics field is zero — the zero BibConfig is invalid).
+	Bib tamix.BibConfig
+	// LockTimeout bounds lock waits in each engine (5s when zero).
+	LockTimeout time.Duration
+}
+
+// NewEngineFactory returns the server.Config.NewEngine implementation: build
+// a bib document and node manager for the protocol. The engine's stats are
+// served over the wire (OpStats), so engines take no registry — the server's
+// own registry holds only the server.* instruments and stays free of
+// per-protocol collisions.
+func NewEngineFactory(opts Options) func(p protocol.Protocol, depth int) (*server.Engine, error) {
+	if opts.Bib.Topics == 0 {
+		opts.Bib = tamix.DefaultBibConfig()
+	}
+	if opts.LockTimeout <= 0 {
+		opts.LockTimeout = 5 * time.Second
+	}
+	return func(p protocol.Protocol, depth int) (*server.Engine, error) {
+		doc, cat, err := tamix.GenerateBib(pagestore.NewMemBackend(), opts.Bib)
+		if err != nil {
+			return nil, err
+		}
+		mgr := node.New(doc, p, node.Options{Depth: depth, LockTimeout: opts.LockTimeout})
+		return &server.Engine{
+			Mgr: mgr,
+			Catalog: wire.Catalog{
+				Books:   cat.BookIDs,
+				Topics:  cat.TopicIDs,
+				Persons: cat.PersonIDs,
+			},
+			CloseFn: doc.Close,
+		}, nil
+	}
+}
+
+// Start launches a loopback xtcd for tests and harnesses: listen on an
+// ephemeral port, serve in the background, return the running server. The
+// caller shuts it down with Shutdown.
+func Start(opts Options, cfg server.Config) (*server.Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	cfg.NewEngine = NewEngineFactory(opts)
+	srv, err := server.Listen(cfg)
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve()
+	return srv, nil
+}

@@ -1,0 +1,260 @@
+// Package client is the Go companion client for xtcd. A Pool dials a fixed
+// set of connections and demultiplexes pipelined responses by request id;
+// sessions are striped across the pool's connections (a session lives on
+// exactly one connection — the server binds it there) and expose the node
+// manager's operation set with the same error sentinels, so code written
+// against the local engine ports to the wire by swapping the receiver.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/tx"
+	"repro/internal/wire"
+)
+
+// ErrBusy is returned for StatusBusy rejections (admission control or a full
+// session queue); the caller may back off and retry.
+var ErrBusy = errors.New("client: server busy")
+
+// ErrShutdown is returned when the server is draining or the connection died.
+var ErrShutdown = errors.New("client: server shutting down")
+
+// Options configure a Pool.
+type Options struct {
+	// Conns is the number of TCP connections to stripe sessions over
+	// (default 1).
+	Conns int
+	// DialTimeout bounds each dial (default 5s).
+	DialTimeout time.Duration
+	// RequestDeadline, when positive, is stamped on every request as its
+	// deadline-ms budget so the server bounds lock waits on our behalf.
+	RequestDeadline time.Duration
+	// Metrics, when non-nil, receives the client.* instruments.
+	Metrics *metrics.Registry
+}
+
+// Pool is a set of connections to one xtcd server.
+type Pool struct {
+	opts  Options
+	conns []*Conn
+	next  atomic.Uint64
+
+	mLatency *metrics.Histogram
+}
+
+// Dial connects opts.Conns connections to addr.
+func Dial(addr string, opts Options) (*Pool, error) {
+	if opts.Conns <= 0 {
+		opts.Conns = 1
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	p := &Pool{opts: opts}
+	if opts.Metrics != nil {
+		p.mLatency = opts.Metrics.Histogram("client.request_ns")
+	}
+	for i := 0; i < opts.Conns; i++ {
+		c, err := dialConn(addr, opts.DialTimeout)
+		if err != nil {
+			p.Close()
+			return nil, err
+		}
+		p.conns = append(p.conns, c)
+	}
+	return p, nil
+}
+
+// Close tears down every connection; outstanding requests fail with
+// ErrShutdown.
+func (p *Pool) Close() {
+	for _, c := range p.conns {
+		c.close(ErrShutdown)
+	}
+}
+
+// conn picks the next connection round-robin.
+func (p *Pool) conn() *Conn {
+	return p.conns[p.next.Add(1)%uint64(len(p.conns))]
+}
+
+// Ping round-trips a frame on every connection.
+func (p *Pool) Ping() error {
+	for _, c := range p.conns {
+		if _, _, err := c.roundTrip(wire.OpPing, 0, 0, []byte("ping")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats fetches the server-side engine counters for a protocol.
+func (p *Pool) Stats(protocol string) (wire.Stats, error) {
+	_, body, err := p.conn().roundTrip(wire.OpStats, 0, 0, wire.AppendString(nil, protocol))
+	if err != nil {
+		return wire.Stats{}, err
+	}
+	r := wire.NewReader(body)
+	st := r.Stats()
+	return st, r.Err()
+}
+
+// Audit runs the server-side integrity audits (document Verify plus lock
+// LeakCheck) for a protocol — the remote equivalent of the checks a local
+// TaMix run finishes with.
+func (p *Pool) Audit(protocol string) error {
+	_, _, err := p.conn().roundTrip(wire.OpAudit, 0, 0, wire.AppendString(nil, protocol))
+	return err
+}
+
+// Conn is one TCP connection: a write lock serializing frames out and a
+// reader goroutine routing responses to waiting requests by id.
+type Conn struct {
+	nc      net.Conn
+	wmu     sync.Mutex
+	nextReq atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan wire.Msg
+	err     error
+	closed  bool
+}
+
+func dialConn(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{nc: nc, pending: map[uint32]chan wire.Msg{}}
+	go c.readLoop()
+	return c, nil
+}
+
+// close fails the connection: every in-flight and future request returns
+// cause.
+func (c *Conn) close(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.err = cause
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// readLoop routes response frames to their waiters.
+func (c *Conn) readLoop() {
+	for {
+		payload, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			c.close(fmt.Errorf("%w: %v", ErrShutdown, err))
+			return
+		}
+		m, err := wire.DecodeMsg(payload)
+		if err != nil {
+			c.close(fmt.Errorf("%w: %v", ErrShutdown, err))
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[m.Req]
+		delete(c.pending, m.Req)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- m
+		}
+	}
+}
+
+// roundTrip sends one request and blocks for its response, returning the
+// result portion of the body (after the status byte). Non-OK statuses are
+// surfaced as the matching sentinel errors.
+func (c *Conn) roundTrip(op wire.Op, session uint32, deadlineMS uint32, body []byte) (wire.Status, []byte, error) {
+	req := c.nextReq.Add(1)
+	ch := make(chan wire.Msg, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return wire.StatusShutdown, nil, err
+	}
+	c.pending[req] = ch
+	c.mu.Unlock()
+
+	payload := wire.AppendMsg(nil, wire.Msg{
+		Op: op, Session: session, Req: req, DeadlineMS: deadlineMS, Body: body,
+	})
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.nc, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.close(fmt.Errorf("%w: %v", ErrShutdown, err))
+		c.mu.Lock()
+		delete(c.pending, req)
+		c.mu.Unlock()
+		return wire.StatusShutdown, nil, c.err
+	}
+
+	m, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return wire.StatusShutdown, nil, err
+	}
+	if len(m.Body) == 0 {
+		return wire.StatusErr, nil, fmt.Errorf("client: empty response body for %s", op)
+	}
+	status := wire.Status(m.Body[0])
+	rest := m.Body[1:]
+	if status != wire.StatusOK {
+		return status, nil, statusError(status, rest)
+	}
+	return status, rest, nil
+}
+
+// statusError converts a non-OK response to an error wrapping the sentinel
+// the local engine would have returned, so errors.Is-based control flow
+// (node.IsAbortWorthy, vanished-target checks) works unchanged over the
+// wire.
+func statusError(status wire.Status, body []byte) error {
+	msg := wire.NewReader(body).String()
+	if msg == "" {
+		msg = status.String()
+	}
+	var base error
+	switch status {
+	case wire.StatusDeadlock:
+		base = lock.ErrDeadlockVictim
+	case wire.StatusTimeout:
+		base = lock.ErrLockTimeout
+	case wire.StatusCanceled:
+		base = lock.ErrCanceled
+	case wire.StatusNotFound:
+		base = storage.ErrNodeNotFound
+	case wire.StatusTxDone:
+		base = tx.ErrTxnDone
+	case wire.StatusBusy:
+		base = ErrBusy
+	case wire.StatusShutdown:
+		base = ErrShutdown
+	default:
+		return fmt.Errorf("client: server error: %s", msg)
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}

@@ -1,0 +1,307 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/splid"
+	"repro/internal/tx"
+	"repro/internal/wire"
+	"repro/internal/xmlmodel"
+)
+
+// Session is one server-side session: a protocol choice and at most one
+// active transaction. A session must stay on a single goroutine, mirroring
+// the engine's one-goroutine-per-transaction rule.
+type Session struct {
+	pool     *Pool
+	c        *Conn
+	id       uint32
+	protocol string
+	deadline uint32 // per-request deadline-ms (0 = none)
+}
+
+// OpenSession creates a session running the named protocol at the given
+// isolation and lock depth. Sessions stripe round-robin across the pool's
+// connections.
+func (p *Pool) OpenSession(protocol string, iso tx.Level, depth int) (*Session, error) {
+	c := p.conn()
+	body := wire.AppendOpenSession(nil, wire.OpenSession{
+		Protocol: protocol, Isolation: uint8(iso), Depth: depth,
+	})
+	_, resp, err := c.roundTrip(wire.OpOpenSession, 0, 0, body)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	id := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	s := &Session{pool: p, c: c, id: uint32(id), protocol: protocol}
+	if p.opts.RequestDeadline > 0 {
+		s.deadline = uint32(p.opts.RequestDeadline.Milliseconds())
+	}
+	return s, nil
+}
+
+// Protocol returns the protocol name the session was opened with.
+func (s *Session) Protocol() string { return s.protocol }
+
+// SetRequestDeadline overrides the per-request deadline budget (0 disables).
+func (s *Session) SetRequestDeadline(d time.Duration) {
+	if d <= 0 {
+		s.deadline = 0
+		return
+	}
+	s.deadline = uint32(d.Milliseconds())
+}
+
+// call round-trips one session-scoped request, timing it into the pool's
+// latency histogram.
+func (s *Session) call(op wire.Op, body []byte) ([]byte, error) {
+	var t0 time.Time
+	if s.pool.mLatency != nil {
+		t0 = s.pool.mLatency.Start()
+	}
+	_, resp, err := s.c.roundTrip(op, s.id, s.deadline, body)
+	if s.pool.mLatency != nil {
+		s.pool.mLatency.Since(t0)
+	}
+	return resp, err
+}
+
+// Close ends the session, aborting any active transaction server-side.
+func (s *Session) Close() error {
+	_, err := s.call(wire.OpCloseSession, nil)
+	return err
+}
+
+// Txn is a server-side transaction handle. It satisfies the same
+// ID/Commit/Abort surface as *tx.Txn.
+type Txn struct {
+	s  *Session
+	id uint64
+}
+
+// ID returns the server-assigned transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Commit commits the transaction.
+func (t *Txn) Commit() error {
+	_, err := t.s.call(wire.OpCommit, nil)
+	return err
+}
+
+// Abort rolls the transaction back.
+func (t *Txn) Abort() error {
+	_, err := t.s.call(wire.OpAbort, nil)
+	return err
+}
+
+// Begin starts a transaction on the session (one at a time).
+func (s *Session) Begin() (*Txn, error) {
+	resp, err := s.call(wire.OpBegin, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	id := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return &Txn{s: s, id: id}, nil
+}
+
+// Catalog fetches the engine's jump-target catalog.
+func (s *Session) Catalog() (wire.Catalog, error) {
+	resp, err := s.call(wire.OpCatalog, nil)
+	if err != nil {
+		return wire.Catalog{}, err
+	}
+	r := wire.NewReader(resp)
+	cat := r.Catalog()
+	return cat, r.Err()
+}
+
+// LookupName resolves a vocabulary name to its surrogate.
+func (s *Session) LookupName(name string) (xmlmodel.Sur, bool, error) {
+	resp, err := s.call(wire.OpLookupName, wire.AppendString(nil, name))
+	if err != nil {
+		return 0, false, err
+	}
+	r := wire.NewReader(resp)
+	found := r.Byte() != 0
+	sur := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return 0, false, err
+	}
+	return xmlmodel.Sur(sur), found, nil
+}
+
+// nodeResult decodes a single-node response.
+func nodeResult(resp []byte, err error) (xmlmodel.Node, error) {
+	if err != nil {
+		return xmlmodel.Node{}, err
+	}
+	r := wire.NewReader(resp)
+	n := r.Node()
+	return n, r.Err()
+}
+
+// nodesResult decodes a node-list response.
+func nodesResult(resp []byte, err error) ([]xmlmodel.Node, error) {
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	ns := r.Nodes()
+	return ns, r.Err()
+}
+
+// GetNode fetches one node by SPLID.
+func (s *Session) GetNode(id splid.ID) (xmlmodel.Node, error) {
+	return nodeResult(s.call(wire.OpGetNode, wire.AppendID(nil, id)))
+}
+
+// JumpToID resolves an ID-attribute value to its element.
+func (s *Session) JumpToID(value string) (xmlmodel.Node, error) {
+	return nodeResult(s.call(wire.OpJumpToID, wire.AppendString(nil, value)))
+}
+
+// FirstChild returns the first regular child (null-ID node when none).
+func (s *Session) FirstChild(id splid.ID) (xmlmodel.Node, error) {
+	return nodeResult(s.call(wire.OpFirstChild, wire.AppendID(nil, id)))
+}
+
+// LastChild returns the last regular child.
+func (s *Session) LastChild(id splid.ID) (xmlmodel.Node, error) {
+	return nodeResult(s.call(wire.OpLastChild, wire.AppendID(nil, id)))
+}
+
+// NextSibling returns the following sibling.
+func (s *Session) NextSibling(id splid.ID) (xmlmodel.Node, error) {
+	return nodeResult(s.call(wire.OpNextSibling, wire.AppendID(nil, id)))
+}
+
+// PrevSibling returns the preceding sibling.
+func (s *Session) PrevSibling(id splid.ID) (xmlmodel.Node, error) {
+	return nodeResult(s.call(wire.OpPrevSibling, wire.AppendID(nil, id)))
+}
+
+// Parent returns the parent node (null-ID node for the root).
+func (s *Session) Parent(id splid.ID) (xmlmodel.Node, error) {
+	return nodeResult(s.call(wire.OpParent, wire.AppendID(nil, id)))
+}
+
+// GetChildren returns the regular children of a node.
+func (s *Session) GetChildren(id splid.ID) ([]xmlmodel.Node, error) {
+	return nodesResult(s.call(wire.OpGetChildren, wire.AppendID(nil, id)))
+}
+
+// GetAttributes returns an element's attributes.
+func (s *Session) GetAttributes(el splid.ID) ([]xmlmodel.Node, error) {
+	return nodesResult(s.call(wire.OpGetAttributes, wire.AppendID(nil, el)))
+}
+
+// Value reads one node's value.
+func (s *Session) Value(id splid.ID) ([]byte, error) {
+	resp, err := s.call(wire.OpValue, wire.AppendID(nil, id))
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	v := r.Bytes()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	// Detach from the response buffer.
+	return append([]byte(nil), v...), nil
+}
+
+// AttributeValue reads one attribute's value by name.
+func (s *Session) AttributeValue(el splid.ID, name string) ([]byte, error) {
+	resp, err := s.call(wire.OpAttributeValue, wire.AppendString(wire.AppendID(nil, el), name))
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	v := r.Bytes()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), v...), nil
+}
+
+func jumpByte(jump bool) byte {
+	if jump {
+		return 1
+	}
+	return 0
+}
+
+// ReadFragment scans a subtree in document order.
+func (s *Session) ReadFragment(id splid.ID, jump bool) ([]xmlmodel.Node, error) {
+	return nodesResult(s.call(wire.OpReadFragment, append(wire.AppendID(nil, id), jumpByte(jump))))
+}
+
+// ReadFragmentForUpdate scans a subtree under update-mode locks.
+func (s *Session) ReadFragmentForUpdate(id splid.ID, jump bool) ([]xmlmodel.Node, error) {
+	return nodesResult(s.call(wire.OpReadFragmentForUpdate, append(wire.AppendID(nil, id), jumpByte(jump))))
+}
+
+// UpdateLastChildFragment locks and reads the last child's subtree for
+// update, returning the child and its fragment.
+func (s *Session) UpdateLastChildFragment(id splid.ID) (xmlmodel.Node, []xmlmodel.Node, error) {
+	resp, err := s.call(wire.OpUpdateLastChildFragment, wire.AppendID(nil, id))
+	if err != nil {
+		return xmlmodel.Node{}, nil, err
+	}
+	r := wire.NewReader(resp)
+	n := r.Node()
+	frag := r.Nodes()
+	if err := r.Err(); err != nil {
+		return xmlmodel.Node{}, nil, err
+	}
+	return n, frag, nil
+}
+
+// SetValue overwrites one node's value.
+func (s *Session) SetValue(id splid.ID, value []byte) error {
+	_, err := s.call(wire.OpSetValue, wire.AppendBytes(wire.AppendID(nil, id), value))
+	return err
+}
+
+// Rename changes an element's name.
+func (s *Session) Rename(id splid.ID, newName string) error {
+	_, err := s.call(wire.OpRename, wire.AppendString(wire.AppendID(nil, id), newName))
+	return err
+}
+
+// AppendElement appends a child element.
+func (s *Session) AppendElement(parent splid.ID, name string) (xmlmodel.Node, error) {
+	return nodeResult(s.call(wire.OpAppendElement, wire.AppendString(wire.AppendID(nil, parent), name)))
+}
+
+// AppendText appends a text child.
+func (s *Session) AppendText(parent splid.ID, value []byte) (xmlmodel.Node, error) {
+	return nodeResult(s.call(wire.OpAppendText, wire.AppendBytes(wire.AppendID(nil, parent), value)))
+}
+
+// InsertElementBefore inserts a child element before a sibling.
+func (s *Session) InsertElementBefore(parent, before splid.ID, name string) (xmlmodel.Node, error) {
+	body := wire.AppendString(wire.AppendID(wire.AppendID(nil, parent), before), name)
+	return nodeResult(s.call(wire.OpInsertElementBefore, body))
+}
+
+// SetAttribute sets (inserting or overwriting) an attribute.
+func (s *Session) SetAttribute(el splid.ID, name string, value []byte) error {
+	body := wire.AppendBytes(wire.AppendString(wire.AppendID(nil, el), name), value)
+	_, err := s.call(wire.OpSetAttribute, body)
+	return err
+}
+
+// DeleteSubtree deletes a node and its subtree.
+func (s *Session) DeleteSubtree(id splid.ID) error {
+	_, err := s.call(wire.OpDeleteSubtree, wire.AppendID(nil, id))
+	return err
+}

@@ -1,6 +1,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -27,6 +28,13 @@ var ErrLockTimeout = errors.New("lock: request timed out")
 
 // ErrTxDone is returned when locking on behalf of a finished transaction.
 var ErrTxDone = errors.New("lock: transaction already finished")
+
+// ErrCanceled is returned when a lock wait was abandoned because the
+// transaction's context (Tx.SetContext) was canceled or hit its deadline —
+// a disconnected session's pending request must stop waiting immediately
+// instead of burning the manager timeout while holding its queue slot. The
+// caller must abort the transaction; the error is not retryable.
+var ErrCanceled = errors.New("lock: request canceled")
 
 // DefaultTimeout bounds lock waits when Options.Timeout is zero.
 const DefaultTimeout = 10 * time.Second
@@ -62,6 +70,22 @@ type Tx struct {
 	// them, so the cached mode cannot go stale). A cache hit costs one
 	// uncontended Tx mutex instead of a shared partition mutex.
 	cache map[Resource]Mode
+
+	// ctx, when non-nil, bounds every lock wait of this transaction: a
+	// cancellation (session disconnect, per-request deadline) makes a
+	// blocked Lock return ErrCanceled immediately. Guarded by mu; set by
+	// the owner goroutine before issuing requests.
+	ctx context.Context
+}
+
+// SetContext attaches a context to the transaction's subsequent lock waits.
+// Cancellation makes a blocked Lock return ErrCanceled right away instead of
+// waiting out the manager timeout — the hook servers use to tear down a
+// disconnected session's pending requests. A nil ctx detaches.
+func (tx *Tx) SetContext(ctx context.Context) {
+	tx.mu.Lock()
+	tx.ctx = ctx
+	tx.mu.Unlock()
 }
 
 // ID returns the transaction's identifier (monotonic: larger = younger).
@@ -381,6 +405,15 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 		s.mu.Unlock()
 		return ErrDeadlockVictim
 	}
+	ctx := tx.ctx
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			tx.mu.Unlock()
+			s.mu.Unlock()
+			m.stats.canceled.Add(1)
+			return fmt.Errorf("%w: %w", ErrCanceled, cerr)
+		}
+	}
 	h := s.head(res)
 	var req *request
 	if entry := tx.held[res]; entry != nil {
@@ -455,20 +488,14 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 		m.hAcquire.Since(t0)
 	}
 
-	timer := time.NewTimer(m.timeout)
-	defer timer.Stop()
-	select {
-	case err := <-req.result:
-		record()
-		if err == nil {
-			tx.noteGrant(res, req.grantedMode, req.grantedShort)
-		}
-		return err
-	case <-timer.C:
+	// abandon withdraws the still-pending request after a timeout or a
+	// context cancellation; a grant that raced the decision is honored (and
+	// the failure counter is only bumped when the failure stands).
+	abandon := func(failure error, counter *atomic.Uint64) error {
 		s.mu.Lock()
 		select {
 		case err := <-req.result:
-			// Grant raced with the timeout; honor the grant.
+			// Grant raced with the timeout/cancellation; honor the grant.
 			s.mu.Unlock()
 			record()
 			if err == nil {
@@ -484,9 +511,28 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 		}
 		tx.mu.Unlock()
 		s.mu.Unlock()
-		m.stats.timeouts.Add(1)
+		counter.Add(1)
 		record()
-		return ErrLockTimeout
+		return failure
+	}
+
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done() // nil channel (never ready) without a context
+	}
+	timer := time.NewTimer(m.timeout)
+	defer timer.Stop()
+	select {
+	case err := <-req.result:
+		record()
+		if err == nil {
+			tx.noteGrant(res, req.grantedMode, req.grantedShort)
+		}
+		return err
+	case <-ctxDone:
+		return abandon(fmt.Errorf("%w: %w", ErrCanceled, ctx.Err()), &m.stats.canceled)
+	case <-timer.C:
+		return abandon(ErrLockTimeout, &m.stats.timeouts)
 	}
 }
 

@@ -20,6 +20,9 @@ type Stats struct {
 	ConversionDeadlocks uint64
 	SubtreeDeadlocks    uint64
 	Timeouts            uint64
+	// Canceled counts lock waits abandoned by context cancellation
+	// (disconnected sessions, per-request deadlines).
+	Canceled uint64
 }
 
 // counters is the live atomic form of Stats.
@@ -33,6 +36,7 @@ type counters struct {
 	conversionDeadlocks atomic.Uint64
 	subtreeDeadlocks    atomic.Uint64
 	timeouts            atomic.Uint64
+	canceled            atomic.Uint64
 }
 
 // snapshot loads every counter. Each field is individually consistent;
@@ -54,6 +58,7 @@ func (c *counters) snapshot() Stats {
 		ConversionDeadlocks: c.conversionDeadlocks.Load(),
 		SubtreeDeadlocks:    c.subtreeDeadlocks.Load(),
 		Timeouts:            c.timeouts.Load(),
+		Canceled:            c.canceled.Load(),
 	}
 }
 
@@ -77,4 +82,5 @@ func (m *Manager) registerCounters(reg *metrics.Registry) {
 	reg.Func("lock.conversion_deadlocks", m.stats.conversionDeadlocks.Load)
 	reg.Func("lock.subtree_deadlocks", m.stats.subtreeDeadlocks.Load)
 	reg.Func("lock.timeouts", m.stats.timeouts.Load)
+	reg.Func("lock.canceled", m.stats.canceled.Load)
 }

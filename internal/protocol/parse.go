@@ -1,0 +1,129 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Parse resolves a user-supplied protocol name to a registered Protocol.
+// Unlike ByName it is forgiving about the spellings CLIs and wire peers
+// produce: matching is case-insensitive ("tadom3+", "TADOM3+"), and the
+// *-2PL names accept the "-" the paper sometimes hyphenates with
+// ("Node-2PL" = "Node2PL"). Every front end that accepts a protocol name —
+// contest, xtc, tamix, xtcd sessions — funnels through here so they agree on
+// what is valid and produce the same error text.
+func Parse(name string) (Protocol, error) {
+	if p, ok := registry[name]; ok {
+		return p, nil
+	}
+	key := canonKey(name)
+	if p, ok := canonIndex()[key]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("protocol: unknown protocol %q (known: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// ParseList resolves a comma-separated protocol list. Besides names it
+// accepts the selector "all" (every protocol in presentation order) and the
+// three group names ("*-2PL", "MGL*", "taDOM*", case-insensitively and with
+// the * optional) which expand to their members. Duplicates are removed,
+// first occurrence wins the ordering.
+func ParseList(list string) ([]Protocol, error) {
+	var out []Protocol
+	seen := map[string]bool{}
+	add := func(p Protocol) {
+		if !seen[p.Name()] {
+			seen[p.Name()] = true
+			out = append(out, p)
+		}
+	}
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.EqualFold(part, "all") {
+			for _, p := range All() {
+				add(p)
+			}
+			continue
+		}
+		if group, ok := matchGroup(part); ok {
+			for _, p := range All() {
+				if p.Group() == group {
+					add(p)
+				}
+			}
+			continue
+		}
+		p, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		add(p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("protocol: empty protocol list %q", list)
+	}
+	return out, nil
+}
+
+// matchGroup resolves a group selector to the canonical group name.
+func matchGroup(s string) (string, bool) {
+	key := canonKey(s)
+	for _, g := range Groups() {
+		if canonKey(g) == key {
+			return g, true
+		}
+	}
+	return "", false
+}
+
+// Groups returns the protocol group names in presentation order.
+func Groups() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range All() {
+		if !seen[p.Group()] {
+			seen[p.Group()] = true
+			out = append(out, p.Group())
+		}
+	}
+	return out
+}
+
+// canonKey normalizes a name for matching: lower case, "-" and "*" dropped.
+// The "+" is significant (taDOM2 vs taDOM2+), so it stays.
+func canonKey(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, "-", "")
+	s = strings.ReplaceAll(s, "*", "")
+	return s
+}
+
+// canonIndexCache maps canonical keys to protocols. Built lazily after all
+// init-time register calls have run; the registry is immutable afterwards.
+var canonIndexCache map[string]Protocol
+
+func canonIndex() map[string]Protocol {
+	if canonIndexCache == nil {
+		idx := make(map[string]Protocol, len(registry))
+		for _, p := range registry {
+			idx[canonKey(p.Name())] = p
+		}
+		canonIndexCache = idx
+	}
+	return canonIndexCache
+}
+
+// NamesHelp renders the protocol names (and group selectors) for CLI flag
+// usage strings, so every tool's -protocols help stays in sync with the
+// registry.
+func NamesHelp() string {
+	groups := Groups()
+	sort.Strings(groups)
+	return fmt.Sprintf("%s; groups: %s; or \"all\"",
+		strings.Join(Names(), ", "), strings.Join(groups, ", "))
+}

@@ -1,0 +1,116 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // expected protocol name; "" = error expected
+	}{
+		// Exact registry names.
+		{"taDOM3+", "taDOM3+"},
+		{"Node2PL", "Node2PL"},
+		{"IRIX", "IRIX"},
+		// Case-insensitive.
+		{"tadom3+", "taDOM3+"},
+		{"TADOM2", "taDOM2"},
+		{"urix", "URIX"},
+		{"no2pl", "NO2PL"},
+		// Hyphenated *-2PL spellings.
+		{"Node-2PL", "Node2PL"},
+		{"node-2pla", "Node2PLa"},
+		{"OO-2PL", "OO2PL"},
+		// The + is significant.
+		{"taDOM2+", "taDOM2+"},
+		{"tadom3", "taDOM3"},
+		// Errors.
+		{"taDOM4", ""},
+		{"", ""},
+		{"2PL", ""},
+	}
+	for _, c := range cases {
+		p, err := Parse(c.in)
+		if c.want == "" {
+			if err == nil {
+				t.Errorf("Parse(%q): expected error, got %s", c.in, p.Name())
+			} else if !strings.Contains(err.Error(), "known:") {
+				t.Errorf("Parse(%q): error should list known protocols: %v", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if p.Name() != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, p.Name(), c.want)
+		}
+	}
+}
+
+func TestParseListTable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string // expected names in order; nil = error expected
+	}{
+		{"all", Names()},
+		{"ALL", Names()},
+		{"taDOM3+", []string{"taDOM3+"}},
+		{"taDOM3+,URIX", []string{"taDOM3+", "URIX"}},
+		{" tadom2 , irix ", []string{"taDOM2", "IRIX"}},
+		// Group selectors expand in presentation order.
+		{"MGL*", []string{"IRX", "IRIX", "URIX"}},
+		{"mgl", []string{"IRX", "IRIX", "URIX"}},
+		{"*-2PL", []string{"Node2PL", "NO2PL", "OO2PL", "Node2PLa"}},
+		{"taDOM*", []string{"taDOM2", "taDOM2+", "taDOM3", "taDOM3+"}},
+		// Duplicates collapse, first occurrence wins.
+		{"URIX,mgl*", []string{"URIX", "IRX", "IRIX"}},
+		{"taDOM3+,taDOM3+", []string{"taDOM3+"}},
+		// Errors.
+		{"", nil},
+		{",,", nil},
+		{"taDOM3+,bogus", nil},
+	}
+	for _, c := range cases {
+		ps, err := ParseList(c.in)
+		if c.want == nil {
+			if err == nil {
+				t.Errorf("ParseList(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseList(%q): %v", c.in, err)
+			continue
+		}
+		got := make([]string, len(ps))
+		for i, p := range ps {
+			got[i] = p.Name()
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseList(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseList(%q)[%d] = %s, want %s", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestGroupsAndHelp(t *testing.T) {
+	gs := Groups()
+	if len(gs) != 3 {
+		t.Fatalf("Groups() = %v", gs)
+	}
+	help := NamesHelp()
+	for _, name := range []string{"taDOM3+", "Node2PL", "MGL*", "all"} {
+		if !strings.Contains(help, name) {
+			t.Errorf("NamesHelp() missing %q: %s", name, help)
+		}
+	}
+}

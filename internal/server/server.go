@@ -1,0 +1,537 @@
+// Package server implements xtcd: the TCP front end that exposes the node
+// manager's transactional DOM operations over the wire protocol. One daemon
+// hosts one engine per lock protocol (meta-synchronization at the session
+// level: each session names its protocol at open time) and multiplexes many
+// sessions over many connections.
+//
+// Concurrency model: each connection runs a reader goroutine and a writer
+// goroutine; each session runs exactly one worker goroutine draining a
+// bounded queue, which preserves the engine's one-goroutine-per-transaction
+// discipline while letting sessions on the same connection proceed
+// independently. Admission control is two-level — a session cap at open time
+// and the per-session queue bound per request — and both reject with
+// StatusBusy rather than queueing unboundedly.
+//
+// Teardown: a dropped connection cancels its sessions' contexts, which
+// aborts in-flight transactions and (through lock.Tx.SetContext) unblocks
+// any pending lock waits with lock.ErrCanceled, so a dying client cannot
+// strand locks. Shutdown drains the same way for every session, then audits
+// every engine with LeakCheck.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/node"
+	"repro/internal/protocol"
+	"repro/internal/wire"
+)
+
+// Engine is one document under one lock protocol, shared by every session
+// that names that protocol.
+type Engine struct {
+	// Mgr executes the DOM operations (and owns the lock and tx managers).
+	Mgr *node.Manager
+	// Catalog is the jump-target catalog served to remote workloads.
+	Catalog wire.Catalog
+	// CloseFn, when non-nil, releases engine resources (the document) after
+	// the manager is closed during server shutdown.
+	CloseFn func() error
+}
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// NewEngine builds the engine for a protocol the first time a session
+	// names it. The depth is the lock-depth parameter from that first
+	// session; later sessions share the engine regardless of their depth.
+	NewEngine func(p protocol.Protocol, depth int) (*Engine, error)
+	// MaxSessions caps concurrently open sessions (default 256); opens past
+	// the cap are rejected with StatusBusy.
+	MaxSessions int
+	// SessionQueue bounds each session's request queue (default 16);
+	// requests past the bound are rejected with StatusBusy.
+	SessionQueue int
+	// DrainTimeout bounds the graceful phase of Shutdown (default 10s).
+	DrainTimeout time.Duration
+	// Metrics receives the server.* instruments (a private registry is used
+	// when nil).
+	Metrics *metrics.Registry
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// engineSlot guards lazy engine construction so concurrent opens of the same
+// protocol build it exactly once.
+type engineSlot struct {
+	once sync.Once
+	eng  *Engine
+	err  error
+}
+
+// Server is a running xtcd instance.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+	reg *metrics.Registry
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	engines  map[string]*engineSlot
+	sessions map[uint32]*session
+	conns    map[*conn]struct{}
+	nextSess uint32
+	draining bool
+
+	connWG sync.WaitGroup
+	sessWG sync.WaitGroup
+
+	mAccepted *metrics.Counter
+	mRejected *metrics.Counter
+	mActive   *metrics.Gauge
+	mQueue    *metrics.Gauge
+	mRequests *metrics.Counter
+	mBusy     *metrics.Counter
+	mConns    *metrics.Gauge
+	mLatency  *metrics.Histogram
+}
+
+// Listen binds cfg.Addr and returns a server ready to Serve.
+func Listen(cfg Config) (*Server, error) {
+	if cfg.NewEngine == nil {
+		return nil, errors.New("server: Config.NewEngine is required")
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 256
+	}
+	if cfg.SessionQueue <= 0 {
+		cfg.SessionQueue = 16
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = metrics.NewRegistry()
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		reg:      cfg.Metrics,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		engines:  map[string]*engineSlot{},
+		sessions: map[uint32]*session{},
+		conns:    map[*conn]struct{}{},
+
+		mAccepted: cfg.Metrics.Counter("server.sessions_accepted"),
+		mRejected: cfg.Metrics.Counter("server.sessions_rejected"),
+		mActive:   cfg.Metrics.Gauge("server.sessions_active"),
+		mQueue:    cfg.Metrics.Gauge("server.queue_depth"),
+		mRequests: cfg.Metrics.Counter("server.requests"),
+		mBusy:     cfg.Metrics.Counter("server.busy_rejects"),
+		mConns:    cfg.Metrics.Gauge("server.conns_active"),
+		mLatency:  cfg.Metrics.Histogram("server.request_ns"),
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Metrics returns the registry holding the server.* instruments.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Serve accepts connections until the listener is closed by Shutdown.
+func (s *Server) Serve() error {
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		c := &conn{
+			srv:      s,
+			nc:       nc,
+			out:      make(chan []byte, 64),
+			closed:   make(chan struct{}),
+			sessions: map[uint32]*session{},
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.mConns.Add(1)
+		s.connWG.Add(2)
+		go c.writeLoop()
+		go c.readLoop()
+	}
+}
+
+// logf forwards to Config.Logf when set.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// engine returns (building on first use) the engine for a protocol.
+func (s *Server) engine(p protocol.Protocol, depth int) (*Engine, error) {
+	s.mu.Lock()
+	slot, ok := s.engines[p.Name()]
+	if !ok {
+		slot = &engineSlot{}
+		s.engines[p.Name()] = slot
+	}
+	s.mu.Unlock()
+	slot.once.Do(func() {
+		slot.eng, slot.err = s.cfg.NewEngine(p, depth)
+		if slot.err != nil {
+			slot.err = fmt.Errorf("server: engine %s: %w", p.Name(), slot.err)
+		}
+	})
+	return slot.eng, slot.err
+}
+
+// lookupEngine returns an already-built engine without creating one.
+func (s *Server) lookupEngine(name string) *Engine {
+	p, err := protocol.Parse(name)
+	if err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	slot := s.engines[p.Name()]
+	s.mu.Unlock()
+	if slot == nil {
+		return nil
+	}
+	slot.once.Do(func() {}) // wait out a concurrent build
+	if slot.err != nil {
+		return nil
+	}
+	return slot.eng
+}
+
+// Shutdown drains the server: stop accepting, cancel every session (aborting
+// in-flight transactions and unblocking pending lock waits), wait out the
+// drain, hard-close surviving connections, then audit every engine for lock
+// residue. The returned error aggregates audit failures — a clean shutdown
+// returns nil, so callers can turn residue into a non-zero exit status.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	s.ln.Close()
+	s.cancel() // every session ctx derives from baseCtx
+
+	drained := make(chan struct{})
+	go func() { s.sessWG.Wait(); close(drained) }()
+	timer := time.NewTimer(s.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+	case <-timer.C:
+		s.logf("server: drain timeout after %v", s.cfg.DrainTimeout)
+	}
+
+	// Hard-close whatever connections remain; their readers and writers
+	// unblock with errors and the conn teardown reaps any session a worker
+	// still holds.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	s.sessWG.Wait()
+
+	var errs []error
+	s.mu.Lock()
+	slots := make([]*engineSlot, 0, len(s.engines))
+	for _, slot := range s.engines {
+		slots = append(slots, slot)
+	}
+	s.mu.Unlock()
+	for _, slot := range slots {
+		slot.once.Do(func() {})
+		if slot.err != nil || slot.eng == nil {
+			continue
+		}
+		eng := slot.eng
+		if err := eng.Mgr.LockManager().LeakCheck(); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", eng.Mgr.Protocol().Name(), err))
+		}
+		eng.Mgr.Close()
+		if eng.CloseFn != nil {
+			if err := eng.CloseFn(); err != nil {
+				errs = append(errs, fmt.Errorf("%s: close: %w", eng.Mgr.Protocol().Name(), err))
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// conn is one accepted TCP connection: a reader goroutine decoding frames
+// and routing them, and a writer goroutine serializing response frames.
+type conn struct {
+	srv    *Server
+	nc     net.Conn
+	out    chan []byte // response frame payloads
+	closed chan struct{}
+	once   sync.Once
+
+	// sessions opened on this connection (guarded by srv.mu); a dying
+	// connection cancels exactly these.
+	sessions map[uint32]*session
+}
+
+// close tears the connection down once: unblocks the writer, closes the
+// socket, and cancels every session the connection owns.
+func (c *conn) close() {
+	c.once.Do(func() {
+		close(c.closed)
+		c.nc.Close()
+		c.srv.mu.Lock()
+		delete(c.srv.conns, c)
+		sessions := make([]*session, 0, len(c.sessions))
+		for _, sess := range c.sessions {
+			sessions = append(sessions, sess)
+		}
+		c.srv.mu.Unlock()
+		c.srv.mConns.Add(-1)
+		for _, sess := range sessions {
+			sess.cancel()
+		}
+	})
+}
+
+// send queues one response frame payload, dropping it if the connection died
+// (the client is gone; nobody is waiting).
+func (c *conn) send(payload []byte) {
+	select {
+	case c.out <- payload:
+	case <-c.closed:
+	}
+}
+
+// reply encodes a response to m: status byte, then the result body.
+func (c *conn) reply(m wire.Msg, status wire.Status, body []byte) {
+	resp := wire.Msg{Op: m.Op, Session: m.Session, Req: m.Req}
+	resp.Body = append([]byte{byte(status)}, body...)
+	c.send(wire.AppendMsg(nil, resp))
+}
+
+// replyErr encodes a failure response carrying the error text.
+func (c *conn) replyErr(m wire.Msg, status wire.Status, err error) {
+	c.reply(m, status, wire.AppendString(nil, err.Error()))
+}
+
+// writeLoop serializes frames onto the socket. Frames are built as single
+// buffers and written with one Write each (WriteFrame), so no interleaving
+// is possible even with many producing sessions.
+func (c *conn) writeLoop() {
+	defer c.srv.connWG.Done()
+	for {
+		select {
+		case payload := <-c.out:
+			if err := wire.WriteFrame(c.nc, payload); err != nil {
+				c.close()
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// readLoop decodes frames and routes them until the connection dies. Any
+// framing error is fatal to the connection: a peer that desynchronizes the
+// stream cannot be trusted to resynchronize it.
+func (c *conn) readLoop() {
+	defer c.srv.connWG.Done()
+	defer c.close()
+	for {
+		payload, err := wire.ReadFrame(c.nc)
+		if err != nil {
+			return
+		}
+		m, err := wire.DecodeMsg(payload)
+		if err != nil {
+			c.srv.logf("server: %s: bad message: %v", c.nc.RemoteAddr(), err)
+			return
+		}
+		c.srv.dispatch(c, m)
+	}
+}
+
+// dispatch routes one decoded request. Connection-scoped ops run on short
+// spawned goroutines (opening a session may build an engine, which loads a
+// document); session ops are enqueued to the session's worker.
+func (s *Server) dispatch(c *conn, m wire.Msg) {
+	s.mRequests.Add(1)
+	switch m.Op {
+	case wire.OpOpenSession:
+		go s.openSession(c, m)
+		return
+	case wire.OpPing:
+		c.reply(m, wire.StatusOK, m.Body)
+		return
+	case wire.OpStats:
+		go s.serveStats(c, m)
+		return
+	case wire.OpAudit:
+		go s.serveAudit(c, m)
+		return
+	}
+
+	s.mu.Lock()
+	sess := s.sessions[m.Session]
+	s.mu.Unlock()
+	if sess == nil || sess.c != c {
+		c.replyErr(m, wire.StatusBadRequest, fmt.Errorf("server: no session %d on this connection", m.Session))
+		return
+	}
+	select {
+	case sess.queue <- m:
+		s.mQueue.Add(1)
+	default:
+		s.mBusy.Add(1)
+		c.replyErr(m, wire.StatusBusy, fmt.Errorf("server: session %d queue full", m.Session))
+	}
+}
+
+// openSession admits (or rejects) a new session and starts its worker.
+func (s *Server) openSession(c *conn, m wire.Msg) {
+	r := wire.NewReader(m.Body)
+	open := r.OpenSession()
+	if r.Err() != nil {
+		c.replyErr(m, wire.StatusBadRequest, r.Err())
+		return
+	}
+	p, err := protocol.Parse(open.Protocol)
+	if err != nil {
+		c.replyErr(m, wire.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		c.replyErr(m, wire.StatusShutdown, errors.New("server: draining"))
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.mRejected.Add(1)
+		c.replyErr(m, wire.StatusBusy, fmt.Errorf("server: session limit %d reached", s.cfg.MaxSessions))
+		return
+	}
+	s.mu.Unlock()
+
+	eng, err := s.engine(p, open.Depth)
+	if err != nil {
+		c.replyErr(m, wire.StatusErr, err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	sess := &session{
+		eng:    eng,
+		iso:    isolationLevel(open.Isolation),
+		c:      c,
+		queue:  make(chan wire.Msg, s.cfg.SessionQueue),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		c.replyErr(m, wire.StatusShutdown, errors.New("server: draining"))
+		return
+	}
+	s.nextSess++
+	sess.id = s.nextSess
+	s.sessions[sess.id] = sess
+	c.sessions[sess.id] = sess
+	s.mu.Unlock()
+
+	s.mAccepted.Add(1)
+	s.mActive.Add(1)
+	s.sessWG.Add(1)
+	go s.sessionWorker(sess)
+	c.reply(m, wire.StatusOK, wire.AppendUvarint(nil, uint64(sess.id)))
+}
+
+// serveStats answers OpStats: counters for one protocol's engine.
+func (s *Server) serveStats(c *conn, m wire.Msg) {
+	name := wire.NewReader(m.Body).String()
+	eng := s.lookupEngine(name)
+	if eng == nil {
+		c.replyErr(m, wire.StatusNotFound, fmt.Errorf("server: no engine for protocol %q", name))
+		return
+	}
+	ls := eng.Mgr.LockManager().Stats()
+	ts := eng.Mgr.TxManager().Stats()
+	c.reply(m, wire.StatusOK, wire.AppendStats(nil, wire.Stats{
+		LockRequests:        ls.Requests,
+		LockCacheHits:       ls.CacheHits,
+		LockWaits:           ls.Waits,
+		Deadlocks:           ls.Deadlocks,
+		ConversionDeadlocks: ls.ConversionDeadlocks,
+		SubtreeDeadlocks:    ls.SubtreeDeadlocks,
+		Timeouts:            ls.Timeouts,
+		TxBegun:             ts.Begun,
+		TxCommitted:         ts.Committed,
+		TxAborted:           ts.Aborted,
+	}))
+}
+
+// serveAudit answers OpAudit: the engine's integrity audits (document Verify
+// plus lock LeakCheck), the same checks a local TaMix run ends with.
+func (s *Server) serveAudit(c *conn, m wire.Msg) {
+	name := wire.NewReader(m.Body).String()
+	eng := s.lookupEngine(name)
+	if eng == nil {
+		c.replyErr(m, wire.StatusNotFound, fmt.Errorf("server: no engine for protocol %q", name))
+		return
+	}
+	if err := eng.Mgr.Document().Verify(); err != nil {
+		c.replyErr(m, wire.StatusErr, fmt.Errorf("verify: %w", err))
+		return
+	}
+	if err := eng.Mgr.LockManager().LeakCheck(); err != nil {
+		c.replyErr(m, wire.StatusErr, fmt.Errorf("leak check: %w", err))
+		return
+	}
+	c.reply(m, wire.StatusOK, nil)
+}

@@ -1,0 +1,376 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/lock"
+	"repro/internal/storage"
+	"repro/internal/tx"
+	"repro/internal/wire"
+	"repro/internal/xmlmodel"
+)
+
+// session is one client session: a protocol choice, at most one active
+// transaction, and a single worker goroutine draining a bounded queue — the
+// one-goroutine-per-transaction discipline the engine requires, enforced
+// structurally.
+type session struct {
+	id     uint32
+	eng    *Engine
+	iso    tx.Level
+	c      *conn
+	queue  chan wire.Msg
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// txn is the active transaction; touched only by the worker goroutine.
+	txn *tx.Txn
+}
+
+// isolationLevel decodes the wire isolation byte, clamping junk to the
+// paper's default comparison level.
+func isolationLevel(b uint8) tx.Level {
+	l := tx.Level(b)
+	if l < tx.LevelNone || l > tx.LevelRepeatable {
+		return tx.LevelRepeatable
+	}
+	return l
+}
+
+// statusOf maps an engine error to its wire status, preserving the
+// distinctions remote clients must see: abort-worthy failures (deadlock
+// victim, lock timeout) versus vanished targets versus cancellation.
+func statusOf(err error) wire.Status {
+	switch {
+	case errors.Is(err, lock.ErrDeadlockVictim):
+		return wire.StatusDeadlock
+	case errors.Is(err, lock.ErrLockTimeout):
+		return wire.StatusTimeout
+	case errors.Is(err, lock.ErrCanceled):
+		return wire.StatusCanceled
+	case errors.Is(err, storage.ErrNodeNotFound):
+		return wire.StatusNotFound
+	case errors.Is(err, tx.ErrTxnDone):
+		return wire.StatusTxDone
+	default:
+		return wire.StatusErr
+	}
+}
+
+// sessionWorker drains the session queue until the session closes or its
+// context is canceled (connection death or server drain).
+func (s *Server) sessionWorker(sess *session) {
+	defer s.sessWG.Done()
+	for {
+		select {
+		case <-sess.ctx.Done():
+			s.teardown(sess)
+			return
+		case m := <-sess.queue:
+			s.mQueue.Add(-1)
+			if m.Op == wire.OpCloseSession {
+				s.finishSession(sess)
+				sess.c.reply(m, wire.StatusOK, nil)
+				return
+			}
+			t0 := s.mLatency.Start()
+			s.handle(sess, m)
+			s.mLatency.Since(t0)
+		}
+	}
+}
+
+// teardown reaps a canceled session: abort the in-flight transaction,
+// answer everything still queued with StatusShutdown, release the slot.
+func (s *Server) teardown(sess *session) {
+	s.finishSession(sess)
+	for {
+		select {
+		case m := <-sess.queue:
+			s.mQueue.Add(-1)
+			sess.c.replyErr(m, wire.StatusShutdown, errors.New("server: session closed"))
+		default:
+			return
+		}
+	}
+}
+
+// finishSession aborts any active transaction and unregisters the session.
+func (s *Server) finishSession(sess *session) {
+	if sess.txn != nil && sess.txn.Active() {
+		// The session is going away; the abort itself must not hang on its
+		// canceled context, so detach it first. Abort only releases locks —
+		// it never acquires — but stay safe against future protocols.
+		sess.txn.LockTx().SetContext(context.Background())
+		if err := sess.txn.Abort(); err != nil {
+			s.logf("server: session %d: abort on teardown: %v", sess.id, err)
+		}
+	}
+	sess.txn = nil
+	sess.cancel()
+	s.mu.Lock()
+	if s.sessions[sess.id] == sess {
+		delete(s.sessions, sess.id)
+		s.mActive.Add(-1)
+	}
+	delete(sess.c.sessions, sess.id)
+	s.mu.Unlock()
+}
+
+// handle executes one session-scoped request on the worker goroutine. The
+// request's deadline (when present) is layered onto the session context and
+// installed as the transaction's lock-wait context, so a slow lock queue
+// cannot hold the request past its budget.
+func (s *Server) handle(sess *session, m wire.Msg) {
+	ctx := sess.ctx
+	var cancel context.CancelFunc
+	if m.DeadlineMS > 0 {
+		ctx, cancel = context.WithTimeout(sess.ctx, time.Duration(m.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+	if sess.txn != nil && sess.txn.Active() {
+		ltx := sess.txn.LockTx()
+		ltx.SetContext(ctx)
+		defer ltx.SetContext(sess.ctx)
+	}
+
+	body, err := s.execute(sess, m, ctx)
+	if err != nil {
+		sess.c.replyErr(m, statusOf(err), err)
+		return
+	}
+	sess.c.reply(m, wire.StatusOK, body)
+}
+
+// errNoTxn is the out-of-protocol "node op without a transaction" failure.
+var errNoTxn = fmt.Errorf("%w: no active transaction", tx.ErrTxnDone)
+
+// execute dispatches one opcode against the session's engine, returning the
+// encoded result body.
+func (s *Server) execute(sess *session, m wire.Msg, ctx context.Context) ([]byte, error) {
+	mgr := sess.eng.Mgr
+
+	// Transaction lifecycle ops.
+	switch m.Op {
+	case wire.OpBegin:
+		if sess.txn != nil && sess.txn.Active() {
+			return nil, fmt.Errorf("server: session %d already has transaction %d", sess.id, sess.txn.ID())
+		}
+		sess.txn = mgr.Begin(sess.iso)
+		sess.txn.LockTx().SetContext(ctx)
+		return wire.AppendUvarint(nil, sess.txn.ID()), nil
+	case wire.OpCommit:
+		if sess.txn == nil {
+			return nil, errNoTxn
+		}
+		err := sess.txn.Commit()
+		sess.txn = nil
+		return nil, err
+	case wire.OpAbort:
+		if sess.txn == nil {
+			return nil, errNoTxn
+		}
+		err := sess.txn.Abort()
+		sess.txn = nil
+		return nil, err
+	case wire.OpCatalog:
+		return wire.AppendCatalog(nil, sess.eng.Catalog), nil
+	case wire.OpLookupName:
+		name := wire.NewReader(m.Body).String()
+		sur, ok := mgr.Document().Vocabulary().Lookup(name)
+		body := []byte{0}
+		if ok {
+			body[0] = 1
+		}
+		return wire.AppendUvarint(body, uint64(sur)), nil
+	}
+
+	// Everything below operates on the document and needs a transaction.
+	if sess.txn == nil || !sess.txn.Active() {
+		return nil, errNoTxn
+	}
+	txn := sess.txn
+	r := wire.NewReader(m.Body)
+
+	switch m.Op {
+	case wire.OpGetNode:
+		id := r.ID()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		n, err := mgr.GetNode(txn, id)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendNode(nil, n), nil
+	case wire.OpJumpToID:
+		value := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		n, err := mgr.JumpToID(txn, value)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendNode(nil, n), nil
+	case wire.OpFirstChild, wire.OpLastChild, wire.OpNextSibling, wire.OpPrevSibling, wire.OpParent:
+		id := r.ID()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		var n xmlmodel.Node
+		var err error
+		switch m.Op {
+		case wire.OpFirstChild:
+			n, err = mgr.FirstChild(txn, id)
+		case wire.OpLastChild:
+			n, err = mgr.LastChild(txn, id)
+		case wire.OpNextSibling:
+			n, err = mgr.NextSibling(txn, id)
+		case wire.OpPrevSibling:
+			n, err = mgr.PrevSibling(txn, id)
+		default:
+			n, err = mgr.Parent(txn, id)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendNode(nil, n), nil
+	case wire.OpGetChildren:
+		id := r.ID()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		ns, err := mgr.GetChildren(txn, id)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendNodes(nil, ns), nil
+	case wire.OpGetAttributes:
+		id := r.ID()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		ns, err := mgr.GetAttributes(txn, id)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendNodes(nil, ns), nil
+	case wire.OpValue:
+		id := r.ID()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		v, err := mgr.Value(txn, id)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendBytes(nil, v), nil
+	case wire.OpAttributeValue:
+		id := r.ID()
+		name := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		v, err := mgr.AttributeValue(txn, id, name)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendBytes(nil, v), nil
+	case wire.OpReadFragment, wire.OpReadFragmentForUpdate:
+		id := r.ID()
+		jump := r.Byte() != 0
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if m.Op == wire.OpReadFragment {
+			out, err := mgr.ReadFragment(txn, id, jump)
+			if err != nil {
+				return nil, err
+			}
+			return wire.AppendNodes(nil, out), nil
+		}
+		out, err := mgr.ReadFragmentForUpdate(txn, id, jump)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendNodes(nil, out), nil
+	case wire.OpUpdateLastChildFragment:
+		id := r.ID()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		n, frag, err := mgr.UpdateLastChildFragment(txn, id)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendNodes(wire.AppendNode(nil, n), frag), nil
+	case wire.OpSetValue:
+		id := r.ID()
+		value := r.Bytes()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, mgr.SetValue(txn, id, value)
+	case wire.OpRename:
+		id := r.ID()
+		name := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, mgr.Rename(txn, id, name)
+	case wire.OpAppendElement:
+		id := r.ID()
+		name := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		n, err := mgr.AppendElement(txn, id, name)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendNode(nil, n), nil
+	case wire.OpAppendText:
+		id := r.ID()
+		value := r.Bytes()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		n, err := mgr.AppendText(txn, id, value)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendNode(nil, n), nil
+	case wire.OpInsertElementBefore:
+		parent := r.ID()
+		before := r.ID()
+		name := r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		n, err := mgr.InsertElementBefore(txn, parent, before, name)
+		if err != nil {
+			return nil, err
+		}
+		return wire.AppendNode(nil, n), nil
+	case wire.OpSetAttribute:
+		id := r.ID()
+		name := r.String()
+		value := r.Bytes()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, mgr.SetAttribute(txn, id, name, value)
+	case wire.OpDeleteSubtree:
+		id := r.ID()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return nil, mgr.DeleteSubtree(txn, id)
+	default:
+		return nil, fmt.Errorf("server: unknown opcode %s", m.Op)
+	}
+}

@@ -105,7 +105,7 @@ type Cluster2Result struct {
 // IDX-locks every element owning an ID attribute; the intention-lock
 // protocols do not.
 func RunCluster2(protocolName string, docScale float64, runs int) (*Cluster2Result, error) {
-	p, err := protocol.ByName(protocolName)
+	p, err := protocol.Parse(protocolName)
 	if err != nil {
 		return nil, err
 	}
@@ -122,7 +122,7 @@ func RunCluster2(protocolName string, docScale float64, runs int) (*Cluster2Resu
 	for i := 0; i < runs; i++ {
 		// Deterministic topic choice so every protocol deletes comparable
 		// subtrees.
-		r := &runner{m: mgr, cat: &Catalog{
+		r := &runner{m: newLocalEngine(mgr, tx.LevelRepeatable), cat: &Catalog{
 			TopicIDs: []string{cat.TopicIDs[i]},
 			BookIDs:  cat.BookIDs,
 		}, rng: newSeededRand(int64(i)), waitOp: 0}

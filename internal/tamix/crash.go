@@ -269,7 +269,7 @@ func CrashBurst(cfg CrashConfig) (*CrashOutcome, error) {
 	}
 	cfg.Bib.Seed = cfg.Seed
 
-	p, err := protocol.ByName(cfg.Protocol)
+	p, err := protocol.Parse(cfg.Protocol)
 	if err != nil {
 		return nil, err
 	}

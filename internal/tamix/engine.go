@@ -1,0 +1,120 @@
+package tamix
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/splid"
+	"repro/internal/tx"
+	"repro/internal/xmlmodel"
+)
+
+// Txn is the transaction handle the workload drives. *tx.Txn satisfies it
+// directly for in-process runs; the xtcd client's Txn satisfies it for
+// remote runs.
+type Txn interface {
+	ID() uint64
+	Commit() error
+	Abort() error
+}
+
+// Engine is the operation surface the TaMix transaction bodies run against —
+// the subset of the node manager the workload uses, abstracted so the same
+// bodies drive either an in-process engine or an xtcd server over the wire.
+// Error contracts carry over: deadlock-victim and lock-timeout failures
+// satisfy node.IsAbortWorthy, vanished targets satisfy
+// errors.Is(storage.ErrNodeNotFound).
+type Engine interface {
+	// Begin starts a transaction (the isolation level is fixed per engine).
+	Begin() (Txn, error)
+	JumpToID(t Txn, value string) (xmlmodel.Node, error)
+	FirstChild(t Txn, id splid.ID) (xmlmodel.Node, error)
+	LastChild(t Txn, id splid.ID) (xmlmodel.Node, error)
+	NextSibling(t Txn, id splid.ID) (xmlmodel.Node, error)
+	GetChildren(t Txn, id splid.ID) ([]xmlmodel.Node, error)
+	ReadFragment(t Txn, id splid.ID, jump bool) ([]xmlmodel.Node, error)
+	UpdateLastChildFragment(t Txn, id splid.ID) (xmlmodel.Node, []xmlmodel.Node, error)
+	SetValue(t Txn, id splid.ID, value []byte) error
+	Rename(t Txn, id splid.ID, newName string) error
+	AppendElement(t Txn, parent splid.ID, name string) (xmlmodel.Node, error)
+	SetAttribute(t Txn, el splid.ID, name string, value []byte) error
+	DeleteSubtree(t Txn, id splid.ID) error
+	// LookupName resolves a vocabulary name to its surrogate.
+	LookupName(name string) (xmlmodel.Sur, bool)
+}
+
+// localEngine adapts a node.Manager (plus a fixed isolation level) to
+// Engine.
+type localEngine struct {
+	m   *node.Manager
+	iso tx.Level
+}
+
+// newLocalEngine wraps an in-process node manager.
+func newLocalEngine(m *node.Manager, iso tx.Level) *localEngine {
+	return &localEngine{m: m, iso: iso}
+}
+
+// localTxn unwraps the concrete transaction; mixing engines is a programming
+// error worth failing loudly on.
+func localTxn(t Txn) *tx.Txn {
+	txn, ok := t.(*tx.Txn)
+	if !ok {
+		panic(fmt.Sprintf("tamix: local engine got foreign transaction %T", t))
+	}
+	return txn
+}
+
+func (e *localEngine) Begin() (Txn, error) { return e.m.Begin(e.iso), nil }
+
+func (e *localEngine) JumpToID(t Txn, value string) (xmlmodel.Node, error) {
+	return e.m.JumpToID(localTxn(t), value)
+}
+
+func (e *localEngine) FirstChild(t Txn, id splid.ID) (xmlmodel.Node, error) {
+	return e.m.FirstChild(localTxn(t), id)
+}
+
+func (e *localEngine) LastChild(t Txn, id splid.ID) (xmlmodel.Node, error) {
+	return e.m.LastChild(localTxn(t), id)
+}
+
+func (e *localEngine) NextSibling(t Txn, id splid.ID) (xmlmodel.Node, error) {
+	return e.m.NextSibling(localTxn(t), id)
+}
+
+func (e *localEngine) GetChildren(t Txn, id splid.ID) ([]xmlmodel.Node, error) {
+	return e.m.GetChildren(localTxn(t), id)
+}
+
+func (e *localEngine) ReadFragment(t Txn, id splid.ID, jump bool) ([]xmlmodel.Node, error) {
+	return e.m.ReadFragment(localTxn(t), id, jump)
+}
+
+func (e *localEngine) UpdateLastChildFragment(t Txn, id splid.ID) (xmlmodel.Node, []xmlmodel.Node, error) {
+	return e.m.UpdateLastChildFragment(localTxn(t), id)
+}
+
+func (e *localEngine) SetValue(t Txn, id splid.ID, value []byte) error {
+	return e.m.SetValue(localTxn(t), id, value)
+}
+
+func (e *localEngine) Rename(t Txn, id splid.ID, newName string) error {
+	return e.m.Rename(localTxn(t), id, newName)
+}
+
+func (e *localEngine) AppendElement(t Txn, parent splid.ID, name string) (xmlmodel.Node, error) {
+	return e.m.AppendElement(localTxn(t), parent, name)
+}
+
+func (e *localEngine) SetAttribute(t Txn, el splid.ID, name string, value []byte) error {
+	return e.m.SetAttribute(localTxn(t), el, name, value)
+}
+
+func (e *localEngine) DeleteSubtree(t Txn, id splid.ID) error {
+	return e.m.DeleteSubtree(localTxn(t), id)
+}
+
+func (e *localEngine) LookupName(name string) (xmlmodel.Sur, bool) {
+	return e.m.Document().Vocabulary().Lookup(name)
+}

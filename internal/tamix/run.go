@@ -88,6 +88,17 @@ type Config struct {
 	WAL bool
 	// Seed drives all randomness of the run.
 	Seed int64
+	// Remote, when non-empty, runs the workload against an xtcd server at
+	// this address instead of an in-process engine: every slot opens its own
+	// session (the server's one-transaction-per-session discipline) and the
+	// post-run audits and lock statistics are fetched over the wire. Fields
+	// that configure the in-process engine (Faults, Retry, WAL, LockTimeout,
+	// Metrics for engine layers, Bib) are ignored — the server owns its
+	// engine configuration.
+	Remote string
+	// RemoteConns is the number of pooled TCP connections a remote run
+	// stripes its sessions over (default 4).
+	RemoteConns int
 }
 
 // DefaultMaxRestarts caps restart attempts per logical transaction.
@@ -240,7 +251,10 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 // with two audits: the document must pass Verify and the lock table must be
 // empty (no leaked locks).
 func Run(cfg Config) (*Result, error) {
-	p, err := protocol.ByName(cfg.Protocol)
+	if cfg.Remote != "" {
+		return runRemote(cfg)
+	}
+	p, err := protocol.Parse(cfg.Protocol)
 	if err != nil {
 		return nil, err
 	}
@@ -341,6 +355,7 @@ func Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	eng := newLocalEngine(mgr, cfg.Isolation)
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	if fb != nil {
@@ -358,14 +373,14 @@ func Run(cfg Config) (*Result, error) {
 				go func(txType TxType, seed int64) {
 					defer wg.Done()
 					rng := rand.New(rand.NewSource(seed))
-					r := &runner{m: mgr, cat: cat, rng: rng, waitOp: cfg.WaitAfterOperation, updateLocks: cfg.UseUpdateLocks}
+					r := &runner{m: eng, cat: cat, rng: rng, waitOp: cfg.WaitAfterOperation, updateLocks: cfg.UseUpdateLocks}
 					if cfg.MaxStartDelay > 0 {
 						if !sleepCtx(ctx, time.Duration(rng.Int63n(int64(cfg.MaxStartDelay)))) {
 							return
 						}
 					}
 					for time.Now().Before(deadline) && ctx.Err() == nil {
-						if !runOnce(ctx, cfg, mgr, r, res, &mu, &txTypes, txType,
+						if !runOnce(ctx, cfg, eng, r, res, &mu, &txTypes, txType,
 							deadline, maxRestarts, restartBase, restartCap, fail) {
 							return
 						}
@@ -432,7 +447,7 @@ func Run(cfg Config) (*Result, error) {
 // runOnce drives one logical transaction to commit, restarting it with
 // randomized exponential backoff after deadlock/timeout aborts. It reports
 // false when the worker should exit (context canceled or engine failure).
-func runOnce(ctx context.Context, cfg Config, mgr *node.Manager, r *runner,
+func runOnce(ctx context.Context, cfg Config, eng Engine, r *runner,
 	res *Result, mu *sync.Mutex, txTypes *sync.Map, txType TxType,
 	deadline time.Time, maxRestarts int, backoffBase, backoffCap time.Duration,
 	fail func(error)) bool {
@@ -440,12 +455,20 @@ func runOnce(ctx context.Context, cfg Config, mgr *node.Manager, r *runner,
 	restarts := 0
 	backoff := backoffBase
 	for {
-		txn := mgr.Begin(cfg.Isolation)
-		if ltx := txn.LockTx(); ltx != nil {
-			txTypes.Store(ltx.ID(), txType)
+		txn, err := eng.Begin()
+		if err != nil {
+			fail(fmt.Errorf("tamix: %s: begin: %w", txType, err))
+			return false
+		}
+		// Deadlock-victim attribution needs the lock-layer transaction id;
+		// remote engines cannot provide one, so attribution is best-effort.
+		if lt, ok := txn.(interface{ LockTx() *lock.Tx }); ok {
+			if ltx := lt.LockTx(); ltx != nil {
+				txTypes.Store(ltx.ID(), txType)
+			}
 		}
 		t0 := time.Now()
-		err := r.run(txType, txn)
+		err = r.run(txType, txn)
 		if err == nil {
 			if err = txn.Commit(); err != nil {
 				fail(fmt.Errorf("tamix: %s: commit: %w", txType, err))

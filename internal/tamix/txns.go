@@ -6,10 +6,8 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/node"
 	"repro/internal/splid"
 	"repro/internal/storage"
-	"repro/internal/tx"
 	"repro/internal/xmlmodel"
 )
 
@@ -56,9 +54,10 @@ func (t TxType) String() string {
 // TxTypes lists all transaction types in presentation order.
 var TxTypes = []TxType{TAqueryBook, TAchapter, TAdelBook, TAlendAndReturn, TArenameTopic}
 
-// runner executes transaction bodies against one engine.
+// runner executes transaction bodies against one engine (in-process or
+// remote; see Engine).
 type runner struct {
-	m      *node.Manager
+	m      Engine
 	cat    *Catalog
 	rng    *rand.Rand
 	waitOp time.Duration
@@ -84,7 +83,7 @@ var errVanished = errors.New("tamix: target vanished")
 
 // run executes one transaction body. The caller commits on nil and aborts
 // on error.
-func (r *runner) run(t TxType, txn *tx.Txn) error {
+func (r *runner) run(t TxType, txn Txn) error {
 	var err error
 	switch t {
 	case TAqueryBook:
@@ -118,7 +117,7 @@ func (r *runner) randPerson() string {
 // jump to the book, then visit each child subtree in document order
 // (Figure 3b: NR on the book, subtree reads on title, author, ...). It
 // returns the IDs of the chapter summary text nodes encountered.
-func (r *runner) traverseBook(txn *tx.Txn, bookID string) (summaries []splid.ID, err error) {
+func (r *runner) traverseBook(txn Txn, bookID string) (summaries []splid.ID, err error) {
 	book, err := r.m.JumpToID(txn, bookID)
 	if err != nil {
 		return nil, err
@@ -128,8 +127,7 @@ func (r *runner) traverseBook(txn *tx.Txn, bookID string) (summaries []splid.ID,
 	if err != nil {
 		return nil, err
 	}
-	vocab := r.m.Document().Vocabulary()
-	sumSur, _ := vocab.Lookup("summary")
+	sumSur, _ := r.m.LookupName("summary")
 	for !child.ID.IsNull() {
 		frag, err := r.m.ReadFragment(txn, child.ID, false)
 		if err != nil {
@@ -151,12 +149,12 @@ func (r *runner) traverseBook(txn *tx.Txn, bookID string) (summaries []splid.ID,
 	return summaries, nil
 }
 
-func (r *runner) queryBook(txn *tx.Txn) error {
+func (r *runner) queryBook(txn Txn) error {
 	_, err := r.traverseBook(txn, r.randBook())
 	return err
 }
 
-func (r *runner) chapter(txn *tx.Txn) error {
+func (r *runner) chapter(txn Txn) error {
 	summaries, err := r.traverseBook(txn, r.randBook())
 	if err != nil {
 		return err
@@ -170,7 +168,7 @@ func (r *runner) chapter(txn *tx.Txn) error {
 		[]byte(fmt.Sprintf("Revised at %d by tx %d.", time.Now().UnixNano(), txn.ID())))
 }
 
-func (r *runner) delBook(txn *tx.Txn) error {
+func (r *runner) delBook(txn Txn) error {
 	// Same operational read profile as TAqueryBook, but on a random topic:
 	// jump to the topic and traverse each book subtree navigationally, then
 	// delete one book subtree. Under the *-2PL protocols both the traversal
@@ -205,7 +203,7 @@ func (r *runner) delBook(txn *tx.Txn) error {
 	return r.m.DeleteSubtree(txn, books[r.rng.Intn(len(books))])
 }
 
-func (r *runner) lendAndReturn(txn *tx.Txn) error {
+func (r *runner) lendAndReturn(txn Txn) error {
 	book, err := r.m.JumpToID(txn, r.randBook())
 	if err != nil {
 		return err
@@ -268,7 +266,7 @@ func (r *runner) lendAndReturn(txn *tx.Txn) error {
 // the element's name.
 var renameNames = []string{"topic", "theme", "subject", "category"}
 
-func (r *runner) renameTopic(txn *tx.Txn) error {
+func (r *runner) renameTopic(txn Txn) error {
 	topic, err := r.m.JumpToID(txn, r.randTopic())
 	if err != nil {
 		return err

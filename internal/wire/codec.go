@@ -1,0 +1,330 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/splid"
+	"repro/internal/xmlmodel"
+)
+
+// Reader consumes an encoded body left to right. Decoder methods return the
+// zero value after the first error; check Err (or use the value-and-error
+// variants) once at the end of a fixed shape.
+type Reader struct {
+	b   []byte
+	err error
+}
+
+// NewReader wraps a body slice.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decoding error.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the number of unconsumed bytes.
+func (r *Reader) Len() int { return len(r.b) }
+
+func (r *Reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrShort, what)
+	}
+}
+
+// Uvarint reads one unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Varint reads one zigzag-encoded signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		r.fail("varint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// Byte reads one raw byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail("byte")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+// Bytes reads one length-prefixed byte string (aliasing the input).
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.fail("bytes")
+		return nil
+	}
+	v := r.b[:n:n]
+	r.b = r.b[n:]
+	return v
+}
+
+// String reads one length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// ID reads one encoded SPLID (empty = null ID).
+func (r *Reader) ID() splid.ID {
+	b := r.Bytes()
+	if r.err != nil || len(b) == 0 {
+		return splid.ID{}
+	}
+	id, err := splid.Decode(b)
+	if err != nil {
+		if r.err == nil {
+			r.err = fmt.Errorf("wire: bad SPLID: %w", err)
+		}
+		return splid.ID{}
+	}
+	return id
+}
+
+// Node reads one node record (see AppendNode).
+func (r *Reader) Node() xmlmodel.Node {
+	id := r.ID()
+	kind := r.Byte()
+	name := r.Uvarint()
+	value := r.Bytes()
+	if r.err != nil {
+		return xmlmodel.Node{}
+	}
+	n := xmlmodel.Node{ID: id, Kind: xmlmodel.Kind(kind), Name: xmlmodel.Sur(name)}
+	if len(value) > 0 {
+		n.Value = value
+	}
+	// A null-ID node is the "edge leads nowhere" result and carries kind 0;
+	// any other kind must be valid.
+	if kind != 0 && !n.Kind.Valid() {
+		r.err = fmt.Errorf("wire: invalid node kind %d", kind)
+		return xmlmodel.Node{}
+	}
+	if name > math.MaxUint16 {
+		r.err = fmt.Errorf("wire: name surrogate %d out of range", name)
+		return xmlmodel.Node{}
+	}
+	return n
+}
+
+// Nodes reads a node list (see AppendNodes).
+func (r *Reader) Nodes() []xmlmodel.Node {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	// Each encoded node needs at least 3 bytes (empty id, kind, empty
+	// value); reject counts the remaining body cannot possibly hold so a
+	// corrupt count cannot pre-allocate gigabytes.
+	if n > uint64(len(r.b))/3+1 {
+		r.fail("node list")
+		return nil
+	}
+	out := make([]xmlmodel.Node, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.Node())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// StringList reads a string list (see AppendStringList).
+func (r *Reader) StringList() []string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b))+1 {
+		r.fail("string list")
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.String())
+		if r.err != nil {
+			return nil
+		}
+	}
+	return out
+}
+
+// --- append side ------------------------------------------------------------
+
+// AppendUvarint appends an unsigned varint.
+func AppendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+// AppendVarint appends a zigzag-encoded signed varint.
+func AppendVarint(dst []byte, v int64) []byte { return binary.AppendVarint(dst, v) }
+
+// AppendBytes appends a length-prefixed byte string.
+func AppendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendID appends an encoded SPLID (null ID = empty bytes).
+func AppendID(dst []byte, id splid.ID) []byte {
+	if id.IsNull() {
+		return binary.AppendUvarint(dst, 0)
+	}
+	enc := id.Encode()
+	return AppendBytes(dst, enc)
+}
+
+// AppendNode appends one node record: id, kind byte, name surrogate, value.
+func AppendNode(dst []byte, n xmlmodel.Node) []byte {
+	dst = AppendID(dst, n.ID)
+	dst = append(dst, byte(n.Kind))
+	dst = binary.AppendUvarint(dst, uint64(n.Name))
+	return AppendBytes(dst, n.Value)
+}
+
+// AppendNodes appends a node list: count, then each node.
+func AppendNodes(dst []byte, ns []xmlmodel.Node) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ns)))
+	for _, n := range ns {
+		dst = AppendNode(dst, n)
+	}
+	return dst
+}
+
+// AppendStringList appends a string list: count, then each string.
+func AppendStringList(dst []byte, ss []string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(ss)))
+	for _, s := range ss {
+		dst = AppendString(dst, s)
+	}
+	return dst
+}
+
+// --- composite shapes -------------------------------------------------------
+
+// Catalog is the jump-target catalog an engine exposes to remote workloads:
+// the id-attribute values TaMix transactions address books, topics, and
+// persons by.
+type Catalog struct {
+	Books   []string
+	Topics  []string
+	Persons []string
+}
+
+// AppendCatalog appends a catalog body.
+func AppendCatalog(dst []byte, c Catalog) []byte {
+	dst = AppendStringList(dst, c.Books)
+	dst = AppendStringList(dst, c.Topics)
+	return AppendStringList(dst, c.Persons)
+}
+
+// Catalog reads a catalog body.
+func (r *Reader) Catalog() Catalog {
+	return Catalog{
+		Books:   r.StringList(),
+		Topics:  r.StringList(),
+		Persons: r.StringList(),
+	}
+}
+
+// Stats is the engine counter snapshot served by OpStats: the lock-manager
+// activity the contest ranks protocols by, plus transaction outcomes, so a
+// remote harness reports the same columns as a local run.
+type Stats struct {
+	LockRequests        uint64
+	LockCacheHits       uint64
+	LockWaits           uint64
+	Deadlocks           uint64
+	ConversionDeadlocks uint64
+	SubtreeDeadlocks    uint64
+	Timeouts            uint64
+	TxBegun             uint64
+	TxCommitted         uint64
+	TxAborted           uint64
+}
+
+// AppendStats appends a stats body (fixed field order).
+func AppendStats(dst []byte, s Stats) []byte {
+	for _, v := range [...]uint64{
+		s.LockRequests, s.LockCacheHits, s.LockWaits,
+		s.Deadlocks, s.ConversionDeadlocks, s.SubtreeDeadlocks, s.Timeouts,
+		s.TxBegun, s.TxCommitted, s.TxAborted,
+	} {
+		dst = binary.AppendUvarint(dst, v)
+	}
+	return dst
+}
+
+// Stats reads a stats body.
+func (r *Reader) Stats() Stats {
+	return Stats{
+		LockRequests:        r.Uvarint(),
+		LockCacheHits:       r.Uvarint(),
+		LockWaits:           r.Uvarint(),
+		Deadlocks:           r.Uvarint(),
+		ConversionDeadlocks: r.Uvarint(),
+		SubtreeDeadlocks:    r.Uvarint(),
+		Timeouts:            r.Uvarint(),
+		TxBegun:             r.Uvarint(),
+		TxCommitted:         r.Uvarint(),
+		TxAborted:           r.Uvarint(),
+	}
+}
+
+// OpenSession is the decoded OpOpenSession request body.
+type OpenSession struct {
+	// Protocol names the lock protocol the session runs under.
+	Protocol string
+	// Isolation is the tx.Level as a byte.
+	Isolation uint8
+	// Depth is the lock-depth parameter (negative = unlimited).
+	Depth int
+}
+
+// AppendOpenSession appends an OpOpenSession request body.
+func AppendOpenSession(dst []byte, o OpenSession) []byte {
+	dst = AppendString(dst, o.Protocol)
+	dst = append(dst, o.Isolation)
+	return binary.AppendVarint(dst, int64(o.Depth))
+}
+
+// OpenSession reads an OpOpenSession request body.
+func (r *Reader) OpenSession() OpenSession {
+	return OpenSession{
+		Protocol:  r.String(),
+		Isolation: r.Byte(),
+		Depth:     int(r.Varint()),
+	}
+}

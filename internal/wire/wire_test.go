@@ -1,0 +1,178 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/splid"
+	"repro/internal/xmlmodel"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{
+		{},
+		{0x01},
+		bytes.Repeat([]byte{0xAB}, 1000),
+		AppendMsg(nil, Msg{Op: OpBegin, Session: 7, Req: 42, DeadlineMS: 1500, Body: []byte("x")}),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: got %x want %x", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestFrameCRCDetectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello xtcd")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[6] ^= 0x40 // flip one payload bit
+	_, err := ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrCRC) {
+		t.Fatalf("expected ErrCRC, got %v", err)
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		_, err := ReadFrame(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	// A forged length prefix beyond MaxFrame must be rejected before any
+	// allocation of that size.
+	raw := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0x00}
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("expected ErrFrameTooLarge, got %v", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("expected ErrFrameTooLarge on write, got %v", err)
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	m := Msg{Op: OpReadFragment, Session: 3, Req: 99, DeadlineMS: 250, Body: []byte{1, 2, 3}}
+	got, err := DecodeMsg(AppendMsg(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != m.Op || got.Session != m.Session || got.Req != m.Req ||
+		got.DeadlineMS != m.DeadlineMS || !bytes.Equal(got.Body, m.Body) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, m)
+	}
+	if _, err := DecodeMsg([]byte{1, 2}); !errors.Is(err, ErrShort) {
+		t.Fatalf("expected ErrShort, got %v", err)
+	}
+}
+
+func TestBodyCodecRoundTrip(t *testing.T) {
+	id := splid.MustParse("1.17.5")
+	nodes := []xmlmodel.Node{
+		{ID: id, Kind: xmlmodel.KindElement, Name: 7},
+		{ID: id.Child(3), Kind: xmlmodel.KindText, Value: []byte("body text")},
+		{}, // null node (edge leads nowhere)
+	}
+	var b []byte
+	b = AppendUvarint(b, 1234567)
+	b = AppendVarint(b, -42)
+	b = AppendString(b, "taDOM3+")
+	b = AppendID(b, id)
+	b = AppendID(b, splid.ID{})
+	b = AppendNodes(b, nodes)
+	b = AppendCatalog(b, Catalog{Books: []string{"b0-0", "b0-1"}, Topics: []string{"t0"}, Persons: nil})
+	b = AppendStats(b, Stats{LockRequests: 10, Deadlocks: 2, TxCommitted: 5})
+	b = AppendOpenSession(b, OpenSession{Protocol: "URIX", Isolation: 3, Depth: -1})
+
+	r := NewReader(b)
+	if v := r.Uvarint(); v != 1234567 {
+		t.Fatalf("uvarint: %d", v)
+	}
+	if v := r.Varint(); v != -42 {
+		t.Fatalf("varint: %d", v)
+	}
+	if s := r.String(); s != "taDOM3+" {
+		t.Fatalf("string: %q", s)
+	}
+	if got := r.ID(); !got.Equal(id) {
+		t.Fatalf("id: %v", got)
+	}
+	if got := r.ID(); !got.IsNull() {
+		t.Fatalf("null id: %v", got)
+	}
+	ns := r.Nodes()
+	if len(ns) != len(nodes) {
+		t.Fatalf("nodes: %d", len(ns))
+	}
+	if !ns[0].ID.Equal(id) || ns[0].Kind != xmlmodel.KindElement || ns[0].Name != 7 {
+		t.Fatalf("node 0: %+v", ns[0])
+	}
+	if string(ns[1].Value) != "body text" {
+		t.Fatalf("node 1 value: %q", ns[1].Value)
+	}
+	if !ns[2].ID.IsNull() {
+		t.Fatalf("node 2 not null: %+v", ns[2])
+	}
+	cat := r.Catalog()
+	if len(cat.Books) != 2 || cat.Topics[0] != "t0" || len(cat.Persons) != 0 {
+		t.Fatalf("catalog: %+v", cat)
+	}
+	st := r.Stats()
+	if st.LockRequests != 10 || st.Deadlocks != 2 || st.TxCommitted != 5 {
+		t.Fatalf("stats: %+v", st)
+	}
+	os := r.OpenSession()
+	if os.Protocol != "URIX" || os.Isolation != 3 || os.Depth != -1 {
+		t.Fatalf("open session: %+v", os)
+	}
+	if r.Err() != nil {
+		t.Fatalf("reader error: %v", r.Err())
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d bytes left", r.Len())
+	}
+}
+
+func TestReaderRejectsHostileCounts(t *testing.T) {
+	// A node-list count far beyond the remaining bytes must fail, not
+	// allocate.
+	b := AppendUvarint(nil, 1<<40)
+	r := NewReader(b)
+	if ns := r.Nodes(); ns != nil || r.Err() == nil {
+		t.Fatalf("hostile node count accepted: %v, err=%v", ns, r.Err())
+	}
+	r = NewReader(b)
+	if ss := r.StringList(); ss != nil || r.Err() == nil {
+		t.Fatalf("hostile string count accepted: %v, err=%v", ss, r.Err())
+	}
+	// Truncated bytes field.
+	r = NewReader(AppendUvarint(nil, 100))
+	if v := r.Bytes(); v != nil || !errors.Is(r.Err(), ErrShort) {
+		t.Fatalf("truncated bytes accepted: %v, err=%v", v, r.Err())
+	}
+}
