@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test verify bench-lock bench-wal bench-buffer bench-all bench-server chaos recovery metrics server
+.PHONY: build test verify bench-lock bench-wal bench-buffer bench-all bench-server chaos netchaos recovery metrics server
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,16 @@ test:
 chaos:
 	$(GO) test -race -run 'Chaos|Fault|Retry|Torn|Timeout|Restart|Abort|Torture|Flusher' \
 		./internal/pagestore/ ./internal/tamix/ ./internal/node/ ./internal/tx/
+
+# netchaos runs the connection-lifecycle resilience suite under the race
+# detector: the faultconn injector's unit tests, server keep-alive kills of
+# silent connections, the idle-session reaper (locks released, connection
+# survives), abrupt client kills mid-burst (zero lock residue), client-side
+# session resume with abort-worthy errors, a server bounce under a
+# 16-connection TaMix fleet, and a TaMix run over fault-injected wires.
+netchaos:
+	$(GO) test -race ./internal/faultconn/
+	$(GO) test -race -run 'TestNetChaos' ./internal/bibserve/
 
 # recovery runs the WAL and crash-recovery suite under the race detector:
 # the seeded crash matrix (log crashes, torn write-backs, full-budget
@@ -51,12 +61,14 @@ server:
 
 # verify is the full pre-merge gate: compile, vet, the complete test suite
 # under the race detector (the lock package's equivalence tests lean on it
-# heavily), and the focused chaos, recovery, metrics, and server suites.
+# heavily), and the focused chaos, netchaos, recovery, metrics, and server
+# suites.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) chaos
+	$(MAKE) netchaos
 	$(MAKE) recovery
 	$(MAKE) metrics
 	$(MAKE) server

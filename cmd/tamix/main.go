@@ -181,6 +181,8 @@ type serverBenchRow struct {
 	Deadlocks    uint64                 `json:"deadlocks"`
 	Timeouts     uint64                 `json:"timeouts"`
 	LockRequests uint64                 `json:"lock_requests"`
+	Reconnects   uint64                 `json:"reconnects"`
+	Redials      uint64                 `json:"redials"`
 	Throughput   float64                `json:"throughput"`
 	Latency      metrics.LatencySummary `json:"request_latency"`
 }
@@ -257,6 +259,8 @@ func runServerBench(addr, protoList, connList, out string, docScale, timeSc floa
 				Deadlocks:    res.Deadlocks,
 				Timeouts:     res.Timeouts,
 				LockRequests: res.LockRequests,
+				Reconnects:   res.Metrics.CounterValue("client.reconnects"),
+				Redials:      res.Metrics.CounterValue("client.redials"),
 				Throughput:   res.Throughput(),
 				Latency:      res.Metrics.Summary("client.request_ns"),
 			}

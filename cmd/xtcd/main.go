@@ -39,6 +39,11 @@ func main() {
 		maxSessions  = flag.Int("max-sessions", 256, "admission cap on concurrently open sessions")
 		queueDepth   = flag.Int("queue-depth", 16, "per-session request queue bound (excess rejected busy)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget before in-flight sessions are cut")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "per-frame write deadline; a peer that stops reading is cut (negative disables)")
+		keepAlive    = flag.Duration("keepalive", 30*time.Second, "expected client heartbeat interval (negative disables keep-alive enforcement)")
+		kaMisses     = flag.Int("keepalive-misses", 3, "missed keep-alive intervals before a silent connection is closed")
+		idleSession  = flag.Duration("idle-session", 5*time.Minute, "reap sessions idle this long: abort their transaction, release locks, free the slot (negative disables)")
+		reapEvery    = flag.Duration("reap-interval", 0, "idle-session sweep cadence (0 = idle-session/4)")
 		debugAddr    = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address")
 		quiet        = flag.Bool("quiet", false, "suppress connection-level diagnostics")
 	)
@@ -51,6 +56,12 @@ func main() {
 		MaxSessions:  *maxSessions,
 		SessionQueue: *queueDepth,
 		DrainTimeout: *drainTimeout,
+
+		WriteTimeout:       *writeTimeout,
+		KeepAliveInterval:  *keepAlive,
+		KeepAliveMisses:    *kaMisses,
+		SessionIdleTimeout: *idleSession,
+		ReapInterval:       *reapEvery,
 	}
 	if !*quiet {
 		cfg.Logf = logf

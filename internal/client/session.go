@@ -1,6 +1,8 @@
 package client
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/splid"
@@ -12,11 +14,20 @@ import (
 // Session is one server-side session: a protocol choice and at most one
 // active transaction. A session must stay on a single goroutine, mirroring
 // the engine's one-goroutine-per-transaction rule.
+//
+// A session is bound to one pool slot. When that slot's connection dies
+// mid-call, the session transparently re-establishes itself on the slot's
+// replacement connection (OpResumeSession) and the interrupted call returns
+// an ErrConnLost-based, abort-worthy error — the transaction is gone, the
+// session handle lives on.
 type Session struct {
 	pool     *Pool
+	sl       *slot
 	c        *Conn
 	id       uint32
 	protocol string
+	iso      tx.Level
+	depth    int
 	deadline uint32 // per-request deadline-ms (0 = none)
 }
 
@@ -24,7 +35,11 @@ type Session struct {
 // isolation and lock depth. Sessions stripe round-robin across the pool's
 // connections.
 func (p *Pool) OpenSession(protocol string, iso tx.Level, depth int) (*Session, error) {
-	c := p.conn()
+	sl := p.slot()
+	c, err := sl.get()
+	if err != nil {
+		return nil, err
+	}
 	body := wire.AppendOpenSession(nil, wire.OpenSession{
 		Protocol: protocol, Isolation: uint8(iso), Depth: depth,
 	})
@@ -37,7 +52,8 @@ func (p *Pool) OpenSession(protocol string, iso tx.Level, depth int) (*Session, 
 	if err := r.Err(); err != nil {
 		return nil, err
 	}
-	s := &Session{pool: p, c: c, id: uint32(id), protocol: protocol}
+	s := &Session{pool: p, sl: sl, c: c, id: uint32(id),
+		protocol: protocol, iso: iso, depth: depth}
 	if p.opts.RequestDeadline > 0 {
 		s.deadline = uint32(p.opts.RequestDeadline.Milliseconds())
 	}
@@ -57,22 +73,90 @@ func (s *Session) SetRequestDeadline(d time.Duration) {
 }
 
 // call round-trips one session-scoped request, timing it into the pool's
-// latency histogram.
+// latency histogram. A connection-level failure triggers the resume path:
+// redial (via the slot) and re-open the session, then report the
+// interrupted call as abort-worthy so the caller restarts its transaction.
 func (s *Session) call(op wire.Op, body []byte) ([]byte, error) {
 	var t0 time.Time
 	if s.pool.mLatency != nil {
 		t0 = s.pool.mLatency.Start()
 	}
-	_, resp, err := s.c.roundTrip(op, s.id, s.deadline, body)
+	_, resp, err := s.c.roundTripTimeout(op, s.id, s.deadline, body, s.pool.opts.CallTimeout)
 	if s.pool.mLatency != nil {
 		s.pool.mLatency.Since(t0)
 	}
-	return resp, err
+	if err == nil || !s.shouldResume(err) {
+		return resp, err
+	}
+	if rerr := s.resume(); rerr != nil {
+		return nil, fmt.Errorf("client: %s: %w (reconnect failed: %v)", op, err, rerr)
+	}
+	s.pool.mReconnects.Add(1)
+	return nil, &abortWorthyError{fmt.Errorf(
+		"%w: %s interrupted (session resumed as %d): %v", ErrConnLost, op, s.id, err)}
 }
 
-// Close ends the session, aborting any active transaction server-side.
+// shouldResume reports whether a call failure means "session-level death
+// worth resuming from": the conn died, the server is bouncing, or the
+// server forgot the session (idle reap) — and the pool is still open with
+// reconnects enabled.
+func (s *Session) shouldResume(err error) bool {
+	return (errors.Is(err, ErrShutdown) || errors.Is(err, ErrNoSession)) &&
+		!s.pool.opts.DisableReconnect && !s.pool.isClosed()
+}
+
+// resume re-establishes the session after a connection loss: get a live
+// connection from the session's slot (redialing under its backoff), then
+// ask the server to resume — evicting the stale predecessor session if the
+// server still holds it — retrying through drain windows and busy rejections
+// under the redial backoff until RedialBudget runs out.
+func (s *Session) resume() error {
+	backoff := s.pool.opts.RedialBackoff
+	deadline := time.Now().Add(s.pool.opts.RedialBudget)
+	var lastErr error
+	for {
+		if s.pool.isClosed() {
+			return ErrShutdown
+		}
+		c, err := s.sl.get()
+		if err == nil {
+			body := wire.AppendResumeSession(nil, wire.ResumeSession{
+				Old: s.id,
+				Open: wire.OpenSession{
+					Protocol: s.protocol, Isolation: uint8(s.iso), Depth: s.depth,
+				},
+			})
+			_, resp, rerr := c.roundTripTimeout(wire.OpResumeSession, 0, 0, body, s.pool.opts.CallTimeout)
+			if rerr == nil {
+				r := wire.NewReader(resp)
+				id := r.Uvarint()
+				if err := r.Err(); err != nil {
+					return err
+				}
+				s.c, s.id = c, uint32(id)
+				return nil
+			}
+			if !errors.Is(rerr, ErrShutdown) && !errors.Is(rerr, ErrBusy) {
+				return rerr // rejected outright (bad request, engine failure)
+			}
+			err = rerr
+		}
+		lastErr = err
+		if !time.Now().Before(deadline) {
+			return fmt.Errorf("client: session resume: %w", lastErr)
+		}
+		backoff = backoffSleep(backoff, s.pool.opts.RedialMaxBackoff)
+	}
+}
+
+// Close ends the session, aborting any active transaction server-side. A
+// dead connection counts as closed — the server reaps the session on its
+// own — so Close never triggers a redial.
 func (s *Session) Close() error {
-	_, err := s.call(wire.OpCloseSession, nil)
+	_, _, err := s.c.roundTripTimeout(wire.OpCloseSession, s.id, s.deadline, nil, s.pool.opts.CallTimeout)
+	if err != nil && (errors.Is(err, ErrShutdown) || errors.Is(err, ErrNoSession)) {
+		return nil
+	}
 	return err
 }
 
@@ -92,24 +176,40 @@ func (t *Txn) Commit() error {
 	return err
 }
 
-// Abort rolls the transaction back.
+// Abort rolls the transaction back. A transaction lost to a connection
+// bounce is already aborted server-side (session teardown released its
+// locks), so an abort interrupted by a resume reports success.
 func (t *Txn) Abort() error {
 	_, err := t.s.call(wire.OpAbort, nil)
+	if err != nil && errors.Is(err, ErrConnLost) {
+		return nil
+	}
 	return err
 }
 
-// Begin starts a transaction on the session (one at a time).
+// Begin starts a transaction on the session (one at a time). Unlike
+// mid-transaction operations, a Begin interrupted by a connection loss has
+// no in-flight work to lose — any transaction the lost request may have
+// started was aborted by the resume's session eviction — so it retries
+// transparently on the resumed session instead of surfacing the abort.
 func (s *Session) Begin() (*Txn, error) {
-	resp, err := s.call(wire.OpBegin, nil)
-	if err != nil {
-		return nil, err
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		resp, err := s.call(wire.OpBegin, nil)
+		if err == nil {
+			r := wire.NewReader(resp)
+			id := r.Uvarint()
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			return &Txn{s: s, id: id}, nil
+		}
+		if !errors.Is(err, ErrConnLost) {
+			return nil, err
+		}
+		lastErr = err
 	}
-	r := wire.NewReader(resp)
-	id := r.Uvarint()
-	if err := r.Err(); err != nil {
-		return nil, err
-	}
-	return &Txn{s: s, id: id}, nil
+	return nil, lastErr
 }
 
 // Catalog fetches the engine's jump-target catalog.

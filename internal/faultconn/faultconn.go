@@ -1,0 +1,184 @@
+// Package faultconn injects deterministic network faults into net.Conn
+// traffic — the wire analogue of pagestore.FaultBackend. A wrapped
+// connection can drop (die mid-conversation), stall (delay I/O), cut writes
+// short, or corrupt outgoing bytes, each under an independent seeded
+// probability, so chaos suites exercise the client's redial/resume path and
+// the server's keep-alive/reaper path with reproducible schedules.
+//
+// Faults are gated: a wrapper starts disarmed (transparent pass-through) and
+// injects only between Arm and Disarm, so harnesses can bring a topology up
+// cleanly before turning the weather on.
+package faultconn
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the base of every fault the wrapper introduces itself
+// (drops and partial writes); stalls and corruption surface through the
+// peer instead (timeouts, CRC failures).
+var ErrInjected = fmt.Errorf("faultconn: injected fault")
+
+// Config sets the fault mix. Probabilities are per I/O call in [0,1];
+// zero-valued fields inject nothing.
+type Config struct {
+	// Seed makes the schedule reproducible; each connection derives its own
+	// generator from it (a Listener adds the accept index).
+	Seed int64
+	// DropProb kills the connection outright (both directions) — the peer
+	// sees EOF or a reset, the caller gets ErrInjected.
+	DropProb float64
+	// StallProb delays the I/O call by Stall before proceeding — long
+	// enough stalls trip keep-alive windows and client call timeouts.
+	StallProb float64
+	// Stall is the delay injected by StallProb (default 50ms).
+	Stall time.Duration
+	// PartialProb writes only a prefix of the buffer and then kills the
+	// connection — the peer sees a truncated frame.
+	PartialProb float64
+	// CorruptProb flips one byte of an outgoing buffer (on a copy; the
+	// caller's slice is untouched) — the peer sees a CRC mismatch.
+	CorruptProb float64
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	Drops, Stalls, Partials, Corruptions int64
+}
+
+// Injector owns the armed gate and the counters for a family of wrapped
+// connections (typically everything accepted by one Listener, or every
+// conn dialed through one harness dialer).
+type Injector struct {
+	cfg   Config
+	armed atomic.Bool
+
+	drops, stalls, partials, corruptions atomic.Int64
+}
+
+// NewInjector builds a disarmed injector for the given mix.
+func NewInjector(cfg Config) *Injector {
+	if cfg.Stall <= 0 {
+		cfg.Stall = 50 * time.Millisecond
+	}
+	return &Injector{cfg: cfg}
+}
+
+// Arm enables fault injection.
+func (in *Injector) Arm() { in.armed.Store(true) }
+
+// Disarm disables fault injection; wrapped connections pass through.
+func (in *Injector) Disarm() { in.armed.Store(false) }
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Drops:       in.drops.Load(),
+		Stalls:      in.stalls.Load(),
+		Partials:    in.partials.Load(),
+		Corruptions: in.corruptions.Load(),
+	}
+}
+
+// Wrap returns c with this injector's fault mix applied, drawing from a
+// generator seeded with cfg.Seed+salt (use distinct salts for distinct
+// connections to decorrelate their schedules).
+func (in *Injector) Wrap(c net.Conn, salt int64) *Conn {
+	return &Conn{Conn: c, in: in, rng: rand.New(rand.NewSource(in.cfg.Seed + salt))}
+}
+
+// Conn is a net.Conn with faults. Read and Write may run on different
+// goroutines (and do, under the wire protocol); the generator is
+// mutex-guarded so the schedule stays deterministic per call sequence even
+// though the interleaving across directions is scheduling-dependent.
+type Conn struct {
+	net.Conn
+	in  *Injector
+	rng *rand.Rand
+	mu  sync.Mutex
+}
+
+// roll draws one uniform variate under the lock.
+func (c *Conn) roll() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// Read implements net.Conn with drop and stall faults on the inbound path.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.in.armed.Load() {
+		cfg := &c.in.cfg
+		if cfg.DropProb > 0 && c.roll() < cfg.DropProb {
+			c.in.drops.Add(1)
+			c.Conn.Close()
+			return 0, fmt.Errorf("%w: read drop", ErrInjected)
+		}
+		if cfg.StallProb > 0 && c.roll() < cfg.StallProb {
+			c.in.stalls.Add(1)
+			time.Sleep(cfg.Stall)
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn with drop, stall, partial-write, and corruption
+// faults on the outbound path.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.in.armed.Load() {
+		cfg := &c.in.cfg
+		if cfg.DropProb > 0 && c.roll() < cfg.DropProb {
+			c.in.drops.Add(1)
+			c.Conn.Close()
+			return 0, fmt.Errorf("%w: write drop", ErrInjected)
+		}
+		if cfg.StallProb > 0 && c.roll() < cfg.StallProb {
+			c.in.stalls.Add(1)
+			time.Sleep(cfg.Stall)
+		}
+		if cfg.PartialProb > 0 && len(p) > 1 && c.roll() < cfg.PartialProb {
+			c.in.partials.Add(1)
+			n, _ := c.Conn.Write(p[:len(p)/2])
+			c.Conn.Close()
+			return n, fmt.Errorf("%w: partial write (%d of %d bytes)", ErrInjected, n, len(p))
+		}
+		if cfg.CorruptProb > 0 && len(p) > 0 && c.roll() < cfg.CorruptProb {
+			c.in.corruptions.Add(1)
+			c.mu.Lock()
+			i := c.rng.Intn(len(p))
+			c.mu.Unlock()
+			q := make([]byte, len(p))
+			copy(q, p)
+			q[i] ^= 0xFF
+			return c.Conn.Write(q)
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener so every accepted connection carries the
+// injector's fault mix, each decorrelated by its accept index.
+type Listener struct {
+	net.Listener
+	in   *Injector
+	next atomic.Int64
+}
+
+// NewListener wraps l with in's faults.
+func NewListener(l net.Listener, in *Injector) *Listener {
+	return &Listener{Listener: l, in: in}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(c, l.next.Add(1)), nil
+}

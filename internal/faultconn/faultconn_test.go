@@ -1,0 +1,209 @@
+package faultconn
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair builds a loopback TCP pair so the wrapper runs over a real
+// net.Conn (Close semantics, deadlines).
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var (
+		server net.Conn
+		serr   error
+		wg     sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		server, serr = l.Accept()
+	}()
+	client, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if serr != nil {
+		t.Fatal(serr)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestDisarmedIsTransparent(t *testing.T) {
+	a, b := pipePair(t)
+	in := NewInjector(Config{Seed: 1, DropProb: 1, PartialProb: 1, CorruptProb: 1})
+	fc := in.Wrap(a, 0)
+	msg := []byte("hello through the storm")
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatalf("disarmed write: %v", err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("disarmed wrapper altered bytes: %q != %q", got, msg)
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("disarmed wrapper counted faults: %+v", st)
+	}
+}
+
+func TestDropKillsConnection(t *testing.T) {
+	a, b := pipePair(t)
+	in := NewInjector(Config{Seed: 7, DropProb: 1})
+	fc := in.Wrap(a, 0)
+	in.Arm()
+	_, err := fc.Write([]byte("doomed"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	// The peer must observe the death, not a hang.
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after drop")
+	}
+	if in.Stats().Drops == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestPartialWriteTruncates(t *testing.T) {
+	a, b := pipePair(t)
+	in := NewInjector(Config{Seed: 3, PartialProb: 1})
+	fc := in.Wrap(a, 0)
+	in.Arm()
+	msg := []byte("0123456789abcdef")
+	n, err := fc.Write(msg)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if n != len(msg)/2 {
+		t.Fatalf("partial wrote %d bytes, want %d", n, len(msg)/2)
+	}
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	got, _ := io.ReadAll(b)
+	if len(got) != len(msg)/2 || !bytes.Equal(got, msg[:len(msg)/2]) {
+		t.Fatalf("peer got %q, want prefix %q", got, msg[:len(msg)/2])
+	}
+}
+
+func TestCorruptFlipsOneByteOnCopy(t *testing.T) {
+	a, b := pipePair(t)
+	in := NewInjector(Config{Seed: 11, CorruptProb: 1})
+	fc := in.Wrap(a, 0)
+	in.Arm()
+	msg := []byte("pristine payload bytes")
+	orig := append([]byte(nil), msg...)
+	if _, err := fc.Write(msg); err != nil {
+		t.Fatalf("corrupt write: %v", err)
+	}
+	if !bytes.Equal(msg, orig) {
+		t.Fatal("caller's buffer was mutated")
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption changed %d bytes, want exactly 1", diff)
+	}
+	if in.Stats().Corruptions == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+func TestStallDelays(t *testing.T) {
+	a, b := pipePair(t)
+	in := NewInjector(Config{Seed: 5, StallProb: 1, Stall: 80 * time.Millisecond})
+	fc := in.Wrap(a, 0)
+	in.Arm()
+	t0 := time.Now()
+	if _, err := fc.Write([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 80*time.Millisecond {
+		t.Fatalf("write returned after %v, want >= 80ms stall", d)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if in.Stats().Stalls == 0 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	// Two injectors with the same seed must agree call-by-call on whether
+	// each write faults.
+	run := func() []bool {
+		a, _ := pipePair(t)
+		in := NewInjector(Config{Seed: 42, DropProb: 0.3})
+		var outcomes []bool
+		for i := 0; i < 8; i++ {
+			fc := in.Wrap(a, int64(i))
+			in.Arm()
+			_, err := fc.Write([]byte("x"))
+			outcomes = append(outcomes, errors.Is(err, ErrInjected))
+			if err != nil {
+				// conn is dead; re-pair for the next wrapper
+				a, _ = pipePair(t)
+			}
+		}
+		return outcomes
+	}
+	x, y := run(), run()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("schedules diverge at call %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestListenerWrapsAccepted(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(Config{Seed: 9, DropProb: 1})
+	fl := NewListener(l, in)
+	defer fl.Close()
+	go func() {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err == nil {
+			c.Write([]byte("hi"))
+			c.Close()
+		}
+	}()
+	c, err := fl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *faultconn.Conn", c)
+	}
+	in.Arm()
+	if _, err := c.Read(make([]byte, 2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected read drop, got %v", err)
+	}
+}

@@ -169,7 +169,15 @@ func opErr(op string, err error) error {
 }
 
 // IsAbortWorthy reports whether err means the transaction should be aborted
-// and retried (deadlock victim or lock timeout).
+// and retried (deadlock victim or lock timeout). Errors from other layers
+// can opt in by carrying an `AbortWorthy() bool` method in their chain — the
+// xtcd client marks a connection loss with a resumed session this way, so a
+// remote workload's restart loop absorbs a server bounce exactly like a
+// deadlock abort.
 func IsAbortWorthy(err error) bool {
-	return errors.Is(err, lock.ErrDeadlockVictim) || errors.Is(err, lock.ErrLockTimeout)
+	if errors.Is(err, lock.ErrDeadlockVictim) || errors.Is(err, lock.ErrLockTimeout) {
+		return true
+	}
+	var aw interface{ AbortWorthy() bool }
+	return errors.As(err, &aw) && aw.AbortWorthy()
 }

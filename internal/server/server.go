@@ -61,6 +61,30 @@ type Config struct {
 	SessionQueue int
 	// DrainTimeout bounds the graceful phase of Shutdown (default 10s).
 	DrainTimeout time.Duration
+	// WriteTimeout bounds each frame write to a connection (default 10s,
+	// negative disables). A peer that accepts the TCP stream but stops
+	// reading would otherwise park the writer goroutine indefinitely —
+	// through Shutdown's drain window included.
+	WriteTimeout time.Duration
+	// KeepAliveInterval is the heartbeat cadence clients are expected to
+	// tick at (default 30s, negative disables keep-alive enforcement). Any
+	// frame counts as a heartbeat; a connection silent for
+	// KeepAliveInterval×KeepAliveMisses is closed and counted in
+	// server.heartbeat_misses. The allowance also bounds how long a peer may
+	// stall mid-frame.
+	KeepAliveInterval time.Duration
+	// KeepAliveMisses is how many intervals a silent connection survives
+	// before it is closed (default 3).
+	KeepAliveMisses int
+	// SessionIdleTimeout reaps sessions that executed no request (and were
+	// not heartbeat-touched) for this long (default 5m, negative disables).
+	// Reaping aborts the session's transaction, releases its locks through
+	// the context-cancellation path, and frees the session slot; the
+	// connection itself stays up. Counted in server.reaped_sessions.
+	SessionIdleTimeout time.Duration
+	// ReapInterval is the idle-session scan cadence (default
+	// SessionIdleTimeout/4, clamped to [100ms, 30s]).
+	ReapInterval time.Duration
 	// Metrics receives the server.* instruments (a private registry is used
 	// when nil).
 	Metrics *metrics.Registry
@@ -103,6 +127,9 @@ type Server struct {
 	mBusy     *metrics.Counter
 	mConns    *metrics.Gauge
 	mLatency  *metrics.Histogram
+	mReaped   *metrics.Counter
+	mHBMiss   *metrics.Counter
+	mResumed  *metrics.Counter
 }
 
 // Listen binds cfg.Addr and returns a server ready to Serve.
@@ -118,6 +145,27 @@ func Listen(cfg Config) (*Server, error) {
 	}
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.KeepAliveInterval == 0 {
+		cfg.KeepAliveInterval = 30 * time.Second
+	}
+	if cfg.KeepAliveMisses <= 0 {
+		cfg.KeepAliveMisses = 3
+	}
+	if cfg.SessionIdleTimeout == 0 {
+		cfg.SessionIdleTimeout = 5 * time.Minute
+	}
+	if cfg.ReapInterval <= 0 {
+		cfg.ReapInterval = cfg.SessionIdleTimeout / 4
+		if cfg.ReapInterval < 100*time.Millisecond {
+			cfg.ReapInterval = 100 * time.Millisecond
+		}
+		if cfg.ReapInterval > 30*time.Second {
+			cfg.ReapInterval = 30 * time.Second
+		}
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = metrics.NewRegistry()
@@ -145,8 +193,56 @@ func Listen(cfg Config) (*Server, error) {
 		mBusy:     cfg.Metrics.Counter("server.busy_rejects"),
 		mConns:    cfg.Metrics.Gauge("server.conns_active"),
 		mLatency:  cfg.Metrics.Histogram("server.request_ns"),
+		mReaped:   cfg.Metrics.Counter("server.reaped_sessions"),
+		mHBMiss:   cfg.Metrics.Counter("server.heartbeat_misses"),
+		mResumed:  cfg.Metrics.Counter("server.sessions_resumed"),
+	}
+	if s.cfg.SessionIdleTimeout > 0 {
+		go s.reaper()
 	}
 	return s, nil
+}
+
+// readWindow is the connection read-idle allowance: how long a peer may send
+// nothing (no heartbeat, no request, or a stalled partial frame) before the
+// server closes it. Zero disables the read deadline.
+func (s *Server) readWindow() time.Duration {
+	if s.cfg.KeepAliveInterval <= 0 {
+		return 0
+	}
+	return s.cfg.KeepAliveInterval * time.Duration(s.cfg.KeepAliveMisses)
+}
+
+// reaper periodically cancels sessions idle past SessionIdleTimeout. The
+// cancellation travels the same path a dead connection takes: the session
+// worker aborts the in-flight transaction (unblocking pending lock waits
+// via lock.ErrCanceled), answers queued requests with StatusShutdown, and
+// frees the slot — so a wedged client cannot park locks forever even while
+// its TCP connection stays alive.
+func (s *Server) reaper() {
+	t := time.NewTicker(s.cfg.ReapInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-s.cfg.SessionIdleTimeout).UnixNano()
+		var victims []*session
+		s.mu.Lock()
+		for _, sess := range s.sessions {
+			if sess.lastUsed.Load() < cutoff {
+				victims = append(victims, sess)
+			}
+		}
+		s.mu.Unlock()
+		for _, sess := range victims {
+			s.mReaped.Add(1)
+			s.logf("server: reaping session %d (idle > %v)", sess.id, s.cfg.SessionIdleTimeout)
+			sess.cancel()
+		}
+	}
 }
 
 // Addr returns the bound listen address.
@@ -356,13 +452,21 @@ func (c *conn) replyErr(m wire.Msg, status wire.Status, err error) {
 
 // writeLoop serializes frames onto the socket. Frames are built as single
 // buffers and written with one Write each (WriteFrame), so no interleaving
-// is possible even with many producing sessions.
+// is possible even with many producing sessions. Every write runs under the
+// configured write deadline: a peer that stops reading fails the write
+// within WriteTimeout instead of parking this goroutine (and everyone
+// waiting on the out channel) forever.
 func (c *conn) writeLoop() {
 	defer c.srv.connWG.Done()
+	wt := c.srv.cfg.WriteTimeout
 	for {
 		select {
 		case payload := <-c.out:
+			if wt > 0 {
+				c.nc.SetWriteDeadline(time.Now().Add(wt))
+			}
 			if err := wire.WriteFrame(c.nc, payload); err != nil {
+				c.srv.logf("server: %s: write: %v", c.nc.RemoteAddr(), err)
 				c.close()
 				return
 			}
@@ -374,13 +478,25 @@ func (c *conn) writeLoop() {
 
 // readLoop decodes frames and routes them until the connection dies. Any
 // framing error is fatal to the connection: a peer that desynchronizes the
-// stream cannot be trusted to resynchronize it.
+// stream cannot be trusted to resynchronize it. Each received frame renews
+// the keep-alive allowance; a connection silent (or stalled mid-frame) past
+// KeepAliveInterval×KeepAliveMisses is closed as missing its heartbeats.
 func (c *conn) readLoop() {
 	defer c.srv.connWG.Done()
 	defer c.close()
+	window := c.srv.readWindow()
 	for {
+		if window > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(window))
+		}
 		payload, err := wire.ReadFrame(c.nc)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.srv.mHBMiss.Add(1)
+				c.srv.logf("server: %s: missed %d keep-alive intervals, closing",
+					c.nc.RemoteAddr(), c.srv.cfg.KeepAliveMisses)
+			}
 			return
 		}
 		m, err := wire.DecodeMsg(payload)
@@ -401,8 +517,25 @@ func (s *Server) dispatch(c *conn, m wire.Msg) {
 	case wire.OpOpenSession:
 		go s.openSession(c, m)
 		return
+	case wire.OpResumeSession:
+		go s.resumeSession(c, m)
+		return
 	case wire.OpPing:
 		c.reply(m, wire.StatusOK, m.Body)
+		return
+	case wire.OpHeartbeat:
+		// The frame itself already renewed the connection's read-idle
+		// allowance; a session-scoped heartbeat additionally refreshes that
+		// session's reaper clock (a client may legitimately hold a session
+		// idle between bursts).
+		if m.Session != 0 {
+			s.mu.Lock()
+			if sess := s.sessions[m.Session]; sess != nil && sess.c == c {
+				sess.touch()
+			}
+			s.mu.Unlock()
+		}
+		c.reply(m, wire.StatusOK, nil)
 		return
 	case wire.OpStats:
 		go s.serveStats(c, m)
@@ -416,9 +549,13 @@ func (s *Server) dispatch(c *conn, m wire.Msg) {
 	sess := s.sessions[m.Session]
 	s.mu.Unlock()
 	if sess == nil || sess.c != c {
-		c.replyErr(m, wire.StatusBadRequest, fmt.Errorf("server: no session %d on this connection", m.Session))
+		// Not necessarily misuse: the session may have been reaped for
+		// idleness or torn down by a drain while the connection stayed up.
+		// The dedicated status lets the client resume instead of erroring.
+		c.replyErr(m, wire.StatusNoSession, fmt.Errorf("server: no session %d on this connection", m.Session))
 		return
 	}
+	sess.touch()
 	select {
 	case sess.queue <- m:
 		s.mQueue.Add(1)
@@ -436,6 +573,36 @@ func (s *Server) openSession(c *conn, m wire.Msg) {
 		c.replyErr(m, wire.StatusBadRequest, r.Err())
 		return
 	}
+	s.admitSession(c, m, open)
+}
+
+// resumeSession re-establishes a session for a reconnected client: evict the
+// stale predecessor if it survived (its transaction aborts and its locks
+// release through the cancellation path — the old connection may be dead
+// without the server having noticed yet), then admit a replacement with the
+// same parameters. The old transaction is gone either way; resumption
+// restores the session slot, not in-flight work.
+func (s *Server) resumeSession(c *conn, m wire.Msg) {
+	r := wire.NewReader(m.Body)
+	rs := r.ResumeSession()
+	if r.Err() != nil {
+		c.replyErr(m, wire.StatusBadRequest, r.Err())
+		return
+	}
+	s.mu.Lock()
+	stale := s.sessions[rs.Old]
+	s.mu.Unlock()
+	if stale != nil {
+		s.logf("server: resume evicting stale session %d", rs.Old)
+		stale.cancel()
+	}
+	s.mResumed.Add(1)
+	s.admitSession(c, m, rs.Open)
+}
+
+// admitSession runs admission control and, when admitted, registers the new
+// session and starts its worker — the shared tail of open and resume.
+func (s *Server) admitSession(c *conn, m wire.Msg, open wire.OpenSession) {
 	p, err := protocol.Parse(open.Protocol)
 	if err != nil {
 		c.replyErr(m, wire.StatusBadRequest, err)
@@ -471,6 +638,7 @@ func (s *Server) openSession(c *conn, m wire.Msg) {
 		ctx:    ctx,
 		cancel: cancel,
 	}
+	sess.touch()
 
 	s.mu.Lock()
 	if s.draining {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lock"
@@ -28,6 +29,15 @@ type session struct {
 
 	// txn is the active transaction; touched only by the worker goroutine.
 	txn *tx.Txn
+
+	// lastUsed is the idle clock the reaper reads: UnixNano of the last
+	// dispatched request or session-scoped heartbeat.
+	lastUsed atomic.Int64
+}
+
+// touch refreshes the session's idle clock.
+func (sess *session) touch() {
+	sess.lastUsed.Store(time.Now().UnixNano())
 }
 
 // isolationLevel decodes the wire isolation byte, clamping junk to the

@@ -99,6 +99,16 @@ func (e *remoteEngine) LookupName(name string) (xmlmodel.Sur, bool) {
 	return sur, ok
 }
 
+// statDelta is after-minus-before with a wrap clamp: a server restart
+// mid-run resets the engine's counters, leaving after < before; report the
+// post-restart accumulation rather than an underflowed garbage value.
+func statDelta(after, before uint64) uint64 {
+	if after < before {
+		return after
+	}
+	return after - before
+}
+
 // runRemote executes the TaMix workload against an xtcd server: same slot
 // structure, same restart policy, same post-run audits — but every slot is a
 // wire session and the audits and lock statistics come from the server. The
@@ -112,7 +122,10 @@ func runRemote(cfg Config) (*Result, error) {
 	if conns <= 0 {
 		conns = 4
 	}
-	pool, err := client.Dial(cfg.Remote, client.Options{Conns: conns, Metrics: cfg.Metrics})
+	copts := cfg.RemoteClient
+	copts.Conns = conns
+	copts.Metrics = cfg.Metrics
+	pool, err := client.Dial(cfg.Remote, copts)
 	if err != nil {
 		return nil, fmt.Errorf("tamix: dial %s: %w", cfg.Remote, err)
 	}
@@ -245,13 +258,13 @@ func runRemote(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tamix: final stats: %w", err)
 	}
-	res.Deadlocks = after.Deadlocks - before.Deadlocks
-	res.ConversionDeadlocks = after.ConversionDeadlocks - before.ConversionDeadlocks
-	res.SubtreeDeadlocks = after.SubtreeDeadlocks - before.SubtreeDeadlocks
-	res.Timeouts = after.Timeouts - before.Timeouts
-	res.LockRequests = after.LockRequests - before.LockRequests
-	res.LockCacheHits = after.LockCacheHits - before.LockCacheHits
-	res.LockWaits = after.LockWaits - before.LockWaits
+	res.Deadlocks = statDelta(after.Deadlocks, before.Deadlocks)
+	res.ConversionDeadlocks = statDelta(after.ConversionDeadlocks, before.ConversionDeadlocks)
+	res.SubtreeDeadlocks = statDelta(after.SubtreeDeadlocks, before.SubtreeDeadlocks)
+	res.Timeouts = statDelta(after.Timeouts, before.Timeouts)
+	res.LockRequests = statDelta(after.LockRequests, before.LockRequests)
+	res.LockCacheHits = statDelta(after.LockCacheHits, before.LockCacheHits)
+	res.LockWaits = statDelta(after.LockWaits, before.LockWaits)
 
 	for _, t := range TxTypes {
 		st := res.PerType[t]

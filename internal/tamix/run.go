@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/node"
@@ -99,6 +100,11 @@ type Config struct {
 	// RemoteConns is the number of pooled TCP connections a remote run
 	// stripes its sessions over (default 4).
 	RemoteConns int
+	// RemoteClient tunes the xtcd client pool a remote run dials (zero value
+	// = client defaults): chaos harnesses inject fault-wrapping dialers,
+	// faster heartbeats, or tighter redial budgets here. The Conns and
+	// Metrics fields are overridden by RemoteConns and Metrics.
+	RemoteClient client.Options
 }
 
 // DefaultMaxRestarts caps restart attempts per logical transaction.
@@ -470,14 +476,22 @@ func runOnce(ctx context.Context, cfg Config, eng Engine, r *runner,
 		t0 := time.Now()
 		err = r.run(txType, txn)
 		if err == nil {
-			if err = txn.Commit(); err != nil {
+			err = txn.Commit()
+			if err == nil {
+				mu.Lock()
+				res.PerType[txType].record(time.Since(t0))
+				mu.Unlock()
+				return true
+			}
+			if !node.IsAbortWorthy(err) {
 				fail(fmt.Errorf("tamix: %s: commit: %w", txType, err))
 				return false
 			}
-			mu.Lock()
-			res.PerType[txType].record(time.Since(t0))
-			mu.Unlock()
-			return true
+			// An abort-worthy commit failure (connection lost to a server
+			// bounce, request canceled by a draining server) falls through to
+			// the restart path: count it as an abort and rerun. At-least-once
+			// caveat: a commit interrupted mid-flight may have landed, so a
+			// remote run's committed count is a lower bound across restarts.
 		}
 		if aerr := txn.Abort(); aerr != nil && !errors.Is(aerr, tx.ErrNotActive) {
 			// A failed rollback is unrecoverable: the document may hold

@@ -328,3 +328,27 @@ func (r *Reader) OpenSession() OpenSession {
 		Depth:     int(r.Varint()),
 	}
 }
+
+// ResumeSession is the decoded OpResumeSession request body: the id of the
+// session being replaced plus the parameters to open its successor with.
+type ResumeSession struct {
+	// Old is the session id the client held before its connection died.
+	Old uint32
+	// Open carries the protocol/isolation/depth of the replacement session
+	// (the client re-sends what it originally opened with).
+	Open OpenSession
+}
+
+// AppendResumeSession appends an OpResumeSession request body.
+func AppendResumeSession(dst []byte, rs ResumeSession) []byte {
+	dst = binary.AppendUvarint(dst, uint64(rs.Old))
+	return AppendOpenSession(dst, rs.Open)
+}
+
+// ResumeSession reads an OpResumeSession request body.
+func (r *Reader) ResumeSession() ResumeSession {
+	return ResumeSession{
+		Old:  uint32(r.Uvarint()),
+		Open: r.OpenSession(),
+	}
+}

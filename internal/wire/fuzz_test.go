@@ -42,7 +42,103 @@ func seedFrames() [][]byte {
 	// A stats response.
 	add(Msg{Op: OpStats, Req: 11,
 		Body: AppendStats([]byte{byte(StatusOK)}, Stats{LockRequests: 99, Deadlocks: 1})})
+	// Connection-lifecycle opcodes: keep-alive ticks (bare and session-
+	// scoped) and a session resume carrying the reopen parameters.
+	add(Msg{Op: OpHeartbeat, Req: 12})
+	add(Msg{Op: OpHeartbeat, Session: 1, Req: 13, Body: []byte("hb")})
+	add(Msg{Op: OpResumeSession, Req: 14,
+		Body: AppendResumeSession(nil, ResumeSession{Old: 7,
+			Open: OpenSession{Protocol: "taDOM2+", Isolation: 3, Depth: 4}})})
 	return seeds
+}
+
+// hostileFrames builds framing-layer attack seeds: truncated frames,
+// oversized length headers, and checksum damage — the inputs a resilient
+// ReadFrame must reject without hanging, panicking, or over-allocating.
+func hostileFrames() [][]byte {
+	whole := seedFrames()
+	var seeds [][]byte
+	// Truncations of a valid frame at every interesting boundary: inside the
+	// length prefix, inside the payload, and inside the CRC trailer.
+	f := whole[0]
+	for _, n := range []int{0, 1, 3, 4, 5, len(f) / 2, len(f) - 5, len(f) - 1} {
+		if n < len(f) {
+			seeds = append(seeds, f[:n:n])
+		}
+	}
+	// Oversized length headers: just past MaxFrame, and the all-ones length a
+	// corrupt stream is most likely to present.
+	seeds = append(seeds,
+		[]byte{0x01, 0x00, 0x00, 0x01}, // MaxFrame+1 big-endian
+		[]byte{0xFF, 0xFF, 0xFF, 0xFF},
+		[]byte{0x7F, 0xFF, 0xFF, 0xFF, 0x00})
+	// A length that promises more payload than follows (blocks a naive
+	// reader; ReadFrame must surface ErrUnexpectedEOF).
+	seeds = append(seeds, []byte{0x00, 0x00, 0x00, 0x20, 0x01, 0x02})
+	// A valid frame with its CRC trailer flipped.
+	bad := append([]byte(nil), whole[1]...)
+	bad[len(bad)-1] ^= 0xFF
+	seeds = append(seeds, bad)
+	return seeds
+}
+
+// FuzzReadFrame beats on the framing layer alone: arbitrary byte streams,
+// seeded with truncated frames and hostile length headers. ReadFrame must
+// return an error or a payload — never panic, never allocate beyond
+// MaxFrame.
+func FuzzReadFrame(f *testing.F) {
+	for _, s := range seedFrames() {
+		f.Add(s)
+	}
+	for _, s := range hostileFrames() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload) > MaxFrame {
+			t.Fatalf("ReadFrame returned %d bytes, over MaxFrame", len(payload))
+		}
+	})
+}
+
+// FuzzDecodeMsg fuzzes the message layer below framing: raw payloads fed
+// straight to DecodeMsg and every body decoder, including the heartbeat and
+// session-resume shapes.
+func FuzzDecodeMsg(f *testing.F) {
+	for _, m := range []Msg{
+		{Op: OpHeartbeat, Session: 3, Req: 1},
+		{Op: OpResumeSession, Req: 2, Body: AppendResumeSession(nil,
+			ResumeSession{Old: 9, Open: OpenSession{Protocol: "URIX", Isolation: 2, Depth: -1}})},
+		{Op: OpOpenSession, Req: 3, Body: AppendOpenSession(nil,
+			OpenSession{Protocol: "taDOM3+", Isolation: 3, Depth: 5})},
+		{Op: OpPing, Req: 4, Body: []byte("ping")},
+	} {
+		f.Add(AppendMsg(nil, m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{byte(OpResumeSession)}) // truncated header
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := DecodeMsg(payload)
+		if err != nil {
+			return
+		}
+		switch m.Op {
+		case OpResumeSession:
+			NewReader(m.Body).ResumeSession()
+		case OpOpenSession:
+			NewReader(m.Body).OpenSession()
+		case OpHeartbeat, OpPing:
+			// Bodies are opaque echoes; nothing to decode.
+		default:
+			r := NewReader(m.Body)
+			r.ID()
+			r.Node()
+			r.Nodes()
+		}
+	})
 }
 
 // FuzzFrameDecode drives the full inbound pipeline — frame, message header,

@@ -85,6 +85,21 @@ const (
 	OpAudit Op = 9
 	// OpPing is a connectivity check; the body is echoed.
 	OpPing Op = 10
+	// OpHeartbeat is the keep-alive tick. The server answers StatusOK with an
+	// empty body and refreshes the connection's read-idle allowance; when the
+	// header's session field is non-zero and names a session on this
+	// connection, that session's idle clock is refreshed too. A client that
+	// stops heartbeating (and sends no other traffic) is closed after it
+	// misses its interval allowance.
+	OpHeartbeat Op = 11
+	// OpResumeSession re-establishes a session after a reconnect: body = old
+	// session id (uvarint) followed by the OpenSession fields. The server
+	// evicts the stale session if it still exists (canceling its transaction
+	// and releasing its locks) and admits a fresh session with the same
+	// parameters; the response body carries the new session id like
+	// OpOpenSession. The old transaction is gone — resumption restores the
+	// session, not in-flight work.
+	OpResumeSession Op = 12
 )
 
 // Node-operation opcodes (session must hold an active transaction). Bodies
@@ -137,6 +152,10 @@ func (o Op) String() string {
 		return "Audit"
 	case OpPing:
 		return "Ping"
+	case OpHeartbeat:
+		return "Heartbeat"
+	case OpResumeSession:
+		return "ResumeSession"
 	case OpGetNode:
 		return "GetNode"
 	case OpJumpToID:
@@ -207,6 +226,10 @@ const (
 	StatusShutdown Status = 7
 	// StatusBadRequest marks malformed or out-of-protocol requests.
 	StatusBadRequest Status = 8
+	// StatusNoSession means the named session no longer exists on this
+	// connection — reaped for idleness, evicted by a resume, or torn down by
+	// a drain. The client should resume (OpResumeSession) or reopen.
+	StatusNoSession Status = 9
 	// StatusErr is any other server-side failure (message in the body).
 	StatusErr Status = 255
 )
@@ -232,6 +255,8 @@ func (s Status) String() string {
 		return "shutdown"
 	case StatusBadRequest:
 		return "bad-request"
+	case StatusNoSession:
+		return "no-session"
 	case StatusErr:
 		return "error"
 	default:

@@ -108,6 +108,8 @@ func TestBodyCodecRoundTrip(t *testing.T) {
 	b = AppendCatalog(b, Catalog{Books: []string{"b0-0", "b0-1"}, Topics: []string{"t0"}, Persons: nil})
 	b = AppendStats(b, Stats{LockRequests: 10, Deadlocks: 2, TxCommitted: 5})
 	b = AppendOpenSession(b, OpenSession{Protocol: "URIX", Isolation: 3, Depth: -1})
+	b = AppendResumeSession(b, ResumeSession{Old: 99,
+		Open: OpenSession{Protocol: "taDOM2+", Isolation: 2, Depth: 4}})
 
 	r := NewReader(b)
 	if v := r.Uvarint(); v != 1234567 {
@@ -149,6 +151,10 @@ func TestBodyCodecRoundTrip(t *testing.T) {
 	os := r.OpenSession()
 	if os.Protocol != "URIX" || os.Isolation != 3 || os.Depth != -1 {
 		t.Fatalf("open session: %+v", os)
+	}
+	rs := r.ResumeSession()
+	if rs.Old != 99 || rs.Open.Protocol != "taDOM2+" || rs.Open.Isolation != 2 || rs.Open.Depth != 4 {
+		t.Fatalf("resume session: %+v", rs)
 	}
 	if r.Err() != nil {
 		t.Fatalf("reader error: %v", r.Err())
