@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test verify bench-lock bench-wal bench-buffer bench-all bench-server chaos netchaos recovery metrics server
+.PHONY: build test verify bench-lock bench-wal bench-buffer bench-recovery bench-all bench-server chaos netchaos recovery metrics server
 
 build:
 	$(GO) build ./...
@@ -35,10 +35,15 @@ netchaos:
 
 # recovery runs the WAL and crash-recovery suite under the race detector:
 # the seeded crash matrix (log crashes, torn write-backs, full-budget
-# bursts), recovery idempotence, checksum rejection on page fix, and the
-# transaction double-finish / durable-commit contracts.
+# bursts, checkpointed bursts, crashes inside the checkpoint protocol's
+# three phases), the serial-vs-parallel redo oracle, recovery idempotence,
+# the checkpoint codec and master-record tests (plus their fuzz corpora),
+# checksum rejection on page fix, and the transaction double-finish /
+# durable-commit contracts. TestMain fails the run if the crash matrix
+# orphans scratch directories. Budget: ~2-3 min on 8 cores (the matrix is
+# seed-parallel; -short roughly quarters it).
 recovery:
-	$(GO) test -race -run 'Recover|Crash|TxnDone|Checksum|Corrupt|WAL|GroupCommit' \
+	$(GO) test -race -run 'Recover|Crash|TxnDone|Checksum|Corrupt|WAL|GroupCommit|Checkpoint|Master|Fuzz' \
 		./internal/wal/ ./internal/storage/ ./internal/tx/ ./internal/pagestore/
 
 # metrics runs the observability-layer suite under the race detector: the
@@ -105,6 +110,26 @@ bench-buffer:
 			printf "{\"date\":\"%s\",\"bench\":\"BufferContentionSpeedup/mixed/g16\",\"mutex_ns_per_op\":%s,\"sharded_ns_per_op\":%s,\"speedup\":%.2f}\n", date, mutex, sharded, mutex / sharded }' \
 	>> BENCH_buffer.json
 
+# bench-recovery measures restart latency on crashed TaMix images across
+# WAL length × checkpointing × redo parallelism, plus a redo-heavy image
+# that isolates the shard-parallel redo pass (redo_ns = slowest shard's
+# wall clock). Appends one JSON line per cell and two summary lines — the
+# checkpoint restart bound and the 16-shard redo speedup — to
+# BENCH_recovery.json.
+bench-recovery:
+	$(GO) test ./internal/storage/ -run XXX -bench BenchmarkRecovery -benchtime 20x | \
+	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^BenchmarkRecovery/ { \
+		printf "{\"date\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"records\":%s,\"redo_ns\":%s}\n", date, $$1, $$2, $$3, $$5, $$7; \
+		if ($$1 ~ /ops=480\/ckpt=false\/shards=1(-|$$)/) longNo = $$3; \
+		if ($$1 ~ /ops=480\/ckpt=true\/shards=1(-|$$)/) longCk = $$3; \
+		if ($$1 ~ /redo=heavy\/shards=1(-|$$)/) serial = $$7; \
+		if ($$1 ~ /redo=heavy\/shards=16(-|$$)/) par = $$7 } \
+		END { if (longNo > 0 && longCk > 0) \
+			printf "{\"date\":\"%s\",\"bench\":\"RecoveryCheckpointBound/ops=480\",\"nockpt_ns\":%s,\"ckpt_ns\":%s,\"restart_ratio\":%.2f}\n", date, longNo, longCk, longNo / longCk; \
+		if (serial > 0 && par > 0) \
+			printf "{\"date\":\"%s\",\"bench\":\"RecoveryRedoSpeedup/shards=16\",\"serial_redo_ns\":%s,\"parallel_redo_ns\":%s,\"speedup\":%.2f}\n", date, serial, par, serial / par }' \
+	>> BENCH_recovery.json
+
 # bench-server sweeps the CLUSTER1 workload over every protocol at 1/16/64
 # pooled connections against an in-process loopback xtcd, appending one JSON
 # line per cell (throughput + request-latency percentiles) to
@@ -115,4 +140,4 @@ bench-server:
 
 # bench-all runs every benchmark suite; any failing stage fails the target
 # (pipefail, see SHELL above).
-bench-all: bench-lock bench-wal bench-buffer bench-server
+bench-all: bench-lock bench-wal bench-buffer bench-recovery bench-server

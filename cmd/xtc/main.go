@@ -42,6 +42,9 @@ func main() {
 		recover   = flag.Bool("recover", false, "run ARIES-style recovery from -wal before opening (requires -open)")
 		shards    = flag.Int("buffer-shards", 0, "page-buffer table shards (0 = default 16; clamped to the pool size)")
 		flusher   = flag.Duration("flusher", 0, "background flusher interval for dirty pages (0 = disabled)")
+		ckptEvery = flag.Duration("checkpoint-interval", 0, "fuzzy-checkpoint cadence; flusher-driven, enables WAL segment GC (0 = disabled; requires -wal)")
+		walRetain = flag.Int("wal-retain", 0, "newest WAL segments kept by checkpoint GC (0 = default)")
+		redoShard = flag.Int("redo-shards", 0, "parallel redo shards for -recover (0 = default 16)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while running")
 		metricsFl = flag.Bool("metrics", false, "print the buffer/WAL latency digests after the run")
 	)
@@ -63,7 +66,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/ (metrics, pprof)\n", addr)
 	}
 
-	opts := storage.Options{BufferShards: *shards, FlusherInterval: *flusher, Metrics: reg}
+	opts := storage.Options{
+		BufferShards:       *shards,
+		FlusherInterval:    *flusher,
+		CheckpointInterval: *ckptEvery,
+		RedoShards:         *redoShard,
+		Metrics:            reg,
+	}
 
 	var log *wal.Log
 	if *walDir != "" {
@@ -72,13 +81,16 @@ func main() {
 			fatal(serr)
 		}
 		var lerr error
-		log, lerr = wal.Open(segs, wal.Config{Metrics: reg})
+		log, lerr = wal.Open(segs, wal.Config{Retain: *walRetain, Metrics: reg})
 		if lerr != nil {
 			fatal(lerr)
 		}
 	}
 	if *recover && (*open == "" || log == nil) {
 		fatal(fmt.Errorf("-recover requires both -open and -wal"))
+	}
+	if *ckptEvery > 0 && log == nil {
+		fatal(fmt.Errorf("-checkpoint-interval requires -wal"))
 	}
 
 	var doc *storage.Document
@@ -215,10 +227,25 @@ func printRecovery(rep *storage.RecoveryReport) {
 		winners = append(winners, txn)
 	}
 	sort.Slice(winners, func(i, j int) bool { return winners[i] < winners[j] })
-	fmt.Printf("recovery:   %d log records, %d ops redone, %d skipped, %d pages healed\n",
+	fmt.Printf("recovery:   %d log records, %d deltas redone, %d skipped, %d pages healed\n",
 		rep.Records, rep.RedoneOps, rep.SkippedOps, rep.HealedPages)
 	fmt.Printf("            committed %v, rolled back %v (%d ops undone)\n",
 		winners, rep.Losers, rep.UndoneOps)
+	if rep.CheckpointLSN != 0 {
+		fmt.Printf("            checkpoint at LSN %d bounded the scan\n", rep.CheckpointLSN)
+	}
+	var busy int
+	var maxNS int64
+	for _, ns := range rep.ShardRedoNS {
+		if ns > 0 {
+			busy++
+		}
+		if ns > maxNS {
+			maxNS = ns
+		}
+	}
+	fmt.Printf("            redo: %d shards (%d busy), slowest %v\n",
+		rep.RedoShards, busy, time.Duration(maxNS))
 }
 
 func avgSep(st btree.TreeStats) float64 {

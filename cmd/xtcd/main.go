@@ -36,6 +36,8 @@ func main() {
 		addr         = flag.String("addr", "127.0.0.1:4410", "TCP listen address")
 		docScale     = flag.Float64("doc", 0.02, "document scale per engine (1.0 = 2000 books)")
 		lockTimeout  = flag.Duration("lock-timeout", 5*time.Second, "lock-wait timeout inside each engine")
+		ckptEvery    = flag.Duration("checkpoint-interval", 0, "fuzzy-checkpoint cadence per engine; enables WAL logging + segment GC (0 disables)")
+		walRetain    = flag.Int("wal-retain", 0, "newest WAL segments kept by checkpoint GC (0 = default)")
 		maxSessions  = flag.Int("max-sessions", 256, "admission cap on concurrently open sessions")
 		queueDepth   = flag.Int("queue-depth", 16, "per-session request queue bound (excess rejected busy)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-drain budget before in-flight sessions are cut")
@@ -51,8 +53,13 @@ func main() {
 
 	logf := log.New(os.Stderr, "xtcd: ", log.LstdFlags).Printf
 	cfg := server.Config{
-		Addr:         *addr,
-		NewEngine:    bibserve.NewEngineFactory(bibserve.Options{Bib: tamix.Scaled(*docScale), LockTimeout: *lockTimeout}),
+		Addr: *addr,
+		NewEngine: bibserve.NewEngineFactory(bibserve.Options{
+			Bib:                tamix.Scaled(*docScale),
+			LockTimeout:        *lockTimeout,
+			CheckpointInterval: *ckptEvery,
+			WALRetain:          *walRetain,
+		}),
 		MaxSessions:  *maxSessions,
 		SessionQueue: *queueDepth,
 		DrainTimeout: *drainTimeout,

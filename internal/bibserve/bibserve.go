@@ -13,6 +13,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/server"
 	"repro/internal/tamix"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -23,6 +24,13 @@ type Options struct {
 	Bib tamix.BibConfig
 	// LockTimeout bounds lock waits in each engine (5s when zero).
 	LockTimeout time.Duration
+	// CheckpointInterval, when > 0, attaches an in-memory WAL to each
+	// engine's document and has the flusher take fuzzy checkpoints at this
+	// cadence (segment GC rides along, bounding log growth).
+	CheckpointInterval time.Duration
+	// WALRetain caps how many newest segments checkpoint GC keeps
+	// (wal.DefaultRetain when 0). Only meaningful with CheckpointInterval.
+	WALRetain int
 }
 
 // NewEngineFactory returns the server.Config.NewEngine implementation: build
@@ -37,12 +45,38 @@ func NewEngineFactory(opts Options) func(p protocol.Protocol, depth int) (*serve
 	if opts.LockTimeout <= 0 {
 		opts.LockTimeout = 5 * time.Second
 	}
+	if opts.CheckpointInterval > 0 {
+		opts.Bib.CheckpointInterval = opts.CheckpointInterval
+	}
 	return func(p protocol.Protocol, depth int) (*server.Engine, error) {
 		doc, cat, err := tamix.GenerateBib(pagestore.NewMemBackend(), opts.Bib)
 		if err != nil {
 			return nil, err
 		}
+		closeFn := doc.Close
+		var log *wal.Log
+		if opts.CheckpointInterval > 0 {
+			log, err = wal.Open(wal.NewMemSegmentStore(), wal.Config{Retain: opts.WALRetain})
+			if err != nil {
+				doc.Close()
+				return nil, err
+			}
+			if err := doc.AttachWAL(log); err != nil {
+				doc.Close()
+				return nil, err
+			}
+			closeFn = func() error {
+				err := doc.Close()
+				if cerr := log.Close(); err == nil {
+					err = cerr
+				}
+				return err
+			}
+		}
 		mgr := node.New(doc, p, node.Options{Depth: depth, LockTimeout: opts.LockTimeout})
+		if log != nil {
+			mgr.TxManager().SetWAL(log)
+		}
 		return &server.Engine{
 			Mgr: mgr,
 			Catalog: wire.Catalog{
@@ -50,7 +84,7 @@ func NewEngineFactory(opts Options) func(p protocol.Protocol, depth int) (*serve
 				Topics:  cat.TopicIDs,
 				Persons: cat.PersonIDs,
 			},
-			CloseFn: doc.Close,
+			CloseFn: closeFn,
 		}, nil
 	}
 }

@@ -57,11 +57,43 @@ type MemBackend struct {
 // NewMemBackend returns an empty in-memory backend.
 func NewMemBackend() *MemBackend { return &MemBackend{} }
 
+// Clone returns a deep copy of the backend's pages. The crash-recovery
+// benchmarks and the parallel-vs-serial redo oracle recover the same crash
+// image repeatedly; cloning keeps each run independent.
+func (m *MemBackend) Clone() *MemBackend {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := &MemBackend{
+		pages:            make([][]byte, len(m.pages)),
+		SimulatedLatency: m.SimulatedLatency,
+	}
+	for i, p := range m.pages {
+		c.pages[i] = append([]byte(nil), p...)
+	}
+	return c
+}
+
+// simulateIO spends SimulatedLatency as device time. Sub-millisecond
+// latencies busy-wait: time.Sleep rounds short sleeps up to scheduler
+// granularity (a millisecond or more), which would turn a simulated 20µs
+// seek into a 1ms one and swamp any benchmark built on it.
+func (m *MemBackend) simulateIO() {
+	d := m.SimulatedLatency
+	if d <= 0 {
+		return
+	}
+	if d >= time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
 // ReadPage implements Backend.
 func (m *MemBackend) ReadPage(id PageID, buf []byte) error {
-	if m.SimulatedLatency > 0 {
-		time.Sleep(m.SimulatedLatency)
-	}
+	m.simulateIO()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if int(id) >= len(m.pages) {
@@ -73,9 +105,7 @@ func (m *MemBackend) ReadPage(id PageID, buf []byte) error {
 
 // WritePage implements Backend.
 func (m *MemBackend) WritePage(id PageID, buf []byte) error {
-	if m.SimulatedLatency > 0 {
-		time.Sleep(m.SimulatedLatency)
-	}
+	m.simulateIO()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if int(id) >= len(m.pages) {

@@ -72,6 +72,18 @@ type Frame struct {
 	dirty atomic.Bool
 	// ref is the CLOCK second-chance bit, set on every Fix.
 	ref atomic.Bool
+	// recLSN is the LSN of the first log record that dirtied the page since
+	// it last went clean (0 = clean, or dirt that predates the WAL epoch).
+	// It is the page's dirty-page-table entry: a fuzzy checkpoint's redo
+	// scan must start at or before the minimum recLSN of all dirty frames.
+	// Set once per dirty epoch by Capture.Commit, cleared by markClean.
+	recLSN atomic.Uint64
+	// imaged records that a full body image of the page was logged since it
+	// last went clean. Cleared on every clean transition so the first delta
+	// after re-dirtying is upgraded to a full image again — the invariant
+	// that keeps every torn page healable from the post-redo-LSN log suffix
+	// even after WAL segments below it are garbage-collected.
+	imaged atomic.Bool
 
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -92,6 +104,17 @@ func (f *Frame) Data() []byte { return f.data }
 // MarkDirty records that the page content changed and must be written back
 // before eviction.
 func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+
+// markClean ends a dirty epoch after a successful write-back (or remap):
+// the dirty-page-table entry and the full-image flag reset together, so the
+// next dirtying starts a fresh epoch with a fresh full-image anchor. Called
+// only while the frame is claimed (frameWriting, pins 0) or freshly mapped,
+// so no capture can be stamping it concurrently.
+func (f *Frame) markClean() {
+	f.dirty.Store(false)
+	f.recLSN.Store(0)
+	f.imaged.Store(false)
+}
 
 // bufShard is one partition of the buffer pool: a page table, the frames
 // backing it, and a CLOCK hand. Fix hits take only the shard read lock plus
@@ -126,6 +149,18 @@ type Store struct {
 
 	wal     atomic.Pointer[walRef]
 	capture atomic.Pointer[Capture]
+
+	// captureFloor is the LSN floor published by the active capture: no
+	// record the capture will log has an LSN below it. DirtyPageTable reads
+	// it BEFORE scanning frames, so a page whose Commit stamp is still in
+	// flight is covered by the floor instead of its (unset) recLSN. Zero
+	// means no capture is active.
+	captureFloor atomic.Uint64
+
+	// checkpointer is the callback the background flusher invokes every
+	// Config.CheckpointInterval (installed via SetCheckpointer, typically by
+	// storage.Document.AttachWAL). Nil until installed.
+	checkpointer atomic.Pointer[func() error]
 
 	retry    RetryPolicy
 	retryMu  sync.Mutex
@@ -283,6 +318,11 @@ type Config struct {
 	// dirty unpinned frames are trickled to the backend so evictions
 	// rarely stall on a write-back. Zero or negative disables it.
 	FlusherInterval time.Duration
+	// CheckpointInterval makes the background flusher goroutine invoke the
+	// installed checkpointer (SetCheckpointer) on this cadence — the
+	// flusher-driven fuzzy checkpoints of DESIGN.md §14. Zero or negative
+	// disables it. The goroutine runs whenever either interval is set.
+	CheckpointInterval time.Duration
 	// Metrics, when non-nil, receives the buffer instruments: the buffer.*
 	// counters, fix-miss and write-back latency histograms, and per-shard
 	// hit/miss/eviction counters plus write-back latency. Nil disables all
@@ -339,8 +379,8 @@ func OpenConfig(backend Backend, cfg Config) *Store {
 		s.registerCounters(reg)
 	}
 	s.SetRetryPolicy(DefaultRetryPolicy)
-	if cfg.FlusherInterval > 0 {
-		s.startFlusher(cfg.FlusherInterval)
+	if cfg.FlusherInterval > 0 || cfg.CheckpointInterval > 0 {
+		s.startFlusher(cfg.FlusherInterval, cfg.CheckpointInterval)
 	}
 	return s
 }
@@ -366,9 +406,16 @@ func (s *Store) Shards() int { return len(s.shards) }
 // shardFor hashes a page ID onto its shard. Multiplicative hashing spreads
 // the sequential IDs Allocate hands out across all shards.
 func (s *Store) shardFor(id PageID) *bufShard {
+	return s.shards[ShardIndex(id, len(s.shards))]
+}
+
+// ShardIndex returns the shard a page ID maps to in a pool of n shards
+// (n must be a power of two). Exported so recovery can partition its
+// parallel redo pass along exactly the buffer pool's shard map.
+func ShardIndex(id PageID, n int) int {
 	h := uint32(id) * 0x9E3779B1
 	h ^= h >> 16
-	return s.shards[h&s.shardMask]
+	return int(h & uint32(n-1))
 }
 
 // Backend exposes the underlying backend (used by tests and tools).
@@ -565,7 +612,7 @@ func (sh *bufShard) alloc(id PageID) (*Frame, error) {
 			sh.mu.Unlock()
 			return nil, err
 		}
-		victim.dirty.Store(false)
+		victim.markClean()
 		s.evictions.Add(1)
 		sh.cEvictions.Add(1)
 		if _, ok := sh.pages[id]; ok {
@@ -595,7 +642,7 @@ func (sh *bufShard) mapFrameLocked(f *Frame, id PageID) {
 	f.id = id
 	f.pins.Store(1)
 	f.ref.Store(true)
-	f.dirty.Store(false)
+	f.markClean()
 	sh.pages[id] = f
 }
 
@@ -713,7 +760,7 @@ func (sh *bufShard) flushAll() error {
 		f.mu.Lock()
 		f.state = frameResident
 		if err == nil {
-			f.dirty.Store(false)
+			f.markClean()
 		}
 		f.cond.Broadcast()
 		f.mu.Unlock()

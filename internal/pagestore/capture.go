@@ -47,6 +47,10 @@ type captureEntry struct {
 	// logged is set by Deltas when the page body changed; Commit stamps
 	// only logged entries.
 	logged bool
+	// full is set by Deltas when the page's complete body was emitted (a
+	// full image); Commit then marks the frame imaged so later captures in
+	// the same dirty epoch log minimal ranges.
+	full bool
 }
 
 // Capture is one active page-image capture session. It is created by
@@ -67,12 +71,17 @@ type Capture struct {
 
 // BeginCapture starts a capture session. Until Close, every Fix/FixNew
 // snapshots the page's pre-image and Unfix calls on captured frames are
-// deferred.
-func (s *Store) BeginCapture() *Capture {
+// deferred. floor is the WAL position at which this capture's record will
+// be appended at the earliest (the log's next LSN); it is published as the
+// store's capture floor so a concurrent dirty-page-table scan can bound
+// the recLSN of pages this capture is about to dirty. Pass 0 when no WAL
+// is attached.
+func (s *Store) BeginCapture(floor uint64) *Capture {
 	c := &Capture{s: s, entries: make(map[PageID]*captureEntry)}
 	if !s.capture.CompareAndSwap(nil, c) {
 		panic("pagestore: nested capture")
 	}
+	s.captureFloor.Store(floor)
 	return c
 }
 
@@ -118,12 +127,14 @@ func (c *Capture) deferUnfix(f *Frame) bool {
 }
 
 // Deltas diffs every captured page body against its pre-image and returns
-// the changed ranges in page-touch order. Pages whose needFull callback
-// returns true contribute their complete body instead of a minimal range
-// (used for first-touch full images, the torn-page healing anchor). The
-// header bytes are excluded: pageLSN and checksum are recovery metadata,
-// not logged content.
-func (c *Capture) Deltas(needFull func(PageID) bool) []PageDelta {
+// the changed ranges in page-touch order. A page that has no full body
+// image in the log since it last went clean (the frame's imaged bit is
+// unset) contributes its complete body instead of a minimal range — the
+// torn-page healing anchor: recovery can rebuild the page from the log
+// alone, and the image sits at exactly the page's recLSN, so a
+// checkpoint-bounded redo scan always covers it. The header bytes are
+// excluded: pageLSN and checksum are recovery metadata, not logged content.
+func (c *Capture) Deltas() []PageDelta {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []PageDelta
@@ -134,8 +145,9 @@ func (c *Capture) Deltas(needFull func(PageID) bool) []PageDelta {
 			continue
 		}
 		e.logged = true
-		if needFull != nil && needFull(id) {
+		if !e.f.imaged.Load() {
 			lo, hi = PageHeaderSize, PageSize
+			e.full = true
 		}
 		data := make([]byte, hi-lo)
 		copy(data, e.f.data[lo:hi])
@@ -178,6 +190,12 @@ func (c *Capture) Commit(lsn uint64) {
 			continue
 		}
 		SetPageLSN(e.f.data, lsn)
+		// First record to dirty the page this epoch wins the recLSN; the
+		// CAS keeps an already-dirty page's earlier recLSN intact.
+		e.f.recLSN.CompareAndSwap(0, lsn)
+		if e.full {
+			e.f.imaged.Store(true)
+		}
 		e.f.dirty.Store(true)
 	}
 }
@@ -191,6 +209,7 @@ func (c *Capture) Close() {
 	if !c.s.capture.CompareAndSwap(c, nil) {
 		panic("pagestore: capture closed twice or out of order")
 	}
+	c.s.captureFloor.Store(0)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true

@@ -10,21 +10,41 @@ import "time"
 // buffer) and the transient-retry policy apply unchanged. A failed trickle
 // leaves the frame dirty — it is simply retried on a later pass or, at the
 // latest, by the evictor — and is counted in Stats.FlusherErrors.
+//
+// The same goroutine also drives fuzzy checkpoints: when a checkpoint
+// interval is configured and a checkpointer has been installed (see
+// SetCheckpointer), each checkpoint tick invokes it. Checkpoint errors are
+// swallowed here — the WAL layer owns checkpoint bookkeeping and a failed
+// checkpoint merely delays truncation; the next tick retries.
 
-// startFlusher launches the background flusher goroutine.
-func (s *Store) startFlusher(interval time.Duration) {
+// startFlusher launches the background flusher goroutine. Either interval
+// may be zero, which disables that duty (a nil ticker channel never fires).
+func (s *Store) startFlusher(flushEvery, ckptEvery time.Duration) {
 	s.flusherStop = make(chan struct{})
 	s.flusherWG.Add(1)
 	go func() {
 		defer s.flusherWG.Done()
-		t := time.NewTicker(interval)
-		defer t.Stop()
+		var flushC, ckptC <-chan time.Time
+		if flushEvery > 0 {
+			t := time.NewTicker(flushEvery)
+			defer t.Stop()
+			flushC = t.C
+		}
+		if ckptEvery > 0 {
+			t := time.NewTicker(ckptEvery)
+			defer t.Stop()
+			ckptC = t.C
+		}
 		for {
 			select {
 			case <-s.flusherStop:
 				return
-			case <-t.C:
+			case <-flushC:
 				s.FlushDirty()
+			case <-ckptC:
+				if fn := s.checkpointer.Load(); fn != nil {
+					_ = (*fn)()
+				}
 			}
 		}
 	}()
@@ -80,7 +100,7 @@ func (sh *bufShard) trickle() {
 		f.mu.Lock()
 		f.state = frameResident
 		if err == nil {
-			f.dirty.Store(false)
+			f.markClean()
 			s.flusherWrites.Add(1)
 		} else {
 			s.flusherErrors.Add(1)

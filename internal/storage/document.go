@@ -55,13 +55,14 @@ type Document struct {
 
 	// Write-ahead logging state, all guarded by latch. wal is nil until
 	// AttachWAL; from then on every structural mutation runs inside a page
-	// capture and appends one RecOp (see logOp in txdoc.go). walImaged
-	// tracks which pages have logged a full body image since attach (the
-	// first-touch full-page-image rule that makes torn pages healable).
-	// walMeta is the signature of the last logged metadata page content.
-	wal       *wal.Log
-	walImaged map[pagestore.PageID]bool
-	walMeta   metaSig
+	// capture and appends one RecOp (see logOp in txdoc.go). Full-image
+	// upgrades (the torn-page healing anchor) are tracked per frame by the
+	// buffer pool's imaged bit, which resets on every clean transition so a
+	// checkpoint-bounded redo scan always finds an image at the page's
+	// recLSN. walMeta is the signature of the last logged metadata page
+	// content.
+	wal     *wal.Log
+	walMeta metaSig
 }
 
 // Options configure document creation.
@@ -76,6 +77,14 @@ type Options struct {
 	// FlusherInterval enables the buffer pool's background flusher
 	// (disabled if zero).
 	FlusherInterval time.Duration
+	// CheckpointInterval makes the flusher goroutine take a fuzzy
+	// checkpoint on this cadence once a WAL is attached (disabled if
+	// zero). Checkpoints bound both restart time and WAL disk usage.
+	CheckpointInterval time.Duration
+	// RedoShards is the parallelism of recovery's redo pass (Recover
+	// partitions pages with the buffer pool's shard map). Zero means
+	// DefaultRedoShards; 1 forces serial redo.
+	RedoShards int
 	// Metrics, when non-nil, receives the buffer pool's instruments (the
 	// buffer.* namespace); run harnesses pass one registry through every
 	// layer so the run report is a single document.
@@ -85,10 +94,11 @@ type Options struct {
 // bufferConfig translates the options into a pagestore configuration.
 func (o Options) bufferConfig() pagestore.Config {
 	return pagestore.Config{
-		Frames:          o.BufferFrames,
-		Shards:          o.BufferShards,
-		FlusherInterval: o.FlusherInterval,
-		Metrics:         o.Metrics,
+		Frames:             o.BufferFrames,
+		Shards:             o.BufferShards,
+		FlusherInterval:    o.FlusherInterval,
+		CheckpointInterval: o.CheckpointInterval,
+		Metrics:            o.Metrics,
 	}
 }
 

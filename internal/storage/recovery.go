@@ -7,24 +7,32 @@ package storage
 //
 //  1. Analysis — one log scan classifies transactions: a RecCommit makes a
 //     winner, a RecEnd closes a transaction (committed or fully rolled
-//     back), anything else with logged operations is a loser.
+//     back), anything else with logged operations is a loser. With a fuzzy
+//     checkpoint on record (the master pointer, see wal/checkpoint.go) the
+//     scan starts at min(checkpoint redo LSN, oldest active transaction's
+//     first LSN) instead of LSN 0, so restart work is proportional to
+//     work-since-checkpoint, not total history.
 //
-//  2. Redo — repeating history: every RecOp's page deltas are applied in
-//     log order to an in-memory page image, conditional on the page's
-//     stamped pageLSN (a page already carrying LSN >= the record's was
-//     written back after that operation and is skipped). Pages whose
+//  2. Redo — repeating history: every RecOp's page deltas at or above the
+//     checkpoint's redo LSN are applied in log order, conditional on the
+//     page's stamped pageLSN (a page already carrying LSN >= the record's
+//     was written back after that operation and is skipped). The scan
+//     groups deltas into per-page chains, partitions the pages across
+//     shards with the buffer pool's shard map, and replays the shards in
+//     parallel — pages are independent under physiological logging, and
+//     each page's chain stays in LSN order within its shard. Pages whose
 //     on-disk checksum fails — torn by a crash mid-writeback — are reset
-//     and rebuilt from their first logged full-page image; every page
-//     written back during the WAL epoch logged one (the first-touch image
-//     rule in logOp), so a torn page is always healable. Redone pages are
-//     checksummed and written back before the document is opened.
+//     and rebuilt from a full-page image; every dirty epoch logs one at
+//     the page's recLSN (>= the redo LSN by the checkpoint invariants), so
+//     a torn page is always healable from the bounded scan. Redone pages
+//     are checksummed and written back before the document is opened.
 //
 //  3. Undo — losers roll back by applying their logical undo payloads in
 //     reverse log order through the normal logged-mutation path, so
 //     compensations are themselves durable; a RecEnd per loser then makes
-//     repeated recovery skip them. Compensations logged by a crashed
-//     runtime abort carry their own inverses, so reverse-order undo
-//     telescopes through a half-finished rollback correctly.
+//     repeated recovery skip them. The truncation point never passes an
+//     active transaction's first record, so every loser record survives
+//     segment GC and sits inside the analysis scan.
 //
 // Running Recover twice (or crashing during recovery and recovering again)
 // converges on the same state: redo is pageLSN-conditional, undo is
@@ -33,20 +41,32 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/pagestore"
 	"repro/internal/wal"
 )
 
+// DefaultRedoShards is the redo parallelism when Options.RedoShards is 0.
+const DefaultRedoShards = 16
+
 // RecoveryReport summarizes a Recover run.
 type RecoveryReport struct {
 	Records     int             // log records scanned
-	RedoneOps   int             // RecOp records whose deltas were (re)applied
-	SkippedOps  int             // RecOp records fully absorbed by pageLSNs
+	RedoneOps   int             // page deltas (re)applied
+	SkippedOps  int             // page deltas absorbed by pageLSNs
 	HealedPages int             // pages with failed checksums rebuilt from full images
 	Committed   map[uint64]bool // transactions with a durable commit record
 	Losers      []uint64        // transactions rolled back by this run
 	UndoneOps   int             // undo payloads applied during rollback
+	// CheckpointLSN is the checkpoint the scan started from (0 = none,
+	// full-history scan).
+	CheckpointLSN wal.LSN
+	// RedoShards is the parallelism the redo pass ran at.
+	RedoShards int
+	// ShardRedoNS is each redo shard's wall-clock nanoseconds.
+	ShardRedoNS []int64
 }
 
 // loserOp is one undoable operation of an unfinished transaction.
@@ -56,52 +76,54 @@ type loserOp struct {
 	undo []byte
 }
 
+// redoDelta is one page's slice of a RecOp, queued for shard replay.
+type redoDelta struct {
+	lsn  wal.LSN
+	full bool
+	off  int
+	data []byte
+}
+
 // Recover restarts a document from backend and its write-ahead log. The
 // log must already be reopened post-crash (wal.Open truncates any torn
-// tail). The returned document has the log attached and is fully
-// consistent: effects of committed transactions are present, effects of
-// unfinished ones are rolled back and their rollbacks logged.
+// tail and locates the latest checkpoint via the master record). The
+// returned document has the log attached and is fully consistent: effects
+// of committed transactions are present, effects of unfinished ones are
+// rolled back and their rollbacks logged.
 func Recover(backend pagestore.Backend, log *wal.Log, opts Options) (*Document, *RecoveryReport, error) {
 	rep := &RecoveryReport{Committed: make(map[uint64]bool)}
 
-	// Pass 1+2 share one scan: classify transactions and redo page state.
-	// pages holds the in-memory after-image of every page the log touches;
-	// dirty marks those that differ from (or never reached) the backend.
-	pages := make(map[pagestore.PageID][]byte)
-	dirty := make(map[pagestore.PageID]bool)
-	torn := make(map[pagestore.PageID]bool)
+	// Scan bounds from the latest checkpoint: redo needs records from the
+	// redo LSN; undo needs records from the oldest active transaction's
+	// first LSN, which can be older. One scan from the minimum serves both.
+	var scanFrom, redoFrom wal.LSN
+	if ckpt := log.LatestCheckpoint(); ckpt != nil {
+		rep.CheckpointLSN = ckpt.LSN
+		redoFrom = ckpt.RedoLSN
+		scanFrom = redoFrom
+		for _, e := range ckpt.Active {
+			if e.FirstLSN < scanFrom {
+				scanFrom = e.FirstLSN
+			}
+		}
+	}
+
+	// Analysis: classify transactions and collect per-page redo chains.
+	chains := make(map[pagestore.PageID][]redoDelta)
 	seen := make(map[uint64]bool)
 	ended := make(map[uint64]bool)
 	undoLog := make(map[uint64][]loserOp)
 
-	load := func(id pagestore.PageID) []byte {
-		if p, ok := pages[id]; ok {
-			return p
-		}
-		p := make([]byte, pagestore.PageSize)
-		if id < backend.NumPages() {
-			if err := backend.ReadPage(id, p); err != nil || pagestore.VerifyChecksum(id, p) != nil {
-				// Unreadable or torn: reset and rebuild from the log. The
-				// page stays unusable unless a full image arrives, which
-				// the torn map enforces below.
-				for i := range p {
-					p[i] = 0
-				}
-				torn[id] = true
-				rep.HealedPages++
-			}
-		}
-		pages[id] = p
-		return p
-	}
-
-	err := log.Scan(func(r wal.Record) error {
+	err := log.ScanFrom(scanFrom, func(r wal.Record) error {
 		rep.Records++
 		switch r.Type {
 		case wal.RecCommit:
 			rep.Committed[r.Txn] = true
 		case wal.RecEnd:
 			ended[r.Txn] = true
+		case wal.RecCheckpoint:
+			// Informational: the authoritative checkpoint comes from the
+			// master pointer, already consumed above.
 		case wal.RecOp:
 			undo, deltas, err := wal.DecodeOp(r.Payload)
 			if err != nil {
@@ -113,24 +135,19 @@ func Recover(backend pagestore.Backend, log *wal.Log, opts Options) (*Document, 
 					undoLog[r.Txn] = append(undoLog[r.Txn], loserOp{r.LSN, r.Txn, undo})
 				}
 			}
-			applied := false
-			for _, dl := range deltas {
-				p := load(dl.Page)
-				if dl.FullImage() {
-					torn[dl.Page] = false
-				}
-				if pagestore.PageLSN(p) >= r.LSN {
-					continue // writeback already carried this operation
-				}
-				copy(p[dl.Off:], dl.Data)
-				pagestore.SetPageLSN(p, r.LSN)
-				dirty[dl.Page] = true
-				applied = true
+			if r.LSN < redoFrom {
+				// Below the redo LSN every page effect is durable (else the
+				// page's recLSN would have pulled the redo LSN down); the
+				// record was scanned only for its undo payload.
+				return nil
 			}
-			if applied {
-				rep.RedoneOps++
-			} else if len(deltas) > 0 {
-				rep.SkippedOps++
+			for _, dl := range deltas {
+				chains[dl.Page] = append(chains[dl.Page], redoDelta{
+					lsn:  r.LSN,
+					full: dl.FullImage(),
+					off:  dl.Off,
+					data: dl.Data,
+				})
 			}
 		}
 		return nil
@@ -138,39 +155,9 @@ func Recover(backend pagestore.Backend, log *wal.Log, opts Options) (*Document, 
 	if err != nil {
 		return nil, rep, err
 	}
-	for id, t := range torn {
-		if t {
-			return nil, rep, fmt.Errorf("storage: recovery: page %d is corrupt and the log holds no full image", id)
-		}
-	}
 
-	// Materialize redone pages. Pages referenced beyond the backend's size
-	// were allocated by the crashed run but never written back.
-	if len(dirty) > 0 {
-		maxPage := pagestore.PageID(0)
-		for id := range dirty {
-			if id > maxPage {
-				maxPage = id
-			}
-		}
-		for backend.NumPages() <= maxPage {
-			if _, err := backend.Allocate(); err != nil {
-				return nil, rep, err
-			}
-		}
-		for id, d := range dirty {
-			if !d {
-				continue
-			}
-			p := pages[id]
-			pagestore.StampChecksum(p)
-			if err := backend.WritePage(id, p); err != nil {
-				return nil, rep, err
-			}
-		}
-		if err := backend.Sync(); err != nil {
-			return nil, rep, err
-		}
+	if err := redoChains(backend, chains, opts, rep); err != nil {
+		return nil, rep, err
 	}
 
 	// Reopen the document over the repaired backend and re-arm logging.
@@ -220,4 +207,125 @@ func Recover(backend pagestore.Backend, log *wal.Log, opts Options) (*Document, 
 		return nil, rep, err
 	}
 	return d, rep, nil
+}
+
+// redoChains replays the per-page delta chains against the backend,
+// partitioned across shards by the buffer pool's page-shard map. Pages are
+// independent (physiological logging confines every delta to one page), so
+// shards share nothing but the backend, and each page's chain replays in
+// LSN order within its shard.
+func redoChains(backend pagestore.Backend, chains map[pagestore.PageID][]redoDelta, opts Options, rep *RecoveryReport) error {
+	nShards := opts.RedoShards
+	if nShards <= 0 {
+		nShards = DefaultRedoShards
+	}
+	// ShardIndex masks with n-1, so round up to a power of two.
+	pow := 1
+	for pow < nShards {
+		pow <<= 1
+	}
+	nShards = pow
+	rep.RedoShards = nShards
+	rep.ShardRedoNS = make([]int64, nShards)
+	if len(chains) == 0 {
+		return nil
+	}
+
+	// Pages beyond the backend were allocated by the crashed run but never
+	// written back; extend serially before the parallel pass (Allocate
+	// appends, so concurrent extension would race).
+	maxPage := pagestore.PageID(0)
+	for id := range chains {
+		if id > maxPage {
+			maxPage = id
+		}
+	}
+	for backend.NumPages() <= maxPage {
+		if _, err := backend.Allocate(); err != nil {
+			return err
+		}
+	}
+
+	shardPages := make([][]pagestore.PageID, nShards)
+	for id := range chains {
+		s := pagestore.ShardIndex(id, nShards)
+		shardPages[s] = append(shardPages[s], id)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards rep counters and firstErr
+		firstErr error
+	)
+	for s := 0; s < nShards; s++ {
+		if len(shardPages[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			start := time.Now()
+			redone, skipped, healed := 0, 0, 0
+			var shardErr error
+			buf := make([]byte, pagestore.PageSize)
+			for _, id := range shardPages[s] {
+				for i := range buf {
+					buf[i] = 0
+				}
+				torn := false
+				if err := backend.ReadPage(id, buf); err != nil || pagestore.VerifyChecksum(id, buf) != nil {
+					// Unreadable or torn: reset and rebuild from the log.
+					// The page stays unusable unless a full image arrives.
+					for i := range buf {
+						buf[i] = 0
+					}
+					torn = true
+					healed++
+				}
+				applied := false
+				for _, dl := range chains[id] {
+					if dl.full {
+						torn = false
+					}
+					if pagestore.PageLSN(buf) >= dl.lsn {
+						skipped++
+						continue // writeback already carried this operation
+					}
+					copy(buf[dl.off:], dl.data)
+					pagestore.SetPageLSN(buf, dl.lsn)
+					applied = true
+					redone++
+				}
+				if torn {
+					shardErr = fmt.Errorf("storage: recovery: page %d is corrupt and the log holds no full image", id)
+					break
+				}
+				if applied {
+					pagestore.StampChecksum(buf)
+					if err := backend.WritePage(id, buf); err != nil {
+						shardErr = err
+						break
+					}
+				}
+			}
+			elapsed := time.Since(start).Nanoseconds()
+			mu.Lock()
+			rep.RedoneOps += redone
+			rep.SkippedOps += skipped
+			rep.HealedPages += healed
+			rep.ShardRedoNS[s] = elapsed
+			if shardErr != nil && firstErr == nil {
+				firstErr = shardErr
+			}
+			mu.Unlock()
+			if c := opts.Metrics.Counter(fmt.Sprintf("recovery.redo_ns.shard%02d", s)); c != nil {
+				c.Add(uint64(elapsed))
+			}
+		}(s)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return backend.Sync()
 }

@@ -1,0 +1,122 @@
+// BenchmarkRecovery measures restart latency: crash a TaMix burst once per
+// configuration, then repeatedly recover clones of the crash image. The
+// grid crosses WAL length (burst size) × checkpointing (off / every 3 ops
+// per worker) × redo parallelism (1 / 16 shards), so BENCH_recovery.json
+// shows both effects the design promises: checkpoints bound restart work by
+// work-since-checkpoint instead of total history, and shard-parallel redo
+// overlaps per-page I/O.
+package storage_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/pagestore"
+	"repro/internal/storage"
+	"repro/internal/tamix"
+	"repro/internal/wal"
+)
+
+func BenchmarkRecovery(b *testing.B) {
+	// Per-page backend latency on the recovered clones: redo and the final
+	// flush pay it, so parallel redo has real I/O to overlap. Clones only —
+	// image generation stays fast. (time.Sleep granularity makes the
+	// effective cost closer to a disk seek than the nominal value, which is
+	// the point.)
+	const pageLatency = 20 * time.Microsecond
+
+	for _, ops := range []int{40, 160} {
+		for _, ckptEvery := range []int{0, 3} {
+			cfg := tamix.CrashConfig{
+				Seed:            9000 + int64(ops)*7 + int64(ckptEvery),
+				OpsPerWorker:    ops,
+				CheckpointEvery: ckptEvery,
+			}
+			// A bigger document than the crash matrix uses, so redo touches
+			// enough distinct pages to parallelize; the trickle flusher keeps
+			// the dirty-page table small, which is what lets a checkpoint
+			// advance the redo LSN past already-durable history.
+			cfg.Bib = tamix.Scaled(0.15)
+			cfg.Bib.BufferFrames = 64
+			cfg.Bib.FlusherInterval = time.Millisecond
+			out, err := tamix.CrashBurst(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mem, ok := out.Backend.(*pagestore.MemBackend)
+			if !ok {
+				b.Fatalf("benchmark needs a raw MemBackend, got %T", out.Backend)
+			}
+			for _, shards := range []int{1, 16} {
+				name := fmt.Sprintf("ops=%d/ckpt=%v/shards=%d", 3*ops, ckptEvery > 0, shards)
+				b.Run(name, func(b *testing.B) {
+					benchRecover(b, mem, out, shards, pageLatency)
+				})
+			}
+		}
+	}
+
+	// The redo-heavy image: no trickle flusher and a small pool, so the
+	// crash leaves deltas outstanding against many distinct pages and the
+	// redo pass is the bulk of restart. This is the cell where shard
+	// parallelism pays; the redo_ns metric is the redo critical path
+	// (slowest shard), isolated from the rest of restart.
+	cfg := tamix.CrashConfig{Seed: 9997, Workers: 8, OpsPerWorker: 300}
+	cfg.Bib = tamix.Scaled(0.15)
+	cfg.Bib.BufferFrames = 32
+	out, err := tamix.CrashBurst(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem, ok := out.Backend.(*pagestore.MemBackend)
+	if !ok {
+		b.Fatalf("benchmark needs a raw MemBackend, got %T", out.Backend)
+	}
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("redo=heavy/shards=%d", shards), func(b *testing.B) {
+			benchRecover(b, mem, out, shards, pageLatency)
+		})
+	}
+}
+
+// benchRecover times one recovery configuration over clones of a crash
+// image, reporting the scan size and the redo critical path alongside
+// ns/op.
+func benchRecover(b *testing.B, mem *pagestore.MemBackend, out *tamix.CrashOutcome, shards int, lat time.Duration) {
+	var records int
+	var redoNS int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		backend := mem.Clone()
+		backend.SimulatedLatency = lat
+		segs := out.Segments.Clone()
+		b.StartTimer()
+
+		log, err := wal.Open(segs, wal.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := out.Opts
+		opts.RedoShards = shards
+		d, rep, err := storage.Recover(backend, log, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		records = rep.Records
+		redoNS = 0
+		for _, ns := range rep.ShardRedoNS {
+			if ns > redoNS {
+				redoNS = ns
+			}
+		}
+
+		b.StopTimer()
+		if err := d.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(records), "records")
+	b.ReportMetric(float64(redoNS), "redo_ns")
+}

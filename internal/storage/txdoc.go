@@ -71,10 +71,31 @@ func (d *Document) AttachWAL(log *wal.Log) error {
 		return err
 	}
 	d.wal = log
-	d.walImaged = make(map[pagestore.PageID]bool)
 	d.walMeta = d.metaSig()
 	d.store.SetWAL(log)
+	// Wire the buffer pool's checkpoint tick (Options.CheckpointInterval)
+	// to the log: each tick takes one fuzzy checkpoint over this
+	// document's dirty-page table.
+	d.store.SetCheckpointer(func() error {
+		_, err := d.Checkpoint()
+		return err
+	})
 	return nil
+}
+
+// Checkpoint takes one fuzzy checkpoint of the attached WAL: the log
+// snapshots its active-transaction table, collects the buffer pool's
+// dirty-page table, appends and forces a checkpoint record, repoints the
+// master record, and GCs fully-truncated segments. Writers are not
+// quiesced. Returns the checkpoint record's LSN.
+func (d *Document) Checkpoint() (wal.LSN, error) {
+	log := d.WAL()
+	if log == nil {
+		return 0, errors.New("storage: no WAL attached")
+	}
+	return log.Checkpoint(func() ([]pagestore.DirtyPage, uint64) {
+		return d.store.DirtyPageTable()
+	})
 }
 
 // WAL returns the attached log (nil when logging is off).
@@ -115,7 +136,10 @@ func (d *Document) logOp(txn uint64, fn func() (undo []byte, err error)) error {
 		_, err := fn()
 		return err
 	}
-	cap := d.store.BeginCapture()
+	// The capture floor is the log position this operation's record cannot
+	// precede; publishing it lets a concurrent checkpoint's dirty-page
+	// scan bound the records of pages this capture is about to dirty.
+	cap := d.store.BeginCapture(d.wal.NextLSN())
 	defer cap.Close()
 	undo, opErr := fn()
 	if opErr != nil {
@@ -127,7 +151,7 @@ func (d *Document) logOp(txn uint64, fn func() (undo []byte, err error)) error {
 			d.walMeta = sig
 		}
 	}
-	deltas := cap.Deltas(func(id pagestore.PageID) bool { return !d.walImaged[id] })
+	deltas := cap.Deltas()
 	if len(deltas) == 0 && len(undo) == 0 {
 		if opErr != nil {
 			return opErr
@@ -136,9 +160,6 @@ func (d *Document) logOp(txn uint64, fn func() (undo []byte, err error)) error {
 	}
 	lsn, appendErr := d.wal.AppendOp(txn, undo, deltas)
 	if appendErr == nil {
-		for _, dl := range deltas {
-			d.walImaged[dl.Page] = true
-		}
 		cap.Commit(lsn)
 	}
 	switch {

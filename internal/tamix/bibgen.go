@@ -42,6 +42,9 @@ type BibConfig struct {
 	// FlusherInterval enables the buffer pool's background flusher
 	// (disabled when zero).
 	FlusherInterval time.Duration
+	// CheckpointInterval enables flusher-driven fuzzy checkpoints on the
+	// document's WAL (disabled when zero; requires an attached WAL).
+	CheckpointInterval time.Duration
 	// Metrics, when non-nil, receives the document's buffer-pool
 	// instruments (the buffer.* namespace). Generation traffic is recorded
 	// too; harnesses that only want measurement-interval numbers snapshot
@@ -103,11 +106,12 @@ type Catalog struct {
 // with the catalog of jump targets.
 func GenerateBib(backend pagestore.Backend, cfg BibConfig) (*storage.Document, *Catalog, error) {
 	doc, err := storage.Create(backend, "bib", storage.Options{
-		Dist:            cfg.Dist,
-		BufferFrames:    cfg.BufferFrames,
-		BufferShards:    cfg.BufferShards,
-		FlusherInterval: cfg.FlusherInterval,
-		Metrics:         cfg.Metrics,
+		Dist:               cfg.Dist,
+		BufferFrames:       cfg.BufferFrames,
+		BufferShards:       cfg.BufferShards,
+		FlusherInterval:    cfg.FlusherInterval,
+		CheckpointInterval: cfg.CheckpointInterval,
+		Metrics:            cfg.Metrics,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -49,6 +49,17 @@ type CrashConfig struct {
 	// SegmentSize is the WAL segment size (default 32 KiB, small enough
 	// that bursts rotate segments).
 	SegmentSize int
+	// CheckpointEvery, when > 0, makes each worker take a fuzzy checkpoint
+	// every Nth operation, so bursts crash with checkpoints (and possibly
+	// truncated segments) on record.
+	CheckpointEvery int
+	// Retain caps how many newest segments checkpoint GC keeps
+	// (wal.DefaultRetain when 0).
+	Retain int
+	// CheckpointCrashAt crashes the log during the Nth checkpoint, at the
+	// phase given by CheckpointCrashPhase (see wal.Config).
+	CheckpointCrashAt    uint64
+	CheckpointCrashPhase int
 	// LockTimeout bounds lock waits (default 25 ms).
 	LockTimeout time.Duration
 	// Bib sizes the base document (default Scaled(0.02) with a small
@@ -124,6 +135,7 @@ type crashWorker struct {
 	rng  *rand.Rand
 	mgr  *node.Manager
 	log  *wal.Log
+	doc  *storage.Document
 	cfg  *CrashConfig
 	root splid.ID
 
@@ -212,6 +224,13 @@ func (w *crashWorker) run() {
 		if w.log.Crashed() {
 			return
 		}
+		if w.cfg.CheckpointEvery > 0 && i > 0 && i%w.cfg.CheckpointEvery == 0 {
+			// Fuzzy checkpoint mid-burst; other workers keep mutating. A
+			// scheduled checkpoint crash surfaces here as ErrCrashed.
+			if _, err := w.doc.Checkpoint(); err != nil && crashed(err) {
+				return
+			}
+		}
 		p := w.plan()
 		t := w.mgr.Begin(tx.LevelRepeatable)
 		w.pending[t.ID()] = map[string]MarkerState{p.marker: p.next}
@@ -293,8 +312,11 @@ func CrashBurst(cfg CrashConfig) (*CrashOutcome, error) {
 
 	segs := wal.NewMemSegmentStore()
 	log, err := wal.Open(segs, wal.Config{
-		SegmentSize:       cfg.SegmentSize,
-		CrashAfterAppends: cfg.CrashAfterAppends,
+		SegmentSize:          cfg.SegmentSize,
+		CrashAfterAppends:    cfg.CrashAfterAppends,
+		Retain:               cfg.Retain,
+		CrashAtCheckpoint:    cfg.CheckpointCrashAt,
+		CheckpointCrashPhase: cfg.CheckpointCrashPhase,
 	})
 	if err != nil {
 		return nil, err
@@ -317,6 +339,7 @@ func CrashBurst(cfg CrashConfig) (*CrashOutcome, error) {
 			rng:       rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
 			mgr:       mgr,
 			log:       log,
+			doc:       doc,
 			cfg:       &cfg,
 			root:      doc.Root(),
 			committed: make(map[string]MarkerState),

@@ -11,6 +11,7 @@ package tx
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -172,6 +173,14 @@ type Manager struct {
 	committed atomic.Uint64
 	aborted   atomic.Uint64
 
+	// active tracks every transaction begun but not yet finished, for the
+	// ActiveTxns snapshot checkpoints and diagnostics read. The WAL keeps
+	// its own active-transaction table from the record stream (which only
+	// sees transactions with logged work); this one also covers read-only
+	// transactions that never log.
+	activeMu sync.Mutex
+	active   map[uint64]*Txn
+
 	// Latency histograms (nil without SetMetrics): the Commit call (undo
 	// discard + durability force + lock release) and the Abort call
 	// (rollback + lock release).
@@ -182,7 +191,27 @@ type Manager struct {
 // NewManager builds a transaction manager over lm (which may be nil only if
 // every transaction uses isolation level none).
 func NewManager(lm *lock.Manager) *Manager {
-	return &Manager{lm: lm}
+	return &Manager{lm: lm, active: make(map[uint64]*Txn)}
+}
+
+// ActiveTxns returns the IDs of all transactions begun but not yet
+// committed or aborted, in ascending order.
+func (m *Manager) ActiveTxns() []uint64 {
+	m.activeMu.Lock()
+	out := make([]uint64, 0, len(m.active))
+	for id := range m.active {
+		out = append(out, id)
+	}
+	m.activeMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// dropActive removes a finished transaction from the active table.
+func (m *Manager) dropActive(id uint64) {
+	m.activeMu.Lock()
+	delete(m.active, id)
+	m.activeMu.Unlock()
 }
 
 // LockManager returns the underlying lock manager.
@@ -225,6 +254,9 @@ func (m *Manager) Begin(iso Level) *Txn {
 	if iso != LevelNone && m.lm != nil {
 		t.ltx = m.lm.Begin()
 	}
+	m.activeMu.Lock()
+	m.active[t.id] = t
+	m.activeMu.Unlock()
 	return t
 }
 
@@ -257,6 +289,7 @@ func (t *Txn) Commit() error {
 	t.status = StatusCommitted
 	t.undo = nil
 	t.mu.Unlock()
+	t.mgr.dropActive(t.id)
 	if t.ltx != nil {
 		t.mgr.lm.ReleaseAll(t.ltx)
 	}
@@ -279,6 +312,7 @@ func (t *Txn) Abort() error {
 	undo := t.undo
 	t.undo = nil
 	t.mu.Unlock()
+	t.mgr.dropActive(t.id)
 	t0 := t.mgr.hAbort.Start()
 
 	var errs []error

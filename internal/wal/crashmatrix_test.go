@@ -86,6 +86,199 @@ func TestCrashMatrixTornWriteback(t *testing.T) {
 	}
 }
 
+// TestCrashMatrixCheckpointedBurst sweeps seeds over bursts that take fuzzy
+// checkpoints (and GC segments) while running, then suffer an ordinary
+// log-side crash. Recovery must start from the surviving checkpoint and the
+// truncated log must still hold everything it needs.
+func TestCrashMatrixCheckpointedBurst(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			out, err := tamix.CrashBurst(tamix.CrashConfig{
+				Seed:              int64(2000 + seed),
+				CheckpointEvery:   3 + seed%4,
+				CrashAfterAppends: uint64(60 + seed*17%200),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := recoverAndAudit(t, out)
+			if out.LogStats.Checkpoints > 0 && rep.CheckpointLSN == 0 {
+				t.Errorf("burst took %d checkpoints but recovery scanned from LSN 0",
+					out.LogStats.Checkpoints)
+			}
+		})
+	}
+}
+
+// TestCrashMatrixMidCheckpoint crashes during the checkpoint itself, after
+// the checkpoint record is forced but before the master pointer moves
+// (phase 1). The master still names the previous checkpoint (or none), and
+// recovery from that older anchor must stay correct.
+func TestCrashMatrixMidCheckpoint(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			out, err := tamix.CrashBurst(tamix.CrashConfig{
+				Seed:                 int64(3000 + seed),
+				CheckpointEvery:      2 + seed%3,
+				CheckpointCrashAt:    uint64(1 + seed%5),
+				CheckpointCrashPhase: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recoverAndAudit(t, out)
+		})
+	}
+}
+
+// TestCrashMatrixMasterBeforeGC crashes between the master-pointer update
+// and segment GC (phase 2): the new checkpoint is authoritative but every
+// pre-checkpoint segment is still on disk. Recovery must anchor at the new
+// checkpoint and ignore the un-collected garbage.
+func TestCrashMatrixMasterBeforeGC(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			out, err := tamix.CrashBurst(tamix.CrashConfig{
+				Seed:                 int64(4000 + seed),
+				CheckpointEvery:      2 + seed%3,
+				CheckpointCrashAt:    uint64(2 + seed%5),
+				CheckpointCrashPhase: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := recoverAndAudit(t, out)
+			if out.LogStats.CheckpointLSN != 0 && rep.CheckpointLSN != out.LogStats.CheckpointLSN {
+				t.Errorf("recovery anchored at LSN %d, want the durable master's %d",
+					rep.CheckpointLSN, out.LogStats.CheckpointLSN)
+			}
+		})
+	}
+}
+
+// TestCrashMatrixDuringGC crashes mid segment GC (phase 3): the master
+// already points past the removed segments, some removable segments are
+// gone and some linger. Oldest-first removal keeps the survivors
+// contiguous, so reopening must re-anchor and recover cleanly.
+func TestCrashMatrixDuringGC(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			out, err := tamix.CrashBurst(tamix.CrashConfig{
+				Seed:                 int64(6000 + seed),
+				CheckpointEvery:      2 + seed%3,
+				SegmentSize:          8 << 10, // small segments so GC has work
+				CheckpointCrashAt:    uint64(2 + seed%6),
+				CheckpointCrashPhase: 3,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			recoverAndAudit(t, out)
+		})
+	}
+}
+
+// copyToDisk mirrors a crashed in-memory segment store (segments plus
+// master record) into a file-backed store, reproducing the burst's residue
+// as a directory on disk.
+func copyToDisk(t *testing.T, mem *wal.MemSegmentStore, dir string) *wal.FileSegmentStore {
+	t.Helper()
+	fs, err := wal.NewFileSegmentStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxs, err := mem.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range idxs {
+		data, err := mem.ReadAll(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seg, err := fs.Create(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := seg.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		if err := seg.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m, err := mem.ReadMaster(); err == nil && m != nil {
+		if err := fs.WriteMaster(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return fs
+}
+
+// TestCrashMatrixFileBackedRestart replays checkpointed crash images from a
+// real directory: the burst's segments and master record are mirrored to
+// disk (in a scratch dir audited by TestMain) and recovery runs against the
+// file-backed store, covering the file store's master read and base
+// re-anchoring paths under the same hostile schedules.
+func TestCrashMatrixFileBackedRestart(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			out, err := tamix.CrashBurst(tamix.CrashConfig{
+				Seed:              int64(8000 + seed),
+				CheckpointEvery:   3,
+				SegmentSize:       8 << 10,
+				CrashAfterAppends: uint64(60 + seed*23%180),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs := copyToDisk(t, out.Segments, crashScratch(t))
+			log, err := wal.Open(fs, wal.Config{})
+			if err != nil {
+				t.Fatalf("reopening file-backed log: %v", err)
+			}
+			d, rep, err := storage.Recover(out.Backend, log, out.Opts)
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			defer d.Close()
+			if err := tamix.AuditRecovered(d, out.Expected(rep)); err != nil {
+				t.Errorf("audit: %v", err)
+			}
+		})
+	}
+}
+
 // TestCrashMatrixFullBudgetBurst runs bursts that exhaust their op budget
 // before any induced fault — the crash is then purely the final hard stop,
 // and every acknowledged commit must survive it.

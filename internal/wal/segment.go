@@ -40,13 +40,24 @@ type SegmentStore interface {
 	ReadAll(index uint64) ([]byte, error)
 	// Truncate cuts a segment down to size bytes (torn-tail removal).
 	Truncate(index uint64, size int64) error
+	// Remove unlinks a segment (checkpoint GC of fully-truncated segments).
+	Remove(index uint64) error
+	// WriteMaster atomically replaces the master record — the small
+	// fixed-size blob that locates the latest complete checkpoint and the
+	// base LSN of the oldest surviving segment. Atomic means a crash at
+	// any point leaves either the old master or the new one, never a mix.
+	WriteMaster(data []byte) error
+	// ReadMaster returns the current master record, or (nil, nil) when no
+	// master has ever been written.
+	ReadMaster() ([]byte, error)
 }
 
 // MemSegmentStore is an in-memory SegmentStore with explicit durability:
 // bytes become durable only at Sync, and Crash throws away the rest.
 type MemSegmentStore struct {
-	mu   sync.Mutex
-	segs map[uint64]*memSegment
+	mu     sync.Mutex
+	segs   map[uint64]*memSegment
+	master []byte // replaced atomically by WriteMaster; survives Crash
 }
 
 type memSegment struct {
@@ -113,6 +124,38 @@ func (s *MemSegmentStore) Truncate(index uint64, size int64) error {
 	return nil
 }
 
+// Remove implements SegmentStore.
+func (s *MemSegmentStore) Remove(index uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.segs[index]; !ok {
+		return fmt.Errorf("wal: no segment %d", index)
+	}
+	delete(s.segs, index)
+	return nil
+}
+
+// WriteMaster implements SegmentStore. The in-memory analogue of
+// write-temp-then-rename is a single slice swap, so the replacement is
+// all-or-nothing and survives Crash (a renamed file survives power loss
+// once the directory entry is durable).
+func (s *MemSegmentStore) WriteMaster(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.master = append([]byte(nil), data...)
+	return nil
+}
+
+// ReadMaster implements SegmentStore.
+func (s *MemSegmentStore) ReadMaster() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.master == nil {
+		return nil, nil
+	}
+	return append([]byte(nil), s.master...), nil
+}
+
 // Crash models a power failure: every byte not yet synced is lost. The
 // store remains usable — reopen it with wal.Open to recover.
 func (s *MemSegmentStore) Crash() {
@@ -133,6 +176,9 @@ func (s *MemSegmentStore) Clone() *MemSegmentStore {
 		buf := make([]byte, len(seg.buf))
 		copy(buf, seg.buf)
 		c.segs[i] = &memSegment{buf: buf, synced: seg.synced}
+	}
+	if s.master != nil {
+		c.master = append([]byte(nil), s.master...)
 	}
 	return c
 }
@@ -239,4 +285,55 @@ func (s *FileSegmentStore) ReadAll(index uint64) ([]byte, error) {
 // Truncate implements SegmentStore.
 func (s *FileSegmentStore) Truncate(index uint64, size int64) error {
 	return os.Truncate(s.path(index), size)
+}
+
+// Remove implements SegmentStore.
+func (s *FileSegmentStore) Remove(index uint64) error {
+	return os.Remove(s.path(index))
+}
+
+func (s *FileSegmentStore) masterPath() string {
+	return filepath.Join(s.dir, "wal-master")
+}
+
+// WriteMaster implements SegmentStore: write a temp file, fsync it, then
+// rename over the real name. rename(2) is atomic within a directory, so a
+// crash leaves either the old master or the complete new one.
+func (s *FileSegmentStore) WriteMaster(data []byte) error {
+	tmp := s.masterPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := os.Rename(tmp, s.masterPath()); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+// ReadMaster implements SegmentStore.
+func (s *FileSegmentStore) ReadMaster() ([]byte, error) {
+	data, err := os.ReadFile(s.masterPath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return data, nil
 }

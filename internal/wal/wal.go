@@ -58,6 +58,20 @@ type Config struct {
 	// counters, append/force latency histograms, and the group-commit
 	// batch-size distribution. Nil disables latency recording.
 	Metrics *metrics.Registry
+	// Retain is the minimum number of newest segments checkpoint GC always
+	// keeps (DefaultRetain if <= 0). Retention keeps a short debugging
+	// window of history even when the checkpoint would allow truncating
+	// everything; the active segment is never removed regardless.
+	Retain int
+	// CrashAtCheckpoint, when > 0, makes the Nth Checkpoint call crash the
+	// log partway through, at the point selected by CheckpointCrashPhase —
+	// the crash-matrix hook for mid-checkpoint and mid-GC power failures.
+	CrashAtCheckpoint uint64
+	// CheckpointCrashPhase selects where CrashAtCheckpoint fires:
+	// 1 = after the checkpoint record is durable, before the master record
+	// is written; 2 = after the master record, before any segment is
+	// removed; 3 = after the first segment removal, before the rest.
+	CheckpointCrashPhase int
 }
 
 // Stats counts log activity.
@@ -75,6 +89,18 @@ type Stats struct {
 	Durable LSN
 	// Next is the LSN the next record will get.
 	Next LSN
+	// Checkpoints counts completed checkpoints (record + master durable).
+	Checkpoints uint64
+	// SegmentsGCed counts segments unlinked by checkpoint truncation.
+	SegmentsGCed uint64
+	// CheckpointLSN is the LSN of the latest complete checkpoint record
+	// (0 before the first).
+	CheckpointLSN LSN
+	// TruncLSN is the logical truncation point: every record below it has
+	// been released by a checkpoint (its segment may or may not be gone).
+	TruncLSN LSN
+	// ActiveTxns is the size of the active-transaction table.
+	ActiveTxns int
 }
 
 // Log is the write-ahead log.
@@ -93,6 +119,11 @@ type Log struct {
 	// evictable after a failed append can never slip past the fast path.
 	fastDurable atomic.Uint64
 
+	// ckptMu serializes Checkpoint calls end to end (snapshot, record,
+	// master write, segment GC). It is always acquired before mu and never
+	// held across a blocking wait other than Force.
+	ckptMu sync.Mutex
+
 	mu          sync.Mutex
 	cond        *sync.Cond
 	pending     []byte
@@ -103,6 +134,25 @@ type Log struct {
 	crashed     bool
 	closed      bool
 	failure     error
+
+	// att is the active-transaction table: every transaction with a logged
+	// operation and no commit/end record yet, mapped to its first record's
+	// LSN. Maintained by Append, rebuilt by Open's parse, snapshotted into
+	// checkpoint records so recovery's undo set is bounded.
+	att map[uint64]LSN
+	// bases maps a segment index to the LSN of its first byte. Seeded by
+	// Open (from the master record once GC has unlinked prefix segments)
+	// and extended by the flusher at rotation; ScanFrom and gcPlan use it
+	// to address segments after truncation.
+	bases map[uint64]LSN
+	// lastCkpt is the latest complete checkpoint (nil before the first).
+	lastCkpt *Checkpoint
+
+	ckptSeq     uint64 // Checkpoint calls, for CrashAtCheckpoint scheduling
+	checkpoints uint64
+	segsGCed    uint64
+	ckptLSN     LSN
+	truncLSN    LSN
 
 	// Instruments (nil without Config.Metrics; all methods nil-safe).
 	hAppend *metrics.Histogram // wal.append: Append call latency
@@ -122,6 +172,7 @@ type Log struct {
 	seg        Segment
 	segIdx     uint64
 	segWritten int
+	writePos   LSN // LSN of the next byte the flusher will write
 }
 
 // Open replays the segment store's metadata and returns a ready log. A
@@ -132,9 +183,14 @@ func Open(store SegmentStore, cfg Config) (*Log, error) {
 	if cfg.SegmentSize <= 0 {
 		cfg.SegmentSize = DefaultSegmentSize
 	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = DefaultRetain
+	}
 	l := &Log{
 		store:   store,
 		cfg:     cfg,
+		att:     make(map[uint64]LSN),
+		bases:   make(map[uint64]LSN),
 		flushCh: make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
@@ -150,21 +206,63 @@ func Open(store SegmentStore, cfg Config) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Checkpoint GC removes segments oldest-first, so survivors are always
+	// a contiguous index range; a gap means segments vanished outside GC.
+	for i := 1; i < len(indices); i++ {
+		if indices[i] != indices[i-1]+1 {
+			return nil, fmt.Errorf("%w: segment %d follows segment %d (survivors must be contiguous)",
+				ErrCorruptLog, indices[i], indices[i-1])
+		}
+	}
 	// LSNs are 1-based byte positions (LSN = stable offset + 1): LSN 0 is
 	// reserved to mean "never stamped" in page headers, so pageLSN-
 	// conditional redo can tell an untouched page from one stamped by the
-	// very first record.
-	total := LSN(1)
+	// very first record. Once GC has unlinked prefix segments the oldest
+	// survivor no longer starts at LSN 1; its base comes from the master
+	// record (keepIdx/keepBase), walked backward over any segments GC was
+	// interrupted before removing (those are sealed, so their full length
+	// is their payload).
+	base := LSN(1)
+	mrec, mok := readMaster(store)
+	if len(indices) > 0 {
+		first := indices[0]
+		switch {
+		case mok:
+			if first > mrec.keepIdx || indices[len(indices)-1] < mrec.keepIdx {
+				return nil, fmt.Errorf("%w: master record keeps segment %d but segments span %d..%d",
+					ErrCorruptLog, mrec.keepIdx, first, indices[len(indices)-1])
+			}
+			base = mrec.keepBase
+			for idx := mrec.keepIdx; idx > first; idx-- {
+				buf, err := store.ReadAll(idx - 1)
+				if err != nil {
+					return nil, err
+				}
+				base -= LSN(len(buf))
+			}
+		case first != 0:
+			return nil, fmt.Errorf("%w: oldest segment is %d but no master record locates its base LSN",
+				ErrCorruptLog, first)
+		}
+	}
+	pos := base
+	var ckptPayload []byte // payload of the record the master points at
 	for n, idx := range indices {
 		buf, err := store.ReadAll(idx)
 		if err != nil {
 			return nil, err
 		}
+		l.bases[idx] = pos
 		off := 0
 		for off < len(buf) {
-			_, next, ok := parseFrame(buf, off)
+			rec, next, ok := parseFrame(buf, off)
 			if !ok {
 				break
+			}
+			rec.LSN = pos + LSN(off)
+			l.noteRecord(rec)
+			if mok && rec.Type == RecCheckpoint && rec.LSN == mrec.ckptLSN {
+				ckptPayload = rec.Payload
 			}
 			off = next
 		}
@@ -177,11 +275,26 @@ func Open(store SegmentStore, cfg Config) (*Log, error) {
 				return nil, err
 			}
 		}
-		total += LSN(off)
+		pos += LSN(off)
 		l.segIdx = idx + 1
 	}
-	l.next, l.durable = total, total
-	l.fastDurable.Store(total)
+	l.next, l.durable = pos, pos
+	l.writePos = pos
+	l.fastDurable.Store(pos)
+	if mok {
+		l.truncLSN = mrec.truncLSN
+		// A master that points at a missing or undecodable checkpoint
+		// record degrades to "no checkpoint": recovery scans everything
+		// that survives. GC only ever ran behind a durable master, so the
+		// surviving range still covers all live state.
+		if ckptPayload != nil {
+			if ck, err := DecodeCheckpoint(ckptPayload); err == nil {
+				ck.LSN = mrec.ckptLSN
+				l.lastCkpt = ck
+				l.ckptLSN = ck.LSN
+			}
+		}
+	}
 
 	l.wg.Add(1)
 	go l.flusher()
@@ -211,11 +324,34 @@ func (l *Log) Append(typ byte, txn uint64, payload []byte) (LSN, error) {
 		return 0, ErrCrashed
 	}
 	lsn := l.next
+	l.noteRecord(Record{LSN: lsn, Type: typ, Txn: txn})
 	l.pending = appendFrame(l.pending, typ, txn, payload)
 	l.pendingRecs++
 	l.next += LSN(frameSize(len(payload)))
 	l.kick()
 	return lsn, nil
+}
+
+// noteRecord maintains the active-transaction table. Caller holds l.mu (or,
+// during Open's parse, has exclusive access to the unpublished log).
+func (l *Log) noteRecord(rec Record) {
+	switch rec.Type {
+	case RecOp:
+		if rec.Txn != 0 {
+			if _, ok := l.att[rec.Txn]; !ok {
+				l.att[rec.Txn] = rec.LSN
+			}
+		}
+	case RecCommit, RecEnd:
+		delete(l.att, rec.Txn)
+	}
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
 }
 
 // AppendOp appends a RecOp built from an undo payload and page deltas.
@@ -361,6 +497,9 @@ func (l *Log) writeBatch(batch []byte) error {
 		if err != nil {
 			return err
 		}
+		l.mu.Lock()
+		l.bases[l.segIdx] = l.writePos
+		l.mu.Unlock()
 		l.seg = seg
 		l.segIdx++
 		l.segWritten = 0
@@ -369,6 +508,7 @@ func (l *Log) writeBatch(batch []byte) error {
 		return err
 	}
 	l.segWritten += len(batch)
+	l.writePos += LSN(len(batch))
 	return l.seg.Sync()
 }
 
@@ -376,16 +516,28 @@ func (l *Log) writeBatch(batch []byte) error {
 // segment store, so it sees exactly what a crash would leave behind plus
 // anything synced since; a torn tail in the final segment ends the scan
 // cleanly.
-func (l *Log) Scan(fn func(Record) error) error {
+func (l *Log) Scan(fn func(Record) error) error { return l.ScanFrom(0, fn) }
+
+// ScanFrom replays every durable record with LSN >= from in LSN order.
+// Segments that end below from are skipped entirely — this is what makes a
+// checkpointed restart's redo pass proportional to work-since-checkpoint
+// rather than total history.
+func (l *Log) ScanFrom(from LSN, fn func(Record) error) error {
 	indices, err := l.store.List()
 	if err != nil {
 		return err
 	}
-	lsn := LSN(1) // LSN = stable byte position + 1; see Open
 	for n, idx := range indices {
+		base, ok := l.segBase(idx)
+		if !ok {
+			return fmt.Errorf("%w: segment %d has no known base LSN", ErrCorruptLog, idx)
+		}
 		buf, err := l.store.ReadAll(idx)
 		if err != nil {
 			return err
+		}
+		if base+LSN(len(buf)) <= from {
+			continue
 		}
 		off := 0
 		for off < len(buf) {
@@ -396,15 +548,24 @@ func (l *Log) Scan(fn func(Record) error) error {
 				}
 				return nil
 			}
-			rec.LSN = lsn + LSN(off)
-			if err := fn(rec); err != nil {
-				return err
+			rec.LSN = base + LSN(off)
+			if rec.LSN >= from {
+				if err := fn(rec); err != nil {
+					return err
+				}
 			}
 			off = next
 		}
-		lsn += LSN(off)
 	}
 	return nil
+}
+
+// segBase looks up a segment's base LSN.
+func (l *Log) segBase(idx uint64) (LSN, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.bases[idx]
+	return b, ok
 }
 
 // Close flushes everything pending and stops the flusher. A crashed log
@@ -446,6 +607,8 @@ func (l *Log) registerCounters(reg *metrics.Registry) {
 	reg.Func("wal.rotations", stat(func(s Stats) uint64 { return s.Rotations }))
 	reg.Func("wal.durable_lsn", stat(func(s Stats) uint64 { return uint64(s.Durable) }))
 	reg.Func("wal.next_lsn", stat(func(s Stats) uint64 { return uint64(s.Next) }))
+	reg.Func("wal.checkpoints", stat(func(s Stats) uint64 { return s.Checkpoints }))
+	reg.Func("wal.segments_gced", stat(func(s Stats) uint64 { return s.SegmentsGCed }))
 }
 
 // Stats snapshots the log counters.
@@ -453,11 +616,16 @@ func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return Stats{
-		Appends:   l.appends,
-		Syncs:     l.syncs,
-		Forces:    l.forces,
-		Rotations: l.rotations,
-		Durable:   l.durable,
-		Next:      l.next,
+		Appends:       l.appends,
+		Syncs:         l.syncs,
+		Forces:        l.forces,
+		Rotations:     l.rotations,
+		Durable:       l.durable,
+		Next:          l.next,
+		Checkpoints:   l.checkpoints,
+		SegmentsGCed:  l.segsGCed,
+		CheckpointLSN: l.ckptLSN,
+		TruncLSN:      l.truncLSN,
+		ActiveTxns:    len(l.att),
 	}
 }
