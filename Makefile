@@ -66,12 +66,14 @@ server:
 
 # verify is the full pre-merge gate: compile, vet, the complete test suite
 # under the race detector (the lock package's equivalence tests lean on it
-# heavily), and the focused chaos, netchaos, recovery, metrics, and server
-# suites.
+# heavily), the allocation-regression guards (non-race: the race detector
+# changes allocation behavior, so alloc_test.go is tagged !race), and the
+# focused chaos, netchaos, recovery, metrics, and server suites.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run 'TestAlloc' ./internal/lock/
 	$(MAKE) chaos
 	$(MAKE) netchaos
 	$(MAKE) recovery
@@ -137,6 +139,14 @@ bench-recovery:
 # audit, so this is an end-to-end integrity gate too.
 bench-server:
 	$(GO) run ./cmd/tamix -server self -out BENCH_server.json
+
+# bench-server-scale is the higher-scale row: a 4x larger document and 4x
+# longer timing scale than bench-server's defaults, on the two headline
+# protocols at 16 and 64 connections. Rows land in the same
+# BENCH_server.json (the doc_scale/time_scale fields tell them apart).
+bench-server-scale:
+	$(GO) run ./cmd/tamix -server self -doc 0.08 -time 0.008 \
+		-protocols taDOM2,taDOM3+ -conns 16,64 -out BENCH_server.json
 
 # bench-all runs every benchmark suite; any failing stage fails the target
 # (pipefail, see SHELL above).

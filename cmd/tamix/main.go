@@ -176,6 +176,8 @@ type serverBenchRow struct {
 	Server       string                 `json:"server"`
 	Protocol     string                 `json:"protocol"`
 	Conns        int                    `json:"conns"`
+	DocScale     float64                `json:"doc_scale"`
+	TimeScale    float64                `json:"time_scale"`
 	Committed    int                    `json:"committed"`
 	Aborted      int                    `json:"aborted"`
 	Deadlocks    uint64                 `json:"deadlocks"`
@@ -254,6 +256,8 @@ func runServerBench(addr, protoList, connList, out string, docScale, timeSc floa
 				Server:       serverLabel,
 				Protocol:     p.Name(),
 				Conns:        c,
+				DocScale:     docScale,
+				TimeScale:    timeSc,
 				Committed:    res.Committed,
 				Aborted:      res.Aborted,
 				Deadlocks:    res.Deadlocks,

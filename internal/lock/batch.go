@@ -1,9 +1,6 @@
 package lock
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Req is one lock request inside a batch (see Manager.LockBatch).
 type Req struct {
@@ -12,49 +9,42 @@ type Req struct {
 	Short bool
 }
 
-// pendReq is a batch request the cache could not answer, carrying its
-// original batch position and precomputed home partition.
+// pendReq is a batch request the single-critical-section pass could not
+// answer, remembering how many cache hits preceded it in the batch.
 type pendReq struct {
 	Req
-	orig   int
-	stripe int
+	hitsBefore int
 }
 
 // LockBatch acquires reqs for tx with the same observable semantics as
-// issuing them through Lock in order, but with far fewer synchronization
-// round-trips on the uncontended path:
-//
-//  1. Requests already covered by the per-transaction lock cache are
-//     answered under a single transaction-mutex critical section, without
-//     touching the shared table.
-//  2. The remaining requests' partitions are sorted and their mutexes taken
-//     together (ascending index — the table-wide lock-order discipline), and
-//     every request that is immediately grantable is granted under that one
-//     combined critical section. Because all partitions involved are held at
-//     once, the grants are atomic: other transactions observe either none or
-//     all of them, which is a legal linearization of the sequential order.
-//  3. At the first request that would block, the partition mutexes are
-//     dropped and the remaining requests fall back to sequential blocking
-//     Lock calls in their original order, preserving the root-first wait
-//     discipline the protocols rely on.
+// issuing them through Lock in order, but under a single transaction-mutex
+// critical section for the entire answerable prefix: cache hits
+// (epoch-stamped held entries) anywhere in the batch, and CAS fast-path
+// grants for fresh resources up to the first request that needs the slow
+// path. Fast grants stop at that point because granting later requests
+// before an earlier one completes would break the batch's acquisition
+// order — the root-first discipline the protocols rely on to avoid
+// deadlocks. The remainder go through Lock one by one in their original
+// order. (The old combined multi-partition immediate-grant pass is gone:
+// the per-request CAS path is cheaper than taking several partition
+// mutexes together, and it preserves ordering trivially.)
 //
 // The first error aborts the batch; earlier grants stay (exactly as with
 // sequential Lock calls — the transaction's abort releases them). The
-// statistics come out the same as for the sequential calls too, with one
-// caveat: a resource that appears twice in the same batch has its second
-// occurrence booked as an immediate grant rather than a cache hit (the
-// cache is consulted once, before any of the batch is granted). Protocol
-// batches never repeat a resource, so in practice the counters agree.
+// statistics come out exactly as for the sequential calls: cache hits are
+// booked just before the table request that follows them, so the counters
+// advance the way a sequential caller's would, even while a request blocks.
 func (m *Manager) LockBatch(tx *Tx, reqs []Req) error {
 	if len(reqs) == 0 {
 		return nil
 	}
-	// Phase 1: per-transaction cache. Hits are not booked yet: if a later
-	// request fails, sequential semantics say the requests after it were
-	// never issued, so only hits that precede the failure may show up in
-	// the statistics. pend is allocated lazily — a fully cached batch (the
-	// protocol hot path) allocates nothing here.
+	// Phase 1: one pass under tx.mu. Hits are counted but not booked yet:
+	// if a later request fails, sequential semantics say the requests after
+	// it were never issued, so only hits that precede the failure may show
+	// up in the statistics. pend is allocated lazily — a fully answered
+	// batch (the protocol hot path) allocates nothing here.
 	var pend []pendReq
+	hits, fasts := 0, 0
 	tx.mu.Lock()
 	if tx.done {
 		tx.mu.Unlock()
@@ -69,147 +59,71 @@ func (m *Manager) LockBatch(tx *Tx, reqs []Req) error {
 	for i, r := range reqs {
 		if r.Mode == ModeNone {
 			tx.mu.Unlock()
-			if n := i - len(pend); n > 0 { // every hit so far precedes i
-				m.stats.cacheHits.Add(uint64(n))
+			m.bookFastGrants(fasts)
+			if hits > 0 { // every counted hit precedes the failure
+				m.stats.cacheHits.Add(uint64(hits))
 			}
 			return fmt.Errorf("lock: cannot request ModeNone on %q", r.Res)
 		}
-		if held, ok := tx.cache[r.Res]; ok && m.table.Convert(held, r.Mode) == held {
-			continue
+		if e := tx.held[r.Res]; e != nil {
+			hm, hshort := e.loadState()
+			if (hm == r.Mode || m.table.Convert(hm, r.Mode) == hm) &&
+				!hshort && e.cacheEpoch == tx.cacheEpoch {
+				hits++
+				continue
+			}
+			// Held but not a pure cache hit (short-held, stale stamp, or a
+			// conversion): the sequential Lock call resolves it with exact
+			// booking.
+		} else if len(pend) == 0 && m.ft != nil {
+			hash := fnv1a(string(r.Res))
+			if h := m.stripes[hash&m.mask].index.lookup(r.Res, hash); h != nil &&
+				m.tryFastGrantLocked(tx, h, r.Res, r.Mode, r.Short, hash) {
+				fasts++
+				continue
+			}
 		}
 		if pend == nil {
 			pend = make([]pendReq, 0, len(reqs)-i)
 		}
-		pend = append(pend, pendReq{Req: r, orig: i, stripe: int(fnv1a(string(r.Res)) & m.mask)})
+		pend = append(pend, pendReq{Req: r, hitsBefore: hits})
 	}
 	tx.mu.Unlock()
-
-	// Phase 2: combined immediate-grant pass under all involved partitions.
-	granted := 0
-	if len(pend) > 0 {
-		granted = m.grantImmediate(tx, pend)
+	m.bookFastGrants(fasts)
+	if pend == nil {
+		if hits > 0 {
+			m.stats.cacheHits.Add(uint64(hits))
+		}
+		return nil
 	}
 
-	// Phase 3: sequential blocking fallback for whatever remains. Hits are
-	// booked just before the table request that follows them, so the
-	// counters advance exactly as a sequential caller's would — including
-	// while a fallback request is still blocked. Hits and table requests
-	// partition the batch positions in order, so the number of hits before
-	// pend[k] is pend[k].orig - k.
-	counted := 0
-	for k := granted; k < len(pend); k++ {
-		if t := pend[k].orig - k; t > counted {
-			m.stats.cacheHits.Add(uint64(t - counted))
-			counted = t
+	// Phase 2: sequential Lock calls for the rest. Hits are booked just
+	// before the table request they precede; a trailing run of hits is
+	// booked once the last pending request has completed.
+	booked := 0
+	for i := range pend {
+		p := &pend[i]
+		if p.hitsBefore > booked {
+			m.stats.cacheHits.Add(uint64(p.hitsBefore - booked))
+			booked = p.hitsBefore
 		}
-		r := pend[k]
-		if err := m.Lock(tx, r.Res, r.Mode, r.Short); err != nil {
+		if err := m.Lock(tx, p.Res, p.Mode, p.Short); err != nil {
 			return err
 		}
 	}
-	if t := len(reqs) - len(pend); t > counted {
-		m.stats.cacheHits.Add(uint64(t - counted))
+	if hits > booked {
+		m.stats.cacheHits.Add(uint64(hits - booked))
 	}
 	return nil
 }
 
-// grantImmediate locks every partition the pending requests hash to (in
-// ascending index order), then applies requests in their original order for
-// as long as each is immediately grantable. It returns how many were
-// granted; the first non-grantable request stops the pass. Batches are
-// small, so partitions are deduplicated by linear scan — no map allocation
-// on the hot path.
-func (m *Manager) grantImmediate(tx *Tx, pend []pendReq) int {
-	// Common case: everything pending hashes to one partition (often a
-	// single leaf request after the cache answered the ancestor path).
-	single := true
-	for _, p := range pend[1:] {
-		if p.stripe != pend[0].stripe {
-			single = false
-			break
-		}
+// bookFastGrants books n CAS fast-path grants exactly as n sequential Lock
+// calls would have.
+func (m *Manager) bookFastGrants(n int) {
+	if n == 0 {
+		return
 	}
-	if single {
-		s := &m.stripes[pend[0].stripe]
-		s.mu.Lock()
-		granted := m.grantImmediateLocked(tx, pend)
-		s.mu.Unlock()
-		return granted
-	}
-
-	var idxBuf [8]int
-	idx := idxBuf[:0]
-	for _, p := range pend {
-		dup := false
-		for _, j := range idx {
-			if j == p.stripe {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			idx = append(idx, p.stripe)
-		}
-	}
-	sort.Ints(idx)
-	for _, i := range idx {
-		m.stripes[i].mu.Lock()
-	}
-	granted := m.grantImmediateLocked(tx, pend)
-	for j := len(idx) - 1; j >= 0; j-- {
-		m.stripes[idx[j]].mu.Unlock()
-	}
-	return granted
-}
-
-// grantImmediateLocked applies the immediate-grant pass. Caller holds the
-// partition mutex of every pending request.
-func (m *Manager) grantImmediateLocked(tx *Tx, pend []pendReq) int {
-	tx.mu.Lock()
-	defer tx.mu.Unlock()
-	if tx.done || tx.doomed.Load() {
-		return 0 // the fallback Lock calls surface the right error
-	}
-	granted := 0
-	for _, p := range pend {
-		s := &m.stripes[p.stripe]
-		h := s.head(p.Res)
-		if entry := tx.held[p.Res]; entry != nil {
-			target := m.table.Convert(entry.mode, p.Mode)
-			if !p.Short {
-				entry.short = false
-			}
-			if target == entry.mode {
-				tx.noteHeldLocked(p.Res, entry)
-				m.stats.requests.Add(1)
-				m.stats.immediateGrants.Add(1)
-				granted++
-				continue
-			}
-			if !m.compatibleWithOthers(h, tx.id, target) {
-				m.maybeDropHeadLocked(s, p.Res, h)
-				break
-			}
-			entry.mode = target
-			tx.noteHeldLocked(p.Res, entry)
-			m.stats.requests.Add(1)
-			m.stats.conversions.Add(1)
-			m.stats.immediateGrants.Add(1)
-			granted++
-			continue
-		}
-		if len(h.queue) == 0 && m.compatibleWithOthers(h, tx.id, p.Mode) {
-			e := &holderEntry{tx: tx, mode: p.Mode, short: p.Short}
-			h.granted[tx.id] = e
-			tx.held[p.Res] = e
-			tx.noteHeldLocked(p.Res, e)
-			m.stats.requests.Add(1)
-			m.stats.immediateGrants.Add(1)
-			granted++
-			continue
-		}
-		m.maybeDropHeadLocked(s, p.Res, h)
-		break
-	}
-	return granted
+	m.stats.requests.Add(uint64(n))
+	m.stats.immediateGrants.Add(uint64(n))
+	m.stats.fastGrants.Add(uint64(n))
 }

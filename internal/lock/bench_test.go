@@ -134,8 +134,10 @@ func BenchmarkLockTableContention(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/singlemutex/goroutines=%d", sc.name, g), func(b *testing.B) {
 				m := newOracleManager(testTable(), Options{})
 				benchContention(b, g, sc.benchScenario, benchSystem[*oracleTx]{
-					begin:   m.Begin,
-					walk:    func(tx *oracleTx, ancestors []Resource, leaf Resource) error { return seqWalk(m.Lock, tx, ancestors, leaf) },
+					begin: m.Begin,
+					walk: func(tx *oracleTx, ancestors []Resource, leaf Resource) error {
+						return seqWalk(m.Lock, tx, ancestors, leaf)
+					},
 					release: m.ReleaseAll,
 				})
 			})

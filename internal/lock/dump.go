@@ -3,6 +3,7 @@ package lock
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 )
@@ -10,6 +11,35 @@ import (
 // Diagnostics: snapshot and render the live lock table — the kind of
 // information the paper's XTCdeadlockDetector gathers when a deadlock
 // strikes (active transactions, locks held, state of the wait-for graph).
+// Observers read through the per-partition seqlocks, so a snapshot of a
+// busy table never blocks a grant or a release.
+
+// observerWalkBound caps lock-free holder-chain walks. A chain read without
+// the partition mutex can transiently appear cyclic when recycled entries
+// are re-pushed elsewhere mid-walk; a walk that runs past the bound gives
+// up and the attempt is retried (the seqlock recheck would have discarded
+// it anyway). Real chains are tiny — one entry per holding transaction.
+const observerWalkBound = 1 << 14
+
+// stableRead runs read under the stripe's seqlock: a bounded number of
+// optimistic attempts (read must only follow atomics, reset its own
+// accumulation on entry, and return false to void an attempt), each
+// validated by an unchanged even sequence; then a read-only fallback under
+// the mutex, which observes an exact state. Fast-path grants do not bump
+// the sequence — they only push fully initialized entries onto holder
+// chains, which a reader sees entirely or not at all.
+func (s *stripe) stableRead(read func() bool) {
+	for attempt := 0; attempt < 4; attempt++ {
+		v := s.seq.Load()
+		if v&1 == 0 && read() && s.seq.Load() == v {
+			return
+		}
+		runtime.Gosched()
+	}
+	s.mu.Lock() // read-only: no seqlock bump
+	read()
+	s.mu.Unlock()
+}
 
 // HolderInfo describes one granted lock in a snapshot.
 type HolderInfo struct {
@@ -38,12 +68,14 @@ type WaitEdge struct {
 	From, To TxID
 }
 
-// Snapshot captures the entire lock table and the derived wait-for graph at
-// one instant. It is consistent (taken with every partition mutex held, in
-// ascending order — the same cross-partition discipline the deadlock
-// detector uses) but immediately stale; use it for diagnostics only. All
-// slices are sorted and the wait-for edges deduplicated, so rendering the
-// same table state always produces identical output.
+// Snapshot captures the lock table and the derived wait-for graph. Each
+// partition is internally consistent (one stable seqlock read); partitions
+// are read in sequence, so cross-partition relations can be skewed by
+// concurrent activity — it is a diagnostic view, immediately stale either
+// way. On a quiescent table it is exact. All slices are sorted and the
+// wait-for edges deduplicated, so rendering the same table state always
+// produces identical output. Resources whose heads are empty (kept around
+// for fast-path reuse) are not reported.
 type Snapshot struct {
 	Taken      time.Time
 	Partitions int
@@ -51,31 +83,72 @@ type Snapshot struct {
 	WaitFor    []WaitEdge
 }
 
-// Snapshot captures the current lock-table state.
+// Snapshot captures the current lock-table state without blocking any
+// grant: it reads through the per-partition seqlocks.
 func (m *Manager) Snapshot() Snapshot {
-	m.lockAllStripes()
-	defer m.unlockAllStripes()
 	snap := Snapshot{Taken: time.Now(), Partitions: len(m.stripes)}
-	waiting, _ := m.waitingRequestsLocked()
 	edges := make(map[WaitEdge]struct{})
 	for i := range m.stripes {
-		for res, h := range m.stripes[i].locks {
-			rs := ResourceState{Resource: res, Partition: i}
-			for _, e := range h.granted {
-				rs.Holders = append(rs.Holders, HolderInfo{
-					Tx: e.tx.id, Mode: m.table.Name(e.mode), Short: e.short,
-				})
-			}
-			sort.Slice(rs.Holders, func(a, b int) bool { return rs.Holders[a].Tx < rs.Holders[b].Tx })
-			for _, r := range h.queue {
-				rs.Waiters = append(rs.Waiters, WaiterInfo{
-					Tx: r.tx.id, Mode: m.table.Name(r.target), Conversion: r.conversion,
-				})
-				for _, succ := range m.successorsLocked(r.tx, waiting) {
-					edges[WaitEdge{From: r.tx.id, To: succ.id}] = struct{}{}
+		s := &m.stripes[i]
+		var localRes []ResourceState
+		var localEdges []WaitEdge
+		s.stableRead(func() bool {
+			localRes = localRes[:0]
+			localEdges = localEdges[:0]
+			ok := true
+			s.index.walk(func(res Resource, h *lockHead) {
+				rs := ResourceState{Resource: res, Partition: i}
+				var held []holderRef
+				n := 0
+				for e := h.holders.Load(); e != nil; e = e.next.Load() {
+					if n++; n > observerWalkBound {
+						ok = false
+						return
+					}
+					t := e.txp.Load()
+					if t == nil {
+						continue
+					}
+					mode, short := e.loadState()
+					held = append(held, holderRef{t.id, mode})
+					rs.Holders = append(rs.Holders, HolderInfo{
+						Tx: t.id, Mode: m.table.Name(mode), Short: short,
+					})
 				}
-			}
-			snap.Resources = append(snap.Resources, rs)
+				sort.Slice(rs.Holders, func(a, b int) bool { return rs.Holders[a].Tx < rs.Holders[b].Tx })
+				q := h.queueLocked() // atomic load; "Locked" is about mutating it
+				for qi, r := range q {
+					rt := r.txp.Load()
+					if rt == nil {
+						continue
+					}
+					rs.Waiters = append(rs.Waiters, WaiterInfo{
+						Tx: rt.id, Mode: m.table.Name(r.target()), Conversion: r.conversion(),
+					})
+					// The waiter's wait-for edges: incompatible holders and
+					// everyone queued ahead (the per-head successor rule the
+					// deadlock detector uses).
+					for _, hd := range held {
+						if hd.id != rt.id && !m.table.Compatible(hd.mode, r.target()) {
+							localEdges = append(localEdges, WaitEdge{From: rt.id, To: hd.id})
+						}
+					}
+					for _, a := range q[:qi] {
+						if at := a.txp.Load(); at != nil && at.id != rt.id {
+							localEdges = append(localEdges, WaitEdge{From: rt.id, To: at.id})
+						}
+					}
+				}
+				if len(rs.Holders) == 0 && len(rs.Waiters) == 0 {
+					return // empty head kept for reuse; not a locked resource
+				}
+				localRes = append(localRes, rs)
+			})
+			return ok
+		})
+		snap.Resources = append(snap.Resources, localRes...)
+		for _, e := range localEdges {
+			edges[e] = struct{}{}
 		}
 	}
 	for e := range edges {
@@ -125,23 +198,49 @@ func (s Snapshot) Render(w io.Writer) {
 
 // LeakCheck audits the lock table for leftovers. After every transaction
 // has committed or aborted the table must be empty: a surviving holder or
-// waiter means a release path was skipped. The TaMix harness runs this
-// audit at the end of every run, next to the document's Verify.
+// waiter means a release path was skipped. (Empty heads retained for
+// fast-path reuse are not leaks.) The TaMix harness runs this audit at the
+// end of every run, next to the document's Verify.
 func (m *Manager) LeakCheck() error {
 	var leaked []string
 	total := 0
 	for i := range m.stripes {
 		s := &m.stripes[i]
-		s.mu.Lock()
-		for res, h := range s.locks {
-			if len(h.granted) > 0 || len(h.queue) > 0 {
-				total++
-				if len(leaked) < 8 {
-					leaked = append(leaked, string(res))
+		var lt int
+		var ll []string
+		s.stableRead(func() bool {
+			lt, ll = 0, ll[:0]
+			ok := true
+			s.index.walk(func(res Resource, h *lockHead) {
+				busy := h.waitq.Load() != nil
+				if !busy {
+					n := 0
+					for e := h.holders.Load(); e != nil; e = e.next.Load() {
+						if n++; n > observerWalkBound {
+							ok = false
+							return
+						}
+						if e.txp.Load() != nil {
+							busy = true
+							break
+						}
+					}
 				}
+				if busy {
+					lt++
+					if len(ll) < 8 {
+						ll = append(ll, string(res))
+					}
+				}
+			})
+			return ok
+		})
+		total += lt
+		for _, r := range ll {
+			if len(leaked) < 8 {
+				leaked = append(leaked, r)
 			}
 		}
-		s.mu.Unlock()
 	}
 	if total == 0 {
 		return nil
@@ -150,14 +249,36 @@ func (m *Manager) LeakCheck() error {
 	return fmt.Errorf("lock: leak audit: %d resources still locked after all transactions finished (e.g. %q)", total, leaked)
 }
 
-// ActiveResources returns the number of resources currently carrying locks.
+// ActiveResources returns the number of resources currently carrying locks
+// (holders or waiters; retained empty heads don't count).
 func (m *Manager) ActiveResources() int {
 	n := 0
 	for i := range m.stripes {
 		s := &m.stripes[i]
-		s.mu.Lock()
-		n += len(s.locks)
-		s.mu.Unlock()
+		var c int
+		s.stableRead(func() bool {
+			c = 0
+			ok := true
+			s.index.walk(func(_ Resource, h *lockHead) {
+				if h.waitq.Load() != nil {
+					c++
+					return
+				}
+				cnt := 0
+				for e := h.holders.Load(); e != nil; e = e.next.Load() {
+					if cnt++; cnt > observerWalkBound {
+						ok = false
+						return
+					}
+					if e.txp.Load() != nil {
+						c++
+						return
+					}
+				}
+			})
+			return ok
+		})
+		n += c
 	}
 	return n
 }

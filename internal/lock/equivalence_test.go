@@ -365,9 +365,9 @@ func TestEquivalenceRandomized(t *testing.T) {
 	configs := []struct {
 		stripes, numTx, numRes, steps int
 	}{
-		{1, 6, 5, 120},   // degenerate striping: one partition
-		{4, 8, 6, 150},   // heavy cross-partition collisions
-		{64, 8, 6, 150},  // default layout
+		{1, 6, 5, 120},  // degenerate striping: one partition
+		{4, 8, 6, 150},  // heavy cross-partition collisions
+		{64, 8, 6, 150}, // default layout
 	}
 	for ci, c := range configs {
 		for s := int64(1); s <= 4; s++ {

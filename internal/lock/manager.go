@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,13 @@ const DefaultTimeout = 10 * time.Second
 // two so the hash reduces with a mask.
 const DefaultStripes = 64
 
+// gcInterval is how many became-empty head observations a stripe accumulates
+// before sweeping its dead heads out of the index. Empty heads are kept
+// around (sealed-capable, reusable by the fast path) rather than deleted
+// eagerly — deleting on every release would force every next acquisition of
+// the same resource through the slow path and would churn allocations.
+const gcInterval = 512
+
 // Tx is the lock manager's view of a transaction: the set of locks it holds
 // and its wait state. Create with Manager.Begin; a Tx must be used by one
 // goroutine at a time (the usual one-goroutine-per-transaction discipline).
@@ -50,9 +58,11 @@ type Tx struct {
 	id  TxID
 	mgr *Manager
 
-	// mu guards held, waiting, and done. It is always acquired after the
-	// partition mutex (stripe.mu before Tx.mu, never the reverse), because
-	// sweeps on any partition must update the winner's held set.
+	// mu guards held, waiting, done, cache, ctx, and freeEntry. It is always
+	// acquired after the partition mutex (stripe.mu before Tx.mu, never the
+	// reverse), because sweeps on any partition must update the winner's
+	// held set. The CAS fast path takes only this mutex — never a partition
+	// mutex.
 	mu      sync.Mutex
 	held    map[Resource]*holderEntry
 	waiting *request
@@ -63,13 +73,20 @@ type Tx struct {
 	// taking any mutex.
 	doomed atomic.Bool
 
-	// cache maps resources to the long-duration mode this transaction holds
-	// on them — the per-transaction lock cache, guarded by mu. Invariant:
-	// cache[res] == m implies tx.held[res] exists, is long-duration, and
-	// has mode m (long entries never weaken and only the owner converts
-	// them, so the cached mode cannot go stale). A cache hit costs one
-	// uncontended Tx mutex instead of a shared partition mutex.
-	cache map[Resource]Mode
+	// cacheEpoch implements the per-transaction lock cache without a second
+	// map: a long-duration grant stamps its holder entry with the current
+	// epoch, and a re-request covered by a held entry is a cache hit iff
+	// the entry is long-duration and its stamp is current. InvalidateCache
+	// bumps the epoch, staling every stamp at once. (Long entries never
+	// weaken and only the owner converts them, so a current stamp cannot
+	// describe a stale mode.) A cache hit costs one uncontended Tx mutex
+	// and one map lookup — no shared partition state. Guarded by mu.
+	cacheEpoch uint64
+
+	// freeEntry is a one-slot holder-entry freelist: ReleaseAll parks one
+	// entry here and the next acquisition reuses it without touching the
+	// shared sync.Pool — the per-tx half of the zero-alloc turnover path.
+	freeEntry *holderEntry
 
 	// ctx, when non-nil, bounds every lock wait of this transaction: a
 	// cancellation (session disconnect, per-request deadline) makes a
@@ -93,61 +110,213 @@ func (tx *Tx) ID() TxID { return tx.id }
 
 // InvalidateCache drops the per-transaction lock cache. The transaction
 // layer owns the cache lifecycle and calls this on abort and on partial
-// (operation-end) release; releases through this manager also clear it
-// defensively.
+// (operation-end) release. One epoch bump stales every cached entry.
 func (tx *Tx) InvalidateCache() {
 	tx.mu.Lock()
-	clear(tx.cache)
+	tx.cacheEpoch++
 	tx.mu.Unlock()
 }
 
-// noteHeldLocked records a long-duration grant in the cache. Caller holds
-// tx.mu (and the entry's partition mutex, which guards e's fields).
-func (tx *Tx) noteHeldLocked(res Resource, e *holderEntry) {
-	if e.short {
-		delete(tx.cache, res)
-	} else {
-		tx.cache[res] = e.mode
+// stampLocked marks a long-duration entry as cache-answerable under the
+// current epoch (short entries are never cached). Caller holds tx.mu.
+func (tx *Tx) stampLocked(e *holderEntry) {
+	if !e.isShort() {
+		e.cacheEpoch = tx.cacheEpoch
 	}
 }
 
-// noteGrant records a grant delivered through a wait (the sweeper stamped
-// the resulting mode into the request before completing it).
-func (tx *Tx) noteGrant(res Resource, mode Mode, short bool) {
+// stampGrant is stampLocked for grants delivered through a wait: the sweep
+// inserted the entry into tx.held before completing the request.
+func (tx *Tx) stampGrant(res Resource) {
 	tx.mu.Lock()
-	if short {
-		delete(tx.cache, res)
-	} else {
-		tx.cache[res] = mode
+	if e := tx.held[res]; e != nil {
+		tx.stampLocked(e)
 	}
 	tx.mu.Unlock()
 }
 
+// holderEntry is one granted lock. Entries are pooled (sync.Pool plus the
+// per-tx freelist) and linked into the head's lock-free holder chain, so
+// every field a lock-free observer may read is atomic: a stale reader that
+// reaches a recycled entry sees typed, internally consistent values, and its
+// seqlock recheck discards the read.
 type holderEntry struct {
-	tx    *Tx
-	mode  Mode // guarded by the partition mutex of the entry's resource
-	short bool // true while only short-duration requests produced this lock
+	txp   atomic.Pointer[Tx]
+	state atomic.Uint32               // mode | short flag; see pack/loadState
+	next  atomic.Pointer[holderEntry] // holder-chain link
+
+	// hash is the resource's fnv1a hash, cached at grant time so release
+	// needn't rehash. Owner-written before the entry is published; lock-free
+	// observers never read it.
+	hash uint64
+
+	// cacheEpoch is the lock-cache stamp (see Tx.cacheEpoch). Guarded by
+	// the owner's Tx mutex; lock-free observers never read it.
+	cacheEpoch uint64
 }
 
+const entryShortFlag = 1 << 8
+
+func (e *holderEntry) loadState() (Mode, bool) {
+	s := e.state.Load()
+	return Mode(s & 0xFF), s&entryShortFlag != 0
+}
+
+func (e *holderEntry) mode() Mode { return Mode(e.state.Load() & 0xFF) }
+
+func (e *holderEntry) isShort() bool { return e.state.Load()&entryShortFlag != 0 }
+
+func (e *holderEntry) setState(m Mode, short bool) {
+	v := uint32(m)
+	if short {
+		v |= entryShortFlag
+	}
+	e.state.Store(v)
+}
+
+// request is one queued lock request. Requests are pooled; as with
+// holderEntry, the fields lock-free observers may read (txp, meta) are
+// atomic. res/short are touched only by the owner and under the partition
+// mutex.
 type request struct {
-	tx         *Tx
-	res        Resource
-	target     Mode // effective mode after grant (converted for conversions)
-	short      bool
-	conversion bool
-	seq        uint64 // global block order; the detector scans newest-first
-	result     chan error
-
-	// grantedMode/grantedShort are stamped under the partition mutex before
-	// result delivers nil; the owner reads them after receiving (the channel
-	// provides the happens-before edge) to refresh its lock cache.
-	grantedMode  Mode
-	grantedShort bool
+	txp  atomic.Pointer[Tx]
+	meta atomic.Uint64 // seq<<16 | target<<8 | flags
+	res  Resource
+	shrt bool
+	// result is buffered (capacity 1) and reused across pool cycles; every
+	// dequeue sends exactly one value and the owner receives it before the
+	// request is repooled.
+	result chan error
 }
 
+const reqConvFlag = 1 << 0
+
+func (r *request) target() Mode     { return Mode(r.meta.Load() >> 8 & 0xFF) }
+func (r *request) seq() uint64      { return r.meta.Load() >> 16 }
+func (r *request) conversion() bool { return r.meta.Load()&reqConvFlag != 0 }
+
+// clearConversion demotes the request to a fresh (non-conversion) request —
+// the holder aborted between enqueue and sweep. Caller holds the partition
+// mutex (sole writer; the atomic store keeps lock-free readers consistent).
+func (r *request) clearConversion() { r.meta.Store(r.meta.Load() &^ reqConvFlag) }
+
+// lockHead is one resource's lock state. The packed word (see word.go) is
+// the fast path's entire view; the holder chain is the authoritative granted
+// group; the queue is a copy-on-write slice so lock-free observers can read
+// a loaded snapshot without racing slow-path mutations.
 type lockHead struct {
-	granted map[TxID]*holderEntry
-	queue   []*request
+	// word is the packed granted-group summary the CAS fast path grants
+	// against. While sealed, the slow path owns the head and the fast path
+	// stands off.
+	word atomic.Uint64
+
+	// inflight counts fast-path grants between their word-CAS and the
+	// completion of their holder-chain push. The slow path seals the word
+	// and then waits for inflight to drain, after which the chain is
+	// authoritative and no further fast mutation can occur.
+	inflight atomic.Int32
+
+	// holders is the granted group as a singly linked chain. Fast grants
+	// push at the chain head with CAS; unlinking happens only under the
+	// partition mutex with the word sealed and inflight drained.
+	holders atomic.Pointer[holderEntry]
+
+	// waitq is the FIFO wait queue (conversions queued ahead, see
+	// enqueueLocked). The slice is copy-on-write under the partition mutex:
+	// mutations build a fresh array, so a slice loaded by an observer is
+	// never written again. nil when empty.
+	waitq atomic.Pointer[[]*request]
+
+	// dead marks a head that was garbage-collected out of the index; its
+	// word stays sealed forever so a stale fast-path lookup diverts to the
+	// slow path (which resolves the resource afresh under the mutex). Heads
+	// are never pooled — reusing one for a different resource would let a
+	// stale reader grant against the wrong resource. Guarded by the
+	// partition mutex.
+	dead bool
+}
+
+func (h *lockHead) queueLocked() []*request {
+	if p := h.waitq.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (h *lockHead) setQueueLocked(q []*request) {
+	if len(q) == 0 {
+		h.waitq.Store(nil)
+		return
+	}
+	h.waitq.Store(&q)
+}
+
+// enqueueLocked appends req (conversions overtake non-conversion waiters but
+// queue FIFO among themselves). Caller holds the partition mutex.
+func (h *lockHead) enqueueLocked(req *request, conversion bool) {
+	q := h.queueLocked()
+	nq := make([]*request, 0, len(q)+1)
+	if conversion {
+		pos := 0
+		for pos < len(q) && q[pos].conversion() {
+			pos++
+		}
+		nq = append(nq, q[:pos]...)
+		nq = append(nq, req)
+		nq = append(nq, q[pos:]...)
+	} else {
+		nq = append(nq, q...)
+		nq = append(nq, req)
+	}
+	h.setQueueLocked(nq)
+}
+
+// pushHolder links e at the chain head. Lock-free: used by the fast path
+// concurrently with other fast pushes (never concurrently with slow-path
+// unlinks, which run sealed-and-drained).
+func pushHolder(h *lockHead, e *holderEntry) {
+	for {
+		old := h.holders.Load()
+		e.next.Store(old)
+		if h.holders.CompareAndSwap(old, e) {
+			return
+		}
+	}
+}
+
+// unlinkHolder removes e from the chain. Caller holds the partition mutex
+// with the head sealed and drained (no concurrent pushes).
+func unlinkHolder(h *lockHead, e *holderEntry) {
+	if h.holders.Load() == e {
+		h.holders.Store(e.next.Load())
+		return
+	}
+	for p := h.holders.Load(); p != nil; p = p.next.Load() {
+		if p.next.Load() == e {
+			p.next.Store(e.next.Load())
+			return
+		}
+	}
+}
+
+// sealHeadLocked transfers ownership of the head to the slow path: set the
+// seal bit (stopping new fast grants) and wait out in-flight ones. After it
+// returns, the holder chain is authoritative and only the caller mutates the
+// head until it republishes the word. Caller holds the partition mutex.
+func sealHeadLocked(h *lockHead) {
+	w := h.word.Load()
+	for w&wordSealed == 0 {
+		if h.word.CompareAndSwap(w, w|wordSealed) {
+			break
+		}
+		w = h.word.Load()
+	}
+	// A successful fast-path CAS always happens between an inflight
+	// increment and decrement, so once inflight reads zero every fast grant
+	// that beat the seal has finished its chain push.
+	for h.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
 }
 
 // DeadlockInfo describes one detected cycle; it is passed to the OnDeadlock
@@ -185,40 +354,84 @@ type Options struct {
 	Metrics *metrics.Registry
 }
 
-// stripe is one lock-table partition: its own mutex, granted groups, and
-// wait queues for the resources that hash here.
+// stripe is one lock-table partition: its own mutex, a lock-free head index,
+// and a seqlock generation counter so observers can take stable reads
+// without blocking anyone.
 type stripe struct {
-	mu    sync.Mutex
-	locks map[Resource]*lockHead
+	mu sync.Mutex
+
+	// seq is the stripe's seqlock: odd while a mutating critical section is
+	// open (lock/unlock below), even when quiescent. Observers read the
+	// stripe's atomics between two equal even loads; on failure they retry
+	// and eventually fall back to mu. Fast-path grants do not bump seq —
+	// they only add a holder-chain entry, which an observer either sees
+	// complete or not at all (the entry is fully initialized before its
+	// push), so they cannot tear a stable read.
+	seq atomic.Uint64
+
+	// index maps resources to heads; reads are lock-free, mutations happen
+	// under mu.
+	index headIndex
 
 	// waits counts requests that blocked on this partition — the
 	// per-partition contention metric the benchmark harness reports.
 	waits atomic.Uint64
 
-	_ [32]byte // keep adjacent stripes off one cache line
+	// emptySeen counts heads observed empty at release time; every
+	// gcInterval observations the stripe sweeps dead heads. Atomic because
+	// the mutex-free release path increments it too.
+	emptySeen atomic.Int64
+
+	_ [24]byte // keep adjacent stripes off one cache line
 }
 
-func (s *stripe) head(res Resource) *lockHead {
-	h := s.locks[res]
-	if h == nil {
-		h = &lockHead{granted: make(map[TxID]*holderEntry)}
-		s.locks[res] = h
+// lock/unlock wrap mu with the seqlock bumps. Every mutating critical
+// section must use these; read-only sections may take mu directly.
+func (s *stripe) lock() {
+	s.mu.Lock()
+	s.seq.Add(1)
+}
+
+func (s *stripe) unlock() {
+	s.seq.Add(1)
+	s.mu.Unlock()
+}
+
+// headLocked resolves res to its head, creating (and publishing to the
+// index) a sealed head if absent. Caller holds the stripe mutex.
+func (s *stripe) headLocked(res Resource, hash uint64) *lockHead {
+	if h := s.index.lookup(res, hash); h != nil {
+		return h
 	}
+	h := &lockHead{}
+	h.word.Store(wordSealed) // the open critical section owns it until publish
+	s.index.insertLocked(res, hash, h)
 	return h
 }
 
 // Manager is the lock manager: one lock table shared by all transactions of
 // an engine instance. The table is striped into partitions hashed by
-// Resource; each partition has its own mutex, so uncontended traffic on
-// different resources proceeds in parallel. Deadlock detection runs on a
-// dedicated goroutine over a cross-partition snapshot (see deadlock.go).
+// Resource. An uncontended, compatible request is granted by a single CAS on
+// the resource's packed granted-group word without touching any partition
+// mutex; conflicts, conversions, and queue-non-empty resources fall back to
+// the mutex+queue slow path, which keeps the FIFO fairness and deadlock
+// semantics unchanged. Deadlock detection runs on a dedicated goroutine
+// (see deadlock.go).
 type Manager struct {
 	table   ModeTable
 	timeout time.Duration
 	onDL    func(DeadlockInfo)
 
+	// ft is the packed-word view of table; nil when the table has too many
+	// modes for the word, which disables the fast path (every head stays
+	// sealed).
+	ft *fastTable
+
 	stripes []stripe
 	mask    uint64
+
+	entryPool sync.Pool // *holderEntry
+	reqPool   sync.Pool // *request
 
 	nextTx  atomic.Uint64
 	nextSeq atomic.Uint64
@@ -267,14 +480,17 @@ func newManager(table ModeTable, opts Options) *Manager {
 		table:   table,
 		timeout: to,
 		onDL:    opts.OnDeadlock,
+		ft:      newFastTable(table),
 		stripes: make([]stripe, pow),
 		mask:    uint64(pow - 1),
 		detKick: make(chan struct{}, 1),
 		detStop: make(chan struct{}),
 		detDone: make(chan struct{}),
 	}
+	m.entryPool.New = func() any { return new(holderEntry) }
+	m.reqPool.New = func() any { return &request{result: make(chan error, 1)} }
 	for i := range m.stripes {
-		m.stripes[i].locks = make(map[Resource]*lockHead)
+		m.stripes[i].index.init()
 	}
 	if reg := opts.Metrics; reg != nil {
 		m.hAcquire = reg.Histogram("lock.acquire")
@@ -331,24 +547,77 @@ func (m *Manager) stripeFor(res Resource) *stripe {
 	return &m.stripes[fnv1a(string(res))&m.mask]
 }
 
+// headOf resolves res to its head (nil if absent). Caller holds the stripe
+// mutex (or all of them).
+func (m *Manager) headOf(res Resource) *lockHead {
+	hash := fnv1a(string(res))
+	return m.stripes[hash&m.mask].index.lookup(res, hash)
+}
+
 // Begin registers a new transaction.
 func (m *Manager) Begin() *Tx {
 	return &Tx{
-		id:    TxID(m.nextTx.Add(1)),
-		mgr:   m,
-		held:  make(map[Resource]*holderEntry),
-		cache: make(map[Resource]Mode),
+		id:   TxID(m.nextTx.Add(1)),
+		mgr:  m,
+		held: make(map[Resource]*holderEntry, 32),
 	}
 }
 
-// compatibleWithOthers reports whether mode can coexist with every granted
-// entry on h other than tx's own. Caller holds the partition mutex.
-func (m *Manager) compatibleWithOthers(h *lockHead, self TxID, mode Mode) bool {
-	for id, e := range h.granted {
-		if id == self {
+// takeEntryLocked pops a holder entry from the per-tx freelist or the shared
+// pool. Caller holds tx.mu.
+func (m *Manager) takeEntryLocked(tx *Tx) *holderEntry {
+	if e := tx.freeEntry; e != nil {
+		tx.freeEntry = nil
+		return e
+	}
+	return m.entryPool.Get().(*holderEntry)
+}
+
+// putEntryLocked recycles an unlinked entry. Caller holds tx.mu (tx may be
+// nil to bypass the freelist).
+func (m *Manager) putEntryLocked(tx *Tx, e *holderEntry) {
+	e.txp.Store(nil)
+	e.next.Store(nil)
+	if tx != nil && tx.freeEntry == nil {
+		tx.freeEntry = e
+		return
+	}
+	m.entryPool.Put(e)
+}
+
+// takeRequest builds a pooled request for a wait.
+func (m *Manager) takeRequest(tx *Tx, res Resource, target Mode, short, conv bool) *request {
+	r := m.reqPool.Get().(*request)
+	select { // defensive: a stale value must not satisfy the next wait
+	case <-r.result:
+	default:
+	}
+	r.txp.Store(tx)
+	r.res = res
+	r.shrt = short
+	flags := uint64(0)
+	if conv {
+		flags = reqConvFlag
+	}
+	r.meta.Store(m.nextSeq.Add(1)<<16 | uint64(target)<<8 | flags)
+	return r
+}
+
+func (m *Manager) putRequest(r *request) {
+	r.txp.Store(nil)
+	m.reqPool.Put(r)
+}
+
+// compatibleWithOthersLocked reports whether mode can coexist with every
+// granted entry on h other than self's own. Caller holds the partition
+// mutex with the head sealed (the chain is authoritative).
+func (m *Manager) compatibleWithOthersLocked(h *lockHead, self *Tx, mode Mode) bool {
+	for e := h.holders.Load(); e != nil; e = e.next.Load() {
+		t := e.txp.Load()
+		if t == nil || t == self {
 			continue
 		}
-		if !m.table.Compatible(e.mode, mode) {
+		if !m.table.Compatible(e.mode(), mode) {
 			return false
 		}
 	}
@@ -361,116 +630,205 @@ func (m *Manager) compatibleWithOthers(h *lockHead, self TxID, mode Mode) bool {
 // the entry to long duration.
 //
 // Re-requests covered by a long-duration lock the transaction already holds
-// are answered from the per-transaction cache without touching the shared
-// table — the hot path for protocols that re-acquire the same ancestor
-// intention locks on every navigation step.
+// are answered from the per-transaction cache (an epoch-stamped held entry)
+// without touching the shared table. A first acquisition whose resource
+// head is unsealed and whose mode is compatible with the packed
+// granted-group word is granted by CAS — no partition mutex, no allocation
+// (pooled entry). Everything else (conflict, conversion, queued waiters,
+// unknown resource) takes the slow path, which has the same semantics as
+// before the fast path existed.
+//
+// Like a cache hit, a fast grant does not consult tx's context: the
+// already-canceled-context-fails-upfront contract applies to requests that
+// would reach the slow path (and any request that could block does).
 func (m *Manager) Lock(tx *Tx, res Resource, mode Mode, short bool) error {
 	if mode == ModeNone {
 		return fmt.Errorf("lock: cannot request ModeNone on %q", res)
 	}
 	tx.mu.Lock()
-	done := tx.done
-	held, cached := tx.cache[res]
-	tx.mu.Unlock()
-	if done {
+	if tx.done {
+		tx.mu.Unlock()
 		m.stats.requests.Add(1)
 		return ErrTxDone
 	}
 	if tx.doomed.Load() {
+		tx.mu.Unlock()
 		m.stats.requests.Add(1)
 		return ErrDeadlockVictim
 	}
-	if cached && m.table.Convert(held, mode) == held {
-		// Counted as a request and an immediate grant too, by derivation in
-		// the stats snapshot.
-		m.stats.cacheHits.Add(1)
-		return nil
+	if e := tx.held[res]; e != nil {
+		hm, hshort := e.loadState()
+		if hm == mode || m.table.Convert(hm, mode) == hm {
+			if !hshort && e.cacheEpoch == tx.cacheEpoch {
+				tx.mu.Unlock()
+				// Counted as a request and an immediate grant too, by
+				// derivation in the stats snapshot.
+				m.stats.cacheHits.Add(1)
+				return nil
+			}
+			// Covered but not cache-answerable (short-held, or the cache
+			// was invalidated): a table re-request. The granted mode does
+			// not change, so the duration upgrade and the restamp are
+			// owner-local — no partition state is involved, exactly as the
+			// slow path would conclude after taking the partition mutex.
+			if tx.ctx != nil {
+				if cerr := tx.ctx.Err(); cerr != nil {
+					tx.mu.Unlock()
+					m.stats.requests.Add(1)
+					m.stats.canceled.Add(1)
+					return fmt.Errorf("%w: %w", ErrCanceled, cerr)
+				}
+			}
+			if !short && hshort {
+				e.setState(hm, false)
+			}
+			tx.stampLocked(e)
+			tx.mu.Unlock()
+			m.stats.requests.Add(1)
+			m.stats.immediateGrants.Add(1)
+			return nil
+		}
+		tx.mu.Unlock()
+		m.stats.requests.Add(1)
+		return m.lockSlow(tx, res, mode, short, fnv1a(string(res)))
 	}
+	hash := fnv1a(string(res))
+	if m.ft != nil {
+		if h := m.stripes[hash&m.mask].index.lookup(res, hash); h != nil &&
+			m.tryFastGrantLocked(tx, h, res, mode, short, hash) {
+			tx.mu.Unlock()
+			m.stats.requests.Add(1)
+			m.stats.immediateGrants.Add(1)
+			m.stats.fastGrants.Add(1)
+			return nil
+		}
+	}
+	tx.mu.Unlock()
 	m.stats.requests.Add(1)
-	return m.lockSlow(tx, res, mode, short)
+	return m.lockSlow(tx, res, mode, short, hash)
 }
 
-func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
+// tryFastGrantLocked attempts the CAS grant: admission is a single
+// compare-and-swap on the packed word, then the pooled entry is pushed onto
+// the lock-free holder chain. Caller holds tx.mu (only) and has verified tx
+// holds nothing on res. Returns false to divert to the slow path.
+func (m *Manager) tryFastGrantLocked(tx *Tx, h *lockHead, res Resource, mode Mode, short bool, hash uint64) bool {
+	ft := m.ft
+	if int(mode) >= len(ft.incompat) {
+		return false // out-of-range mode: let the slow path reject it
+	}
+	incompat := ft.incompat[mode]
+	w := h.word.Load()
+	if w&wordSealed != 0 || w&incompat != 0 {
+		return false
+	}
+	e := m.takeEntryLocked(tx)
+	e.txp.Store(tx)
+	e.setState(mode, short)
+	e.hash = hash
+	bit := ft.bit[mode]
+	h.inflight.Add(1)
+	for spin := 0; ; spin++ {
+		// The epoch bumps on every fast grant too — not just slow-path
+		// publishes — so a same-mode grant (whose bit is already set and
+		// would otherwise leave the word's value unchanged) is visible to
+		// the fast release's CAS (see tryFastRelease).
+		if h.word.CompareAndSwap(w, nextWord(w&wordModeMask|bit, w, false)) {
+			break
+		}
+		w = h.word.Load()
+		if spin >= 3 || w&wordSealed != 0 || w&incompat != 0 {
+			h.inflight.Add(-1)
+			m.putEntryLocked(tx, e)
+			return false
+		}
+	}
+	pushHolder(h, e)
+	h.inflight.Add(-1)
+	tx.held[res] = e
+	tx.stampLocked(e)
+	return true
+}
+
+func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool, hash uint64) error {
 	t0 := m.hAcquire.Start()
-	s := m.stripeFor(res)
-	s.mu.Lock()
+	s := &m.stripes[hash&m.mask]
+	s.lock()
 	tx.mu.Lock()
 	if tx.done {
 		tx.mu.Unlock()
-		s.mu.Unlock()
+		s.unlock()
 		return ErrTxDone
 	}
 	if tx.doomed.Load() {
 		tx.mu.Unlock()
-		s.mu.Unlock()
+		s.unlock()
 		return ErrDeadlockVictim
 	}
 	ctx := tx.ctx
 	if ctx != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			tx.mu.Unlock()
-			s.mu.Unlock()
+			s.unlock()
 			m.stats.canceled.Add(1)
 			return fmt.Errorf("%w: %w", ErrCanceled, cerr)
 		}
 	}
-	h := s.head(res)
+	h := s.headLocked(res, hash)
+	sealHeadLocked(h)
 	var req *request
 	if entry := tx.held[res]; entry != nil {
-		target := m.table.Convert(entry.mode, mode)
+		target := m.table.Convert(entry.mode(), mode)
 		if !short {
-			entry.short = false
+			entry.setState(entry.mode(), false)
 		}
-		if target == entry.mode {
-			tx.noteHeldLocked(res, entry)
+		if target == entry.mode() {
+			tx.stampLocked(entry)
 			tx.mu.Unlock()
-			s.mu.Unlock()
+			m.finishHeadLocked(s, h)
+			s.unlock()
 			m.stats.immediateGrants.Add(1)
 			m.hAcquire.Since(t0)
 			return nil
 		}
 		m.stats.conversions.Add(1)
-		if m.compatibleWithOthers(h, tx.id, target) {
-			entry.mode = target
-			tx.noteHeldLocked(res, entry)
+		if m.compatibleWithOthersLocked(h, tx, target) {
+			entry.setState(target, entry.isShort())
+			tx.stampLocked(entry)
 			tx.mu.Unlock()
-			s.mu.Unlock()
+			m.finishHeadLocked(s, h)
+			s.unlock()
 			m.stats.immediateGrants.Add(1)
 			m.hAcquire.Since(t0)
 			return nil
 		}
-		req = &request{tx: tx, res: res, target: target, short: short,
-			conversion: true, seq: m.nextSeq.Add(1), result: make(chan error, 1)}
-		// Conversions overtake non-conversion waiters but queue FIFO among
-		// themselves.
-		pos := 0
-		for pos < len(h.queue) && h.queue[pos].conversion {
-			pos++
-		}
-		h.queue = append(h.queue, nil)
-		copy(h.queue[pos+1:], h.queue[pos:])
-		h.queue[pos] = req
+		req = m.takeRequest(tx, res, target, short, true)
+		h.enqueueLocked(req, true)
 	} else {
-		if len(h.queue) == 0 && m.compatibleWithOthers(h, tx.id, mode) {
-			e := &holderEntry{tx: tx, mode: mode, short: short}
-			h.granted[tx.id] = e
+		if h.waitq.Load() == nil && m.compatibleWithOthersLocked(h, tx, mode) {
+			e := m.takeEntryLocked(tx)
+			e.txp.Store(tx)
+			e.setState(mode, short)
+			e.hash = hash
+			pushHolder(h, e)
 			tx.held[res] = e
-			tx.noteHeldLocked(res, e)
+			tx.stampLocked(e)
 			tx.mu.Unlock()
-			s.mu.Unlock()
+			m.finishHeadLocked(s, h)
+			s.unlock()
 			m.stats.immediateGrants.Add(1)
 			m.hAcquire.Since(t0)
 			return nil
 		}
-		req = &request{tx: tx, res: res, target: mode, short: short,
-			seq: m.nextSeq.Add(1), result: make(chan error, 1)}
-		h.queue = append(h.queue, req)
+		req = m.takeRequest(tx, res, mode, short, false)
+		h.enqueueLocked(req, false)
 	}
 
 	tx.waiting = req
 	tx.mu.Unlock()
 	s.waits.Add(1)
-	s.mu.Unlock()
+	m.finishHeadLocked(s, h)
+	s.unlock()
 	m.stats.waits.Add(1)
 	m.kickDetector()
 
@@ -482,7 +840,7 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 	tw := m.hWait.Start()
 	record := func() {
 		m.hWait.Since(tw)
-		if req.conversion {
+		if req.conversion() {
 			m.hConvWait.Since(tw)
 		}
 		m.hAcquire.Since(t0)
@@ -492,27 +850,31 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 	// context cancellation; a grant that raced the decision is honored (and
 	// the failure counter is only bumped when the failure stands).
 	abandon := func(failure error, counter *atomic.Uint64) error {
-		s.mu.Lock()
+		s.lock()
 		select {
 		case err := <-req.result:
 			// Grant raced with the timeout/cancellation; honor the grant.
-			s.mu.Unlock()
+			s.unlock()
 			record()
 			if err == nil {
-				tx.noteGrant(res, req.grantedMode, req.grantedShort)
+				tx.stampGrant(res)
 			}
+			m.putRequest(req)
 			return err
 		default:
 		}
-		m.removeRequestLocked(s, req)
+		sealHeadLocked(h)
+		m.removeRequestLocked(s, h, req)
 		tx.mu.Lock()
 		if tx.waiting == req {
 			tx.waiting = nil
 		}
 		tx.mu.Unlock()
-		s.mu.Unlock()
+		m.finishHeadLocked(s, h)
+		s.unlock()
 		counter.Add(1)
 		record()
+		m.putRequest(req)
 		return failure
 	}
 
@@ -526,8 +888,9 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 	case err := <-req.result:
 		record()
 		if err == nil {
-			tx.noteGrant(res, req.grantedMode, req.grantedShort)
+			tx.stampGrant(res)
 		}
+		m.putRequest(req)
 		return err
 	case <-ctxDone:
 		return abandon(fmt.Errorf("%w: %w", ErrCanceled, ctx.Err()), &m.stats.canceled)
@@ -536,34 +899,106 @@ func (m *Manager) lockSlow(tx *Tx, res Resource, mode Mode, short bool) error {
 	}
 }
 
-// removeRequestLocked drops req from its queue (if still present). Caller
-// holds the partition mutex and no Tx mutex.
-func (m *Manager) removeRequestLocked(s *stripe, req *request) {
-	h := s.locks[req.res]
-	if h == nil {
-		return
+// finishHeadLocked republishes the packed word at the end of a slow-path
+// critical section: recompute the holder bitset from the chain, bump the
+// epoch, and seal iff the fast path must stay off (waiters present, fast
+// path disabled, or head dead). Cleared entries a fast release could not
+// unlink (see tryFastRelease) are pruned and repooled here — the head is
+// sealed and drained, so the chain is exclusively ours. Empty heads feed
+// the stripe's lazy GC. Caller holds the partition mutex.
+func (m *Manager) finishHeadLocked(s *stripe, h *lockHead) {
+	m.pruneChainLocked(h)
+	var bits uint64
+	empty := true
+	for e := h.holders.Load(); e != nil; e = e.next.Load() {
+		empty = false
+		if m.ft != nil {
+			bits |= m.ft.bit[e.mode()]
+		}
 	}
-	for i, r := range h.queue {
+	sealed := m.ft == nil || h.dead
+	if q := h.queueLocked(); len(q) > 0 {
+		sealed = true
+		empty = false
+	}
+	h.word.Store(nextWord(bits, h.word.Load(), sealed))
+	if empty && !h.dead {
+		if s.emptySeen.Add(1) >= gcInterval {
+			m.gcStripeLocked(s)
+		}
+	}
+}
+
+// pruneChainLocked unlinks and repools the cleared entries a fast release
+// could not unlink itself. Caller holds the partition mutex with the head
+// sealed and drained.
+func (m *Manager) pruneChainLocked(h *lockHead) {
+	for e := h.holders.Load(); e != nil; {
+		next := e.next.Load()
+		if e.txp.Load() == nil {
+			unlinkHolder(h, e)
+			e.next.Store(nil)
+			m.entryPool.Put(e)
+		}
+		e = next
+	}
+}
+
+// gcStripeLocked sweeps the stripe's empty heads out of the index so the
+// table does not grow with every resource ever touched. Dead heads stay
+// sealed forever; a fast path holding a stale pointer diverts to the slow
+// path, which resolves the resource afresh. Caller holds the stripe mutex.
+func (m *Manager) gcStripeLocked(s *stripe) {
+	s.emptySeen.Store(0)
+	b := s.index.buckets.Load()
+	for i := range b.slots {
+		prev := &b.slots[i]
+		for sl := prev.Load(); sl != nil; sl = prev.Load() {
+			h := sl.head
+			sealHeadLocked(h)
+			m.pruneChainLocked(h)
+			if h.holders.Load() == nil && h.waitq.Load() == nil {
+				h.dead = true // word stays sealed
+				prev.Store(sl.next.Load())
+				s.index.count--
+				continue
+			}
+			m.finishHeadLocked(s, h)
+			prev = &sl.next
+		}
+	}
+}
+
+// removeRequestLocked drops req from h's queue (if still present), then
+// sweeps — removing a waiter may unblock those behind it. Caller holds the
+// partition mutex with the head sealed.
+func (m *Manager) removeRequestLocked(s *stripe, h *lockHead, req *request) {
+	q := h.queueLocked()
+	for i, r := range q {
 		if r == req {
-			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			nq := make([]*request, 0, len(q)-1)
+			nq = append(nq, q[:i]...)
+			nq = append(nq, q[i+1:]...)
+			h.setQueueLocked(nq)
 			break
 		}
 	}
-	// Removing a waiter may unblock those behind it.
 	m.sweepLocked(s, h)
 }
 
 // sweepLocked grants queued requests from the front for as long as they are
 // compatible, preserving FIFO fairness (the first non-grantable waiter
-// blocks everything behind it). Caller holds the partition mutex and no Tx
-// mutex.
+// blocks everything behind it). Caller holds the partition mutex with the
+// head sealed, and no Tx mutex.
 func (m *Manager) sweepLocked(s *stripe, h *lockHead) {
-	for len(h.queue) > 0 {
-		req := h.queue[0]
-		rtx := req.tx
+	q := h.queueLocked()
+	granted := 0
+	for granted < len(q) {
+		req := q[granted]
+		rtx := req.txp.Load()
 		rtx.mu.Lock()
 		if rtx.done || rtx.doomed.Load() {
-			h.queue = h.queue[1:]
+			granted++
 			if rtx.waiting == req {
 				rtx.waiting = nil
 			}
@@ -571,40 +1006,44 @@ func (m *Manager) sweepLocked(s *stripe, h *lockHead) {
 			req.result <- ErrDeadlockVictim
 			continue
 		}
-		if req.conversion {
-			entry := h.granted[rtx.id]
+		target := req.target()
+		if req.conversion() {
+			entry := rtx.held[req.res]
 			if entry == nil {
 				// The holder aborted between enqueue and sweep; treat as a
 				// fresh request.
-				req.conversion = false
+				req.clearConversion()
 				rtx.mu.Unlock()
 				continue
 			}
-			if !m.compatibleWithOthers(h, rtx.id, req.target) {
+			if !m.compatibleWithOthersLocked(h, rtx, target) {
 				rtx.mu.Unlock()
-				return
+				break
 			}
-			entry.mode = req.target
-			if !req.short {
-				entry.short = false
-			}
-			req.grantedMode, req.grantedShort = entry.mode, entry.short
+			entry.setState(target, entry.isShort() && req.shrt)
 		} else {
-			if !m.compatibleWithOthers(h, rtx.id, req.target) {
+			if !m.compatibleWithOthersLocked(h, rtx, target) {
 				rtx.mu.Unlock()
-				return
+				break
 			}
-			e := &holderEntry{tx: rtx, mode: req.target, short: req.short}
-			h.granted[rtx.id] = e
+			e := m.takeEntryLocked(rtx)
+			e.txp.Store(rtx)
+			e.setState(target, req.shrt)
+			e.hash = fnv1a(string(req.res))
+			pushHolder(h, e)
 			rtx.held[req.res] = e
-			req.grantedMode, req.grantedShort = e.mode, e.short
 		}
-		h.queue = h.queue[1:]
+		granted++
 		if rtx.waiting == req {
 			rtx.waiting = nil
 		}
 		rtx.mu.Unlock()
 		req.result <- nil
+	}
+	if granted > 0 {
+		// Copy, don't subslice: a loaded queue slice must never share a
+		// backing array a later enqueue could write into.
+		h.setQueueLocked(append([]*request(nil), q[granted:]...))
 	}
 }
 
@@ -619,8 +1058,9 @@ func (m *Manager) ReleaseAll(tx *Tx) {
 		// Defensive: with the one-goroutine-per-transaction discipline the
 		// owner cannot be blocked in Lock while calling ReleaseAll, but a
 		// stale pending request must not outlive the transaction.
-		s := m.stripeFor(w.res)
-		s.mu.Lock()
+		hash := fnv1a(string(w.res))
+		s := &m.stripes[hash&m.mask]
+		s.lock()
 		tx.mu.Lock()
 		stillWaiting := tx.waiting == w
 		tx.waiting = nil
@@ -629,106 +1069,172 @@ func (m *Manager) ReleaseAll(tx *Tx) {
 			// Not yet granted (sweeps clear waiting before completing a
 			// request, and we hold the partition mutex), so completing it
 			// here cannot race with a grant.
-			m.removeRequestLocked(s, w)
+			if h := s.index.lookup(w.res, hash); h != nil {
+				sealHeadLocked(h)
+				m.removeRequestLocked(s, h, w)
+				m.finishHeadLocked(s, h)
+			}
 			w.result <- ErrTxDone
 		}
-		s.mu.Unlock()
+		s.unlock()
 	}
 	// No sweep can grant to tx anymore (done is set), so the held snapshot
 	// is complete.
 	tx.mu.Lock()
-	resources := make([]Resource, 0, len(tx.held))
-	for res := range tx.held {
-		resources = append(resources, res)
+	pairs := make([]heldPair, 0, len(tx.held))
+	for res, e := range tx.held {
+		pairs = append(pairs, heldPair{res, e})
 	}
 	tx.mu.Unlock()
-	// One partition mutex at a time, so no cross-partition lock order to
-	// respect here (and no allocation to group by partition).
-	for _, res := range resources {
-		s := m.stripeFor(res)
-		s.mu.Lock()
-		tx.mu.Lock()
-		e := tx.held[res]
-		delete(tx.held, res)
-		tx.mu.Unlock()
-		if e == nil {
-			s.mu.Unlock()
-			continue
+	// Sole-holder entries release with one CAS; the rest take their
+	// partition mutex one at a time, so there is no cross-partition lock
+	// order to respect here.
+	for i := range pairs {
+		p := &pairs[i]
+		ok, pooled := m.tryFastRelease(p.res, p.e)
+		if !ok {
+			m.releaseOne(p.res, p.e)
+		} else if !pooled {
+			p.e = nil // still chained; the next sealed section repools it
 		}
-		h := s.locks[res]
-		delete(h.granted, tx.id)
-		m.sweepLocked(s, h)
-		m.maybeDropHeadLocked(s, res, h)
-		s.mu.Unlock()
 	}
-	tx.InvalidateCache()
+	tx.mu.Lock()
+	clear(tx.held)
+	for _, p := range pairs {
+		if p.e != nil {
+			m.putEntryLocked(tx, p.e)
+		}
+	}
+	tx.mu.Unlock()
+}
+
+type heldPair struct {
+	res Resource
+	e   *holderEntry
+}
+
+// tryFastRelease attempts the mutex-free release of a sole-holder entry: if
+// e is the only granted entry on its head (its mode bit is the whole word
+// and it is alone on the chain) with no waiters (a non-empty queue keeps
+// the head sealed), the release is one CAS emptying the word. The word's
+// epoch — bumped by every publish AND every fast grant — makes any
+// interleaved grant fail the CAS, including a same-mode grant whose bit
+// would not change. Returns (released, pooled): on released==false nothing
+// happened and the caller must take the slow path; pooled==false means the
+// release succeeded but a racing grant re-chained ahead of the (already
+// cleared) entry before it could be unlinked, so the entry must NOT be
+// reused until a sealed section prunes it (finishHeadLocked repools it).
+func (m *Manager) tryFastRelease(res Resource, e *holderEntry) (bool, bool) {
+	if m.ft == nil {
+		return false, false
+	}
+	mode := e.mode()
+	if int(mode) >= len(m.ft.bit) {
+		return false, false
+	}
+	bit := m.ft.bit[mode]
+	s := &m.stripes[e.hash&m.mask]
+	h := s.index.lookup(res, e.hash)
+	if h == nil {
+		return false, false
+	}
+	h.inflight.Add(1)
+	w := h.word.Load()
+	if w&wordSealed != 0 || w&wordModeMask != bit ||
+		h.holders.Load() != e || e.next.Load() != nil {
+		h.inflight.Add(-1)
+		return false, false
+	}
+	if !h.word.CompareAndSwap(w, nextWord(0, w, false)) {
+		h.inflight.Add(-1)
+		return false, false
+	}
+	e.txp.Store(nil) // invisible to every reader from here on
+	pooled := h.holders.CompareAndSwap(e, nil)
+	h.inflight.Add(-1)
+	if s.emptySeen.Add(1) >= gcInterval {
+		s.lock()
+		m.gcStripeLocked(s)
+		s.unlock()
+	}
+	return true, pooled
+}
+
+// releaseOne unlinks one granted entry and sweeps its head. The entry is
+// left for the caller to recycle (it is unreachable once unlinked). The
+// resource hash was cached in the entry at grant time.
+func (m *Manager) releaseOne(res Resource, e *holderEntry) {
+	hash := e.hash
+	s := &m.stripes[hash&m.mask]
+	s.lock()
+	h := s.index.lookup(res, hash)
+	if h == nil {
+		s.unlock()
+		return
+	}
+	sealHeadLocked(h)
+	unlinkHolder(h, e)
+	e.txp.Store(nil)
+	m.sweepLocked(s, h)
+	m.finishHeadLocked(s, h)
+	s.unlock()
 }
 
 // ReleaseShort releases the locks tx acquired only with short duration —
 // the end-of-operation release for isolation levels uncommitted and
-// committed read. Short entries are never cached, so the lock cache stays
-// valid across this partial release (the transaction layer may still choose
-// to invalidate it).
+// committed read. Short entries are never cache-stamped, so the lock cache
+// stays valid across this partial release (the transaction layer may still
+// choose to invalidate it). Only the owner converts its entries, so reading
+// the short flag under tx.mu alone is sound.
 func (m *Manager) ReleaseShort(tx *Tx) {
+	var pairs []heldPair
 	tx.mu.Lock()
-	resources := make([]Resource, 0, len(tx.held))
-	for res := range tx.held {
-		resources = append(resources, res)
+	for res, e := range tx.held {
+		if e.isShort() {
+			pairs = append(pairs, heldPair{res, e})
+		}
+	}
+	for _, p := range pairs {
+		delete(tx.held, p.res)
 	}
 	tx.mu.Unlock()
-	for _, res := range resources {
-		s := m.stripeFor(res)
-		s.mu.Lock()
-		tx.mu.Lock()
-		e := tx.held[res]
-		if e == nil || !e.short { // e.short guarded by s.mu, held here
-			tx.mu.Unlock()
-			s.mu.Unlock()
-			continue
+	for i := range pairs {
+		p := &pairs[i]
+		ok, pooled := m.tryFastRelease(p.res, p.e)
+		if !ok {
+			m.releaseOne(p.res, p.e)
+		} else if !pooled {
+			p.e = nil
 		}
-		delete(tx.held, res)
+	}
+	if len(pairs) > 0 {
+		tx.mu.Lock()
+		for _, p := range pairs {
+			if p.e != nil {
+				m.putEntryLocked(tx, p.e)
+			}
+		}
 		tx.mu.Unlock()
-		h := s.locks[res]
-		delete(h.granted, tx.id)
-		m.sweepLocked(s, h)
-		m.maybeDropHeadLocked(s, res, h)
-		s.mu.Unlock()
 	}
 }
 
-// maybeDropHeadLocked garbage-collects empty lock heads so the table does
-// not grow with every node ever touched.
-func (m *Manager) maybeDropHeadLocked(s *stripe, res Resource, h *lockHead) {
-	if len(h.granted) == 0 && len(h.queue) == 0 {
-		delete(s.locks, res)
-	}
-}
-
-// HeldMode returns the mode tx holds on res (ModeNone if none), read from
-// the lock table — a test and debugging aid.
+// HeldMode returns the mode tx holds on res (ModeNone if none) — a test and
+// debugging aid. The entry state is atomic and only the owner converts it,
+// so tx.mu alone suffices.
 func (m *Manager) HeldMode(tx *Tx, res Resource) Mode {
-	s := m.stripeFor(res)
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	if e := tx.held[res]; e != nil {
-		return e.mode
+		return e.mode()
 	}
 	return ModeNone
 }
 
-// HeldModeCached returns the mode tx holds on res, answering from the
-// per-transaction cache when possible (one uncontended Tx mutex instead of
-// a shared partition mutex). Protocols use it for held-mode checks on their
-// locking hot path (e.g. taDOM's fan-out conversion tests).
+// HeldModeCached returns the mode tx holds on res. Protocols use it for
+// held-mode checks on their locking hot path (e.g. taDOM's fan-out
+// conversion tests). With the cache carried on the held entries themselves
+// it is the same single-map lookup as HeldMode; the name survives as API.
 func (m *Manager) HeldModeCached(tx *Tx, res Resource) Mode {
-	tx.mu.Lock()
-	mode, ok := tx.cache[res]
-	tx.mu.Unlock()
-	if ok {
-		return mode
-	}
 	return m.HeldMode(tx, res)
 }
 
@@ -748,11 +1254,12 @@ func (m *Manager) Waiting(tx *Tx) bool {
 
 // QueueLength returns the number of waiters on res (test aid).
 func (m *Manager) QueueLength(res Resource) int {
-	s := m.stripeFor(res)
-	s.mu.Lock()
+	hash := fnv1a(string(res))
+	s := &m.stripes[hash&m.mask]
+	s.mu.Lock() // read-only: no seqlock bump needed
 	defer s.mu.Unlock()
-	if h := s.locks[res]; h != nil {
-		return len(h.queue)
+	if h := s.index.lookup(res, hash); h != nil {
+		return len(h.queueLocked())
 	}
 	return 0
 }

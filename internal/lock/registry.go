@@ -1,0 +1,117 @@
+package lock
+
+import "sync/atomic"
+
+// headIndex is a per-stripe resource→lockHead index readable without the
+// stripe mutex — the lock-free registry the fast path resolves resources
+// through (the apache-lucy LockFreeRegistry shape: atomic bucket chains,
+// insert-by-CAS-visible-publish, reads never block). All *mutations* happen
+// under the stripe mutex, which is what keeps the structure simple: readers
+// only ever follow atomic pointers, and a reader racing a grow or an unlink
+// at worst misses an entry — a miss sends the request to the slow path,
+// which re-resolves under the mutex, so a stale view is never wrong, only
+// slow.
+//
+// Slots are never reused for a different resource, so a stale reader cannot
+// be redirected to the wrong head (the ABA that makes pooled heads unsound —
+// lock heads are therefore never pooled either).
+type headSlot struct {
+	hash uint64
+	res  Resource
+	head *lockHead
+	next atomic.Pointer[headSlot]
+}
+
+type headBuckets struct {
+	mask  uint64
+	slots []atomic.Pointer[headSlot]
+}
+
+type headIndex struct {
+	buckets atomic.Pointer[headBuckets]
+	count   int // live slots; guarded by the stripe mutex
+}
+
+// bucketOf picks the bucket from the high hash bits: the low bits already
+// chose the stripe, so they are constant within one index.
+func (b *headBuckets) bucketOf(hash uint64) *atomic.Pointer[headSlot] {
+	return &b.slots[(hash>>32)&b.mask]
+}
+
+func (ix *headIndex) init() {
+	b := &headBuckets{mask: 7, slots: make([]atomic.Pointer[headSlot], 8)}
+	ix.buckets.Store(b)
+}
+
+// lookup resolves res without any mutex. Safe concurrently with mutations;
+// may return nil (or a sealed dead head) while a mutation is in flight —
+// both divert the caller to the slow path.
+func (ix *headIndex) lookup(res Resource, hash uint64) *lockHead {
+	b := ix.buckets.Load()
+	for sl := b.bucketOf(hash).Load(); sl != nil; sl = sl.next.Load() {
+		if sl.hash == hash && sl.res == res {
+			return sl.head
+		}
+	}
+	return nil
+}
+
+// insertLocked publishes a new head. Caller holds the stripe mutex and has
+// checked res is absent.
+func (ix *headIndex) insertLocked(res Resource, hash uint64, h *lockHead) {
+	b := ix.buckets.Load()
+	if ix.count >= 2*len(b.slots) {
+		b = ix.growLocked(b)
+	}
+	bucket := b.bucketOf(hash)
+	sl := &headSlot{hash: hash, res: res, head: h}
+	sl.next.Store(bucket.Load())
+	bucket.Store(sl) // publish: the slot is fully initialized before this
+	ix.count++
+}
+
+// growLocked doubles the bucket array twice over. Existing slots are left
+// untouched (readers mid-walk on the old array keep a complete, merely
+// stale view); the new array gets fresh slot objects.
+func (ix *headIndex) growLocked(old *headBuckets) *headBuckets {
+	nb := &headBuckets{mask: uint64(len(old.slots))*4 - 1,
+		slots: make([]atomic.Pointer[headSlot], len(old.slots)*4)}
+	for i := range old.slots {
+		for sl := old.slots[i].Load(); sl != nil; sl = sl.next.Load() {
+			bucket := nb.bucketOf(sl.hash)
+			ns := &headSlot{hash: sl.hash, res: sl.res, head: sl.head}
+			ns.next.Store(bucket.Load())
+			bucket.Store(ns)
+		}
+	}
+	ix.buckets.Store(nb)
+	return nb
+}
+
+// removeLocked unlinks res. Caller holds the stripe mutex. A concurrent
+// reader that already loaded the slot still sees its (dead-sealed) head;
+// the seal diverts it to the slow path.
+func (ix *headIndex) removeLocked(res Resource, hash uint64) {
+	b := ix.buckets.Load()
+	prev := b.bucketOf(hash)
+	for sl := prev.Load(); sl != nil; sl = prev.Load() {
+		if sl.hash == hash && sl.res == res {
+			prev.Store(sl.next.Load())
+			ix.count--
+			return
+		}
+		prev = &sl.next
+	}
+}
+
+// walk visits every (resource, head) pair. Safe both under the stripe mutex
+// (exact) and lock-free (stale-but-typed; callers pair it with the stripe
+// seqlock for stability).
+func (ix *headIndex) walk(f func(res Resource, h *lockHead)) {
+	b := ix.buckets.Load()
+	for i := range b.slots {
+		for sl := b.slots[i].Load(); sl != nil; sl = sl.next.Load() {
+			f(sl.res, sl.head)
+		}
+	}
+}

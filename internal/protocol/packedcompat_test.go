@@ -1,0 +1,20 @@
+package protocol
+
+import (
+	"testing"
+
+	"repro/internal/lock"
+)
+
+// TestPackedCompatAllProtocols verifies the lock manager's packed
+// granted-group-word encoding against every protocol's compatibility matrix:
+// the CAS fast path must answer exactly as the matrix for all (held,
+// requested) mode pairs. This is the contract that lets the fast path grant
+// without consulting the table.
+func TestPackedCompatAllProtocols(t *testing.T) {
+	for _, p := range All() {
+		if err := lock.VerifyPackedCompat(p.Table()); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
