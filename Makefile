@@ -7,7 +7,7 @@ SHELL := /bin/bash
 
 GO ?= go
 
-.PHONY: build test verify bench-lock bench-wal bench-buffer bench-recovery bench-all bench-server chaos netchaos recovery metrics server
+.PHONY: build test verify bench-lock bench-wal bench-buffer bench-recovery bench-snapshot bench-all bench-server chaos netchaos recovery metrics server
 
 build:
 	$(GO) build ./...
@@ -132,6 +132,20 @@ bench-recovery:
 			printf "{\"date\":\"%s\",\"bench\":\"RecoveryRedoSpeedup/shards=16\",\"serial_redo_ns\":%s,\"parallel_redo_ns\":%s,\"speedup\":%.2f}\n", date, serial, par, serial / par }' \
 	>> BENCH_recovery.json
 
+# bench-snapshot compares MVCC snapshot reads (zero lock-manager traffic)
+# against taDOM2 read locks under a background writer, at 1/16/64 reader
+# goroutines, appending one JSON line per cell plus a readers=64 speedup
+# summary to BENCH_snapshot.json.
+bench-snapshot:
+	$(GO) test ./internal/node/ -run XXX -bench BenchmarkSnapshotReads -benchtime 1s -benchmem | \
+	awk -v date="$$(date -u +%Y-%m-%dT%H:%M:%SZ)" '/^BenchmarkSnapshotReads/ { \
+		printf "{\"date\":\"%s\",\"bench\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", date, $$1, $$2, $$3, $$5, $$7; \
+		if ($$1 ~ /\/snapshot\/readers=64(-|$$)/) snap = $$3; \
+		if ($$1 ~ /\/taDOM2\/readers=64(-|$$)/) lock = $$3 } \
+		END { if (snap > 0 && lock > 0) \
+			printf "{\"date\":\"%s\",\"bench\":\"SnapshotReadSpeedup/readers=64\",\"taDOM2_ns_per_op\":%s,\"snapshot_ns_per_op\":%s,\"speedup\":%.2f}\n", date, lock, snap, lock / snap }' \
+	>> BENCH_snapshot.json
+
 # bench-server sweeps the CLUSTER1 workload over every protocol at 1/16/64
 # pooled connections against an in-process loopback xtcd, appending one JSON
 # line per cell (throughput + request-latency percentiles) to
@@ -150,4 +164,4 @@ bench-server-scale:
 
 # bench-all runs every benchmark suite; any failing stage fails the target
 # (pipefail, see SHELL above).
-bench-all: bench-lock bench-wal bench-buffer bench-recovery bench-server
+bench-all: bench-lock bench-wal bench-buffer bench-recovery bench-snapshot bench-server

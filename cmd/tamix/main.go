@@ -60,12 +60,13 @@ func main() {
 		serverAddr = flag.String("server", "", "bench an xtcd server instead of regenerating figures: an address, or \"self\" for an in-process loopback daemon")
 		protoList  = flag.String("protocols", "all", "server mode: protocols to bench ("+protocol.NamesHelp()+")")
 		connList   = flag.String("conns", "1,16,64", "server mode: comma-separated pooled-connection counts to sweep")
+		isoName    = flag.String("iso", "repeatable", "server mode: isolation level (none, uncommitted, committed, repeatable, snapshot; \"snapshot\" runs the read-only transaction types at MVCC snapshot isolation — snapshot protocol only — with writers at repeatable)")
 		benchOut   = flag.String("out", "BENCH_server.json", "server mode: append one JSON line per cell to this file (\"-\" = stdout)")
 	)
 	flag.Parse()
 
 	if *serverAddr != "" {
-		if err := runServerBench(*serverAddr, *protoList, *connList, *benchOut, *docScale, *timeSc, *seed); err != nil {
+		if err := runServerBench(*serverAddr, *protoList, *connList, *isoName, *benchOut, *docScale, *timeSc, *seed); err != nil {
 			fatal(err)
 		}
 		return
@@ -194,10 +195,26 @@ type serverBenchRow struct {
 // addr is "self" — and appends one JSON line per cell to the out file. Every
 // run carries the server-side audit (Verify + LeakCheck) from the remote
 // TaMix path, so this doubles as an end-to-end integrity gate.
-func runServerBench(addr, protoList, connList, out string, docScale, timeSc float64, seed int64) error {
+func runServerBench(addr, protoList, connList, isoName, out string, docScale, timeSc float64, seed int64) error {
 	protos, err := protocol.ParseList(protoList)
 	if err != nil {
 		return err
+	}
+	iso, err := tx.ParseLevel(isoName)
+	if err != nil {
+		return err
+	}
+	if iso == tx.LevelSnapshot {
+		// Snapshot isolation is read-only, so the mixed CLUSTER1 workload
+		// keeps its writers at repeatable; the read-only transaction types
+		// pin snapshots (the remote engine downgrades them automatically
+		// for snapshot-read protocols).
+		iso = tx.LevelRepeatable
+		for _, p := range protos {
+			if !protocol.UsesSnapshotReads(p) {
+				return fmt.Errorf("-iso snapshot needs snapshot-read protocols; %s takes read locks (use -protocols snapshot)", p.Name())
+			}
+		}
 	}
 	var conns []int
 	for _, part := range strings.Split(connList, ",") {
@@ -242,7 +259,7 @@ func runServerBench(addr, protoList, connList, out string, docScale, timeSc floa
 
 	for _, p := range protos {
 		for _, c := range conns {
-			cfg := tamix.Cluster1Config(p.Name(), tx.LevelRepeatable, 5, docScale, timeSc)
+			cfg := tamix.Cluster1Config(p.Name(), iso, 5, docScale, timeSc)
 			cfg.Remote = addr
 			cfg.RemoteConns = c
 			cfg.Seed = seed

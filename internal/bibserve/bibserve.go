@@ -55,7 +55,9 @@ func NewEngineFactory(opts Options) func(p protocol.Protocol, depth int) (*serve
 		}
 		closeFn := doc.Close
 		var log *wal.Log
-		if opts.CheckpointInterval > 0 {
+		// The snapshot contestant needs a WAL even when checkpointing is off:
+		// commit LSNs are what its read snapshots pin.
+		if opts.CheckpointInterval > 0 || protocol.UsesSnapshotReads(p) {
 			log, err = wal.Open(wal.NewMemSegmentStore(), wal.Config{Retain: opts.WALRetain})
 			if err != nil {
 				doc.Close()
@@ -76,6 +78,9 @@ func NewEngineFactory(opts Options) func(p protocol.Protocol, depth int) (*serve
 		mgr := node.New(doc, p, node.Options{Depth: depth, LockTimeout: opts.LockTimeout})
 		if log != nil {
 			mgr.TxManager().SetWAL(log)
+			// A WAL-backed engine can serve tx.LevelSnapshot sessions: page
+			// versions pin commit-LSN snapshots for lock-free reads.
+			mgr.EnableSnapshotReads()
 		}
 		return &server.Engine{
 			Mgr: mgr,

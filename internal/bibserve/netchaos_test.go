@@ -619,3 +619,157 @@ func TestNetChaosFaultyNetworkTaMix(t *testing.T) {
 	t.Logf("faults injected: %+v; committed=%d aborted=%d elapsed=%v",
 		st, out.res.Committed, out.res.Aborted, out.res.Elapsed)
 }
+
+// commitCut wraps the connections one Dialer hands out: while armed, the
+// first OpCommit frame written is either forwarded — and the connection cut
+// the moment its response comes back, so the server committed but the
+// client never hears it — or cut before the frame leaves, so the commit
+// never happened. Exactly the two halves of the classic at-least-once
+// commit ambiguity.
+type commitCut struct {
+	net.Conn
+	afterSend bool
+	armed     *atomic.Bool
+	cut       atomic.Bool
+}
+
+func (c *commitCut) Write(b []byte) (int, error) {
+	// wire.WriteFrame emits each frame in a single Write call —
+	// [u32 len][payload][u32 crc] — so b[4] is the message opcode.
+	if len(b) >= 5 && wire.Op(b[4]) == wire.OpCommit && c.armed.CompareAndSwap(true, false) {
+		if !c.afterSend {
+			c.Conn.Close()
+			return 0, errors.New("netchaos: connection cut before commit frame")
+		}
+		n, err := c.Conn.Write(b)
+		c.cut.Store(true)
+		return n, err
+	}
+	return c.Conn.Write(b)
+}
+
+func (c *commitCut) Read(b []byte) (int, error) {
+	n, err := c.Conn.Read(b)
+	if c.cut.Load() && n > 0 {
+		// The commit's response reached the client side of the wire:
+		// proof the server processed the commit. Drop it and kill the
+		// connection so only the resume's fate report can say what happened.
+		c.Conn.Close()
+		return 0, errors.New("netchaos: connection cut before commit response")
+	}
+	return n, err
+}
+
+// TestNetChaosResumeCommitFate severs the connection around an OpCommit
+// round trip, on both sides of the ambiguity, and demands the resumed
+// session report the truth: a commit the server processed before the cut
+// returns nil (it landed exactly once — the resume's fate report vouches for
+// it), while a commit that never reached the server surfaces the usual
+// abort-worthy ErrConnLost error. A fresh transaction then audits the
+// document state against the verdict.
+func TestNetChaosResumeCommitFate(t *testing.T) {
+	const proto = "taDOM3"
+	srv := startServer(t, server.Config{})
+
+	for _, tc := range []struct {
+		name      string
+		afterSend bool
+	}{
+		{"commit-reached-server", true},
+		{"commit-never-sent", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			armed := &atomic.Bool{}
+			pool, err := client.Dial(srv.Addr(), client.Options{
+				Dialer: func(addr string, timeout time.Duration) (net.Conn, error) {
+					nc, err := net.DialTimeout("tcp", addr, timeout)
+					if err != nil {
+						return nil, err
+					}
+					return &commitCut{Conn: nc, afterSend: tc.afterSend, armed: armed}, nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pool.Close()
+			sess, err := pool.OpenSession(proto, tx.LevelRepeatable, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sess.Close()
+			cat, err := sess.Catalog()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Baseline: a committed attribute value the interrupted write must
+			// either replace (fate committed) or leave untouched (fate aborted).
+			seed, err := sess.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			book, err := sess.JumpToID(cat.Books[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.SetAttribute(book.ID, "fate", []byte("baseline")); err != nil {
+				t.Fatal(err)
+			}
+			if err := seed.Commit(); err != nil {
+				t.Fatal(err)
+			}
+
+			txn, err := sess.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.SetAttribute(book.ID, "fate", []byte("cut")); err != nil {
+				t.Fatal(err)
+			}
+			armed.Store(true)
+			err = txn.Commit()
+			want := []byte("baseline")
+			if tc.afterSend {
+				// The server committed before the cut; the fate report must turn
+				// the severed round trip into a clean nil.
+				if err != nil {
+					t.Fatalf("interrupted-but-landed commit = %v, want nil via fate report", err)
+				}
+				want = []byte("cut")
+			} else {
+				// The commit never left the client; the server aborted the
+				// transaction at session teardown and the fate report says so.
+				if err == nil {
+					t.Fatal("commit that never reached the server returned nil")
+				}
+				if !errors.Is(err, client.ErrConnLost) {
+					t.Fatalf("want ErrConnLost in chain, got %v", err)
+				}
+				if !node.IsAbortWorthy(err) {
+					t.Fatalf("unsent-commit error is not abort-worthy: %v", err)
+				}
+			}
+
+			// The session resumed either way; audit durable state against the
+			// verdict from a fresh transaction.
+			check, err := sess.Begin()
+			if err != nil {
+				t.Fatalf("begin on resumed session: %v", err)
+			}
+			got, err := sess.AttributeValue(book.ID, "fate")
+			if err != nil {
+				t.Fatalf("read-back on resumed session: %v", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("fate attribute = %q, want %q — durable state contradicts the commit verdict", got, want)
+			}
+			if err := check.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := pool.Audit(proto); err != nil {
+				t.Fatalf("post-fate audit: %v", err)
+			}
+		})
+	}
+}

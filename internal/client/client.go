@@ -53,8 +53,11 @@ var ErrNoSession = errors.New("client: session no longer exists on server")
 // by a connection loss after the session was transparently resumed: the
 // in-flight transaction is gone, but the session handle is live again.
 // These errors satisfy node.IsAbortWorthy — abort and retry, exactly like a
-// deadlock victim. Note the at-least-once caveat: a commit interrupted
-// mid-flight may have landed before the connection died.
+// deadlock victim. Commits are exempt from the ambiguity: the resume's fate
+// report (wire.ResumeResult) says whether an interrupted commit landed, and
+// Txn.Commit returns nil when it did — so a commit either returns nil (it
+// landed, once) or an error chain containing ErrConnLost (it rolled back,
+// unless the fate was unknowable, e.g. the old server process is gone).
 var ErrConnLost = errors.New("client: connection lost")
 
 // abortWorthyError marks an error chain abort-worthy for node.IsAbortWorthy

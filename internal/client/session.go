@@ -29,6 +29,13 @@ type Session struct {
 	iso      tx.Level
 	depth    int
 	deadline uint32 // per-request deadline-ms (0 = none)
+
+	// resumeFate/resumeFateTxn hold the fate report from the most recent
+	// session resume: what became of the transaction that was in flight when
+	// the old connection died. Commit consults them to turn an interrupted
+	// commit round trip into its true outcome.
+	resumeFate    uint8
+	resumeFateTxn uint64
 }
 
 // OpenSession creates a session running the named protocol at the given
@@ -129,11 +136,12 @@ func (s *Session) resume() error {
 			_, resp, rerr := c.roundTripTimeout(wire.OpResumeSession, 0, 0, body, s.pool.opts.CallTimeout)
 			if rerr == nil {
 				r := wire.NewReader(resp)
-				id := r.Uvarint()
+				rr := r.ResumeResult()
 				if err := r.Err(); err != nil {
 					return err
 				}
-				s.c, s.id = c, uint32(id)
+				s.c, s.id = c, rr.ID
+				s.resumeFate, s.resumeFateTxn = rr.Fate, rr.FateTxn
 				return nil
 			}
 			if !errors.Is(rerr, ErrShutdown) && !errors.Is(rerr, ErrBusy) {
@@ -170,9 +178,17 @@ type Txn struct {
 // ID returns the server-assigned transaction id.
 func (t *Txn) ID() uint64 { return t.id }
 
-// Commit commits the transaction.
+// Commit commits the transaction. A commit whose round trip is severed by a
+// connection loss is not guessed at: the resume's fate report says whether
+// the server committed it before the session died. A reported commit returns
+// nil — the transaction landed exactly once — and anything else surfaces the
+// abort-worthy error as before.
 func (t *Txn) Commit() error {
 	_, err := t.s.call(wire.OpCommit, nil)
+	if err != nil && errors.Is(err, ErrConnLost) &&
+		t.s.resumeFateTxn == t.id && t.s.resumeFate == wire.FateCommitted {
+		return nil
+	}
 	return err
 }
 

@@ -44,7 +44,7 @@ func TestCreateDefaults(t *testing.T) {
 	if eng.ProtocolName() != "taDOM3+" {
 		t.Errorf("default protocol = %s", eng.ProtocolName())
 	}
-	if len(Protocols()) != 11 {
+	if len(Protocols()) != 12 {
 		t.Errorf("Protocols() = %v", Protocols())
 	}
 }

@@ -48,7 +48,8 @@ func ExampleEngine_Exec() {
 	// Output: Contest of XML Lock Protocols
 }
 
-// ExampleProtocols lists the paper's 11 contestants.
+// ExampleProtocols lists the paper's 11 contestants plus the MVCC snapshot
+// contestant this repo adds.
 func ExampleProtocols() {
 	for _, name := range core.Protocols() {
 		fmt.Println(name)
@@ -65,4 +66,5 @@ func ExampleProtocols() {
 	// taDOM2+
 	// taDOM3
 	// taDOM3+
+	// snapshot
 }

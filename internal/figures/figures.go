@@ -240,10 +240,11 @@ func Cluster1Sweep(protocols []string, o Options) (map[string]map[int]*tamix.Res
 	return out, nil
 }
 
-// DepthProtocols are the eight protocols that honor the lock-depth
-// parameter — the contestants of Figures 9 and 10.
+// DepthProtocols are the protocols that honor the lock-depth parameter —
+// the contestants of Figures 9 and 10 (the paper's eight plus the snapshot
+// contestant, whose writers are taDOM3+ and so depth-aware).
 func DepthProtocols() []string {
-	return []string{"Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+", "taDOM3", "taDOM3+"}
+	return []string{"Node2PLa", "IRX", "IRIX", "URIX", "taDOM2", "taDOM2+", "taDOM3", "taDOM3+", "snapshot"}
 }
 
 // Figure9 extracts Figure 9 from a sweep: total throughput (left) and
@@ -320,6 +321,7 @@ func Figure11(o Options, runs int) ([]Figure11Row, error) {
 		"Node2PL", "NO2PL", "OO2PL",
 		"IRX", "IRIX", "URIX", "Node2PLa",
 		"taDOM2", "taDOM2+", "taDOM3", "taDOM3+",
+		"snapshot",
 	}
 	var rows []Figure11Row
 	for _, proto := range protos {

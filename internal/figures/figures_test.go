@@ -103,8 +103,8 @@ func TestFigure11AllProtocols(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 11 {
-		t.Fatalf("rows = %d, want 11", len(rows))
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (11 paper contestants + snapshot)", len(rows))
 	}
 	byProto := map[string]Figure11Row{}
 	for _, r := range rows {

@@ -12,6 +12,7 @@ package node
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/lock"
@@ -51,6 +52,10 @@ type Manager struct {
 	lm    *lock.Manager
 	tm    *tx.Manager
 	depth int
+
+	// snapReads is set by EnableSnapshotReads: copy-on-write page versioning
+	// is active and tx.LevelSnapshot transactions read frozen views.
+	snapReads atomic.Bool
 }
 
 // New builds a Manager for the document under the given protocol.
@@ -111,6 +116,47 @@ func (m *Manager) check(t *tx.Txn) error {
 		return ErrNotActive
 	}
 	return nil
+}
+
+// ErrReadOnly is returned when an update operation runs under a
+// tx.LevelSnapshot transaction: snapshot transactions read a frozen view
+// and hold no locks, so they cannot write.
+var ErrReadOnly = errors.New("snapshot transaction is read-only")
+
+// checkWrite is check plus the read-only guard for snapshot transactions.
+func (m *Manager) checkWrite(t *tx.Txn, op string) error {
+	if err := m.check(t); err != nil {
+		return err
+	}
+	if t.Isolation() == tx.LevelSnapshot {
+		return opErr(op, ErrReadOnly)
+	}
+	return nil
+}
+
+// EnableSnapshotReads switches on copy-on-write page versioning in the
+// document's page store, feeding it the transaction manager's
+// oldest-active-snapshot watermark so retired versions are pruned as
+// snapshot transactions finish. Must be called before concurrent writers
+// start (versions captured from then on are what snapshots can read).
+func (m *Manager) EnableSnapshotReads() {
+	m.doc.Store().SetSnapshotSource(m.tm.SnapshotWatermark)
+	m.snapReads.Store(true)
+}
+
+// SnapshotsEnabled reports whether EnableSnapshotReads was called.
+func (m *Manager) SnapshotsEnabled() bool { return m.snapReads.Load() }
+
+// snap returns the transaction's frozen document view, building it on first
+// use and caching it on the Txn (one Snapshot per transaction, like the
+// protocol Ctx cache above).
+func (m *Manager) snap(t *tx.Txn) *storage.Snapshot {
+	if v, ok := t.SnapView().(*storage.Snapshot); ok {
+		return v
+	}
+	v := m.doc.AtSnapshot(t.SnapshotLSN())
+	t.SetSnapView(v)
+	return v
 }
 
 // treeAccess adapts the Manager to protocol.TreeAccess: raw physical reads

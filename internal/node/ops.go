@@ -16,12 +16,17 @@ import (
 // Read operations. Each public operation is one logical operation in the
 // meta-lock sense: under the weak isolation levels its short read locks are
 // released at the end (EndOperation); under repeatable read they are held
-// to commit.
+// to commit. Under tx.LevelSnapshot every read op branches to the
+// transaction's frozen Snapshot view before touching the protocol: zero
+// lock-manager traffic, no EndOperation (there is no lock context).
 
 // GetNode reads one node by SPLID (navigational access).
 func (m *Manager) GetNode(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
 	if err := m.check(t); err != nil {
 		return xmlmodel.Node{}, err
+	}
+	if t.Isolation() == tx.LevelSnapshot {
+		return m.snap(t).GetNode(id)
 	}
 	defer t.EndOperation()
 	if err := m.proto.ReadNode(m.ctx(t), id, protocol.Navigate); err != nil {
@@ -35,6 +40,14 @@ func (m *Manager) GetNode(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
 func (m *Manager) JumpToID(t *tx.Txn, value string) (xmlmodel.Node, error) {
 	if err := m.check(t); err != nil {
 		return xmlmodel.Node{}, err
+	}
+	if t.Isolation() == tx.LevelSnapshot {
+		v := m.snap(t)
+		id, err := v.ElementByID([]byte(value))
+		if err != nil {
+			return xmlmodel.Node{}, err
+		}
+		return v.GetNode(id)
 	}
 	defer t.EndOperation()
 	id, err := m.doc.ElementByID([]byte(value))
@@ -50,16 +63,19 @@ func (m *Manager) JumpToID(t *tx.Txn, value string) (xmlmodel.Node, error) {
 // navigate factors the four sibling/child axes: lock the traversed logical
 // edge, resolve it physically, then lock the target node.
 func (m *Manager) navigate(t *tx.Txn, op string, owner splid.ID, e protocol.Edge,
-	resolve func(splid.ID) (xmlmodel.Node, error)) (xmlmodel.Node, error) {
+	resolve func(storage.ReadView, splid.ID) (xmlmodel.Node, error)) (xmlmodel.Node, error) {
 	if err := m.check(t); err != nil {
 		return xmlmodel.Node{}, err
+	}
+	if t.Isolation() == tx.LevelSnapshot {
+		return resolve(m.snap(t), owner)
 	}
 	defer t.EndOperation()
 	c := m.ctx(t)
 	if err := m.proto.ReadEdge(c, owner, e); err != nil {
 		return xmlmodel.Node{}, opErr(op, err)
 	}
-	n, err := resolve(owner)
+	n, err := resolve(m.doc, owner)
 	if err != nil {
 		return xmlmodel.Node{}, err
 	}
@@ -74,28 +90,31 @@ func (m *Manager) navigate(t *tx.Txn, op string, owner splid.ID, e protocol.Edge
 
 // FirstChild returns the first regular child (null-ID node when none).
 func (m *Manager) FirstChild(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
-	return m.navigate(t, "FirstChild", id, protocol.EdgeFirstChild, m.doc.FirstChild)
+	return m.navigate(t, "FirstChild", id, protocol.EdgeFirstChild, storage.ReadView.FirstChild)
 }
 
 // LastChild returns the last regular child.
 func (m *Manager) LastChild(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
-	return m.navigate(t, "LastChild", id, protocol.EdgeLastChild, m.doc.LastChild)
+	return m.navigate(t, "LastChild", id, protocol.EdgeLastChild, storage.ReadView.LastChild)
 }
 
 // NextSibling returns the following sibling.
 func (m *Manager) NextSibling(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
-	return m.navigate(t, "NextSibling", id, protocol.EdgeNextSibling, m.doc.NextSibling)
+	return m.navigate(t, "NextSibling", id, protocol.EdgeNextSibling, storage.ReadView.NextSibling)
 }
 
 // PrevSibling returns the preceding sibling.
 func (m *Manager) PrevSibling(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
-	return m.navigate(t, "PrevSibling", id, protocol.EdgePrevSibling, m.doc.PrevSibling)
+	return m.navigate(t, "PrevSibling", id, protocol.EdgePrevSibling, storage.ReadView.PrevSibling)
 }
 
 // Parent returns the parent node (null-ID node for the root).
 func (m *Manager) Parent(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
 	if err := m.check(t); err != nil {
 		return xmlmodel.Node{}, err
+	}
+	if t.Isolation() == tx.LevelSnapshot {
+		return m.snap(t).Parent(id)
 	}
 	defer t.EndOperation()
 	p := id.Parent()
@@ -113,6 +132,14 @@ func (m *Manager) Parent(t *tx.Txn, id splid.ID) (xmlmodel.Node, error) {
 func (m *Manager) GetChildren(t *tx.Txn, id splid.ID) ([]xmlmodel.Node, error) {
 	if err := m.check(t); err != nil {
 		return nil, err
+	}
+	if t.Isolation() == tx.LevelSnapshot {
+		var out []xmlmodel.Node
+		err := m.snap(t).ScanChildren(id, func(n xmlmodel.Node) bool {
+			out = append(out, n)
+			return true
+		})
+		return out, err
 	}
 	defer t.EndOperation()
 	kids, err := (*treeAccess)(m).Children(id)
@@ -135,6 +162,14 @@ func (m *Manager) GetChildren(t *tx.Txn, id splid.ID) ([]xmlmodel.Node, error) {
 func (m *Manager) GetAttributes(t *tx.Txn, el splid.ID) ([]xmlmodel.Node, error) {
 	if err := m.check(t); err != nil {
 		return nil, err
+	}
+	if t.Isolation() == tx.LevelSnapshot {
+		var out []xmlmodel.Node
+		err := m.snap(t).Attributes(el, func(n xmlmodel.Node) bool {
+			out = append(out, n)
+			return true
+		})
+		return out, err
 	}
 	defer t.EndOperation()
 	ar := el.AttributeRoot()
@@ -170,6 +205,9 @@ func (m *Manager) Value(t *tx.Txn, id splid.ID) ([]byte, error) {
 	if err := m.check(t); err != nil {
 		return nil, err
 	}
+	if t.Isolation() == tx.LevelSnapshot {
+		return m.snap(t).Value(id)
+	}
 	defer t.EndOperation()
 	if err := m.proto.ReadNode(m.ctx(t), id, protocol.Navigate); err != nil {
 		return nil, opErr("Value", err)
@@ -181,6 +219,14 @@ func (m *Manager) Value(t *tx.Txn, id splid.ID) ([]byte, error) {
 func (m *Manager) AttributeValue(t *tx.Txn, el splid.ID, name string) ([]byte, error) {
 	if err := m.check(t); err != nil {
 		return nil, err
+	}
+	if t.Isolation() == tx.LevelSnapshot {
+		v := m.snap(t)
+		a, err := v.AttributeByName(el, name)
+		if err != nil || a.ID.IsNull() {
+			return nil, err
+		}
+		return v.Value(a.ID)
 	}
 	defer t.EndOperation()
 	a, err := m.doc.AttributeByName(el, name)
@@ -206,6 +252,14 @@ func (m *Manager) ReadFragment(t *tx.Txn, id splid.ID, jump bool) ([]xmlmodel.No
 	if err := m.check(t); err != nil {
 		return nil, err
 	}
+	if t.Isolation() == tx.LevelSnapshot {
+		var out []xmlmodel.Node
+		err := m.snap(t).ScanSubtree(id, func(n xmlmodel.Node) bool {
+			out = append(out, n)
+			return true
+		})
+		return out, err
+	}
 	defer t.EndOperation()
 	acc := protocol.Navigate
 	if jump {
@@ -226,7 +280,7 @@ func (m *Manager) ReadFragment(t *tx.Txn, id splid.ID, jump bool) ([]xmlmodel.No
 
 // SetValue overwrites the character data of a text or attribute node.
 func (m *Manager) SetValue(t *tx.Txn, id splid.ID, value []byte) error {
-	if err := m.check(t); err != nil {
+	if err := m.checkWrite(t, "SetValue"); err != nil {
 		return err
 	}
 	defer t.EndOperation()
@@ -247,7 +301,7 @@ func (m *Manager) SetValue(t *tx.Txn, id splid.ID, value []byte) error {
 
 // Rename changes an element's name (DOM level 3 renameNode).
 func (m *Manager) Rename(t *tx.Txn, id splid.ID, newName string) error {
-	if err := m.check(t); err != nil {
+	if err := m.checkWrite(t, "Rename"); err != nil {
 		return err
 	}
 	defer t.EndOperation()
@@ -290,7 +344,7 @@ const insertRetries = 8
 
 func (m *Manager) insertChild(t *tx.Txn, parent splid.ID,
 	create func(splid.ID) (xmlmodel.Node, error)) (xmlmodel.Node, error) {
-	if err := m.check(t); err != nil {
+	if err := m.checkWrite(t, "Append"); err != nil {
 		return xmlmodel.Node{}, err
 	}
 	defer t.EndOperation()
@@ -338,7 +392,7 @@ func (m *Manager) insertChild(t *tx.Txn, parent splid.ID,
 // InsertElementBefore inserts a new element in front of sibling `before`
 // under parent.
 func (m *Manager) InsertElementBefore(t *tx.Txn, parent, before splid.ID, name string) (xmlmodel.Node, error) {
-	if err := m.check(t); err != nil {
+	if err := m.checkWrite(t, "InsertElementBefore"); err != nil {
 		return xmlmodel.Node{}, err
 	}
 	defer t.EndOperation()
@@ -380,7 +434,7 @@ func (m *Manager) InsertElementBefore(t *tx.Txn, parent, before splid.ID, name s
 
 // SetAttribute creates or overwrites an attribute on an element.
 func (m *Manager) SetAttribute(t *tx.Txn, el splid.ID, name string, value []byte) error {
-	if err := m.check(t); err != nil {
+	if err := m.checkWrite(t, "SetAttribute"); err != nil {
 		return err
 	}
 	defer t.EndOperation()
@@ -460,7 +514,7 @@ func (m *Manager) SetAttribute(t *tx.Txn, el splid.ID, name string, value []byte
 
 // DeleteSubtree removes the node and its whole subtree.
 func (m *Manager) DeleteSubtree(t *tx.Txn, id splid.ID) error {
-	if err := m.check(t); err != nil {
+	if err := m.checkWrite(t, "DeleteSubtree"); err != nil {
 		return err
 	}
 	defer t.EndOperation()
@@ -499,7 +553,7 @@ func (m *Manager) DeleteSubtree(t *tx.Txn, id splid.ID) error {
 // SU) serialize intending writers up front, which prevents the symmetric
 // read-then-convert deadlocks the paper attributes to lock conversion.
 func (m *Manager) ReadFragmentForUpdate(t *tx.Txn, id splid.ID, jump bool) ([]xmlmodel.Node, error) {
-	if err := m.check(t); err != nil {
+	if err := m.checkWrite(t, "ReadFragmentForUpdate"); err != nil {
 		return nil, err
 	}
 	defer t.EndOperation()
@@ -526,7 +580,7 @@ func (m *Manager) ReadFragmentForUpdate(t *tx.Txn, id splid.ID, jump bool) ([]xm
 // reads. This is how a transaction that knows it will modify the fragment
 // avoids the read-then-convert deadlock altogether.
 func (m *Manager) UpdateLastChildFragment(t *tx.Txn, id splid.ID) (xmlmodel.Node, []xmlmodel.Node, error) {
-	if err := m.check(t); err != nil {
+	if err := m.checkWrite(t, "UpdateLastChildFragment"); err != nil {
 		return xmlmodel.Node{}, nil, err
 	}
 	defer t.EndOperation()

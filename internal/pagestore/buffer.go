@@ -84,6 +84,14 @@ type Frame struct {
 	// that keeps every torn page healable from the post-redo-LSN log suffix
 	// even after WAL segments below it are garbage-collected.
 	imaged atomic.Bool
+	// influx is up while an active capture holds the page: its bytes (the
+	// pageLSN stamp included) may change until the capture closes. Snapshot
+	// readers (FixAt) divert to the version chain instead of reading the
+	// live bytes; the Store(false) at capture close releases the stamp to
+	// their Load. Set by Capture.note only while a snapshot source is
+	// installed; captured frames keep their pins, so the frame cannot be
+	// remapped while the flag matters.
+	influx atomic.Bool
 
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -161,6 +169,13 @@ type Store struct {
 	// Config.CheckpointInterval (installed via SetCheckpointer, typically by
 	// storage.Document.AttachWAL). Nil until installed.
 	checkpointer atomic.Pointer[func() error]
+
+	// Version sidecar (versions.go): retained pre-images serving MVCC
+	// snapshot readers. snapSrc is the oldest-active-snapshot watermark
+	// callback; version publication is off until one is installed.
+	snapSrc  atomic.Pointer[func() uint64]
+	verMu    sync.Mutex
+	versions map[PageID][]*pageVersion
 
 	retry    RetryPolicy
 	retryMu  sync.Mutex
@@ -643,6 +658,7 @@ func (sh *bufShard) mapFrameLocked(f *Frame, id PageID) {
 	f.pins.Store(1)
 	f.ref.Store(true)
 	f.markClean()
+	f.influx.Store(false)
 	sh.pages[id] = f
 }
 

@@ -51,6 +51,10 @@ type captureEntry struct {
 	// full image); Commit then marks the frame imaged so later captures in
 	// the same dirty epoch log minimal ranges.
 	full bool
+	// pushed is set by note when the pre-image was published to the page's
+	// version chain (snapshot source installed); Commit seals the entry,
+	// Close drops it if the capture never logged a change to the page.
+	pushed bool
 }
 
 // Capture is one active page-image capture session. It is created by
@@ -105,7 +109,14 @@ func (c *Capture) note(f *Frame) {
 	}
 	pre := make([]byte, PageSize)
 	copy(pre, f.data)
-	c.entries[f.id] = &captureEntry{f: f, pre: pre}
+	e := &captureEntry{f: f, pre: pre}
+	// Raise the in-flux flag before the owner can mutate the page (the
+	// owner's first touch is this Fix), diverting snapshot readers to the
+	// version chain, and publish the pre-image as the chain's open head.
+	// The slice is shared with the entry: both sides only read it.
+	f.influx.Store(true)
+	e.pushed = c.s.pushVersion(f.id, pre)
+	c.entries[f.id] = e
 	c.order = append(c.order, f.id)
 }
 
@@ -197,6 +208,11 @@ func (c *Capture) Commit(lsn uint64) {
 			e.f.imaged.Store(true)
 		}
 		e.f.dirty.Store(true)
+		if e.pushed {
+			// Seal the chain entry at the new stamp: the retained pre-image
+			// now serves exactly the snapshots older than this record.
+			c.s.closeVersion(id, lsn)
+		}
 	}
 }
 
@@ -211,14 +227,33 @@ func (c *Capture) Close() {
 	}
 	c.s.captureFloor.Store(0)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
+	pushed := false
 	for _, id := range c.order {
 		e := c.entries[id]
+		if e.pushed {
+			pushed = true
+			if !e.logged {
+				// The page's body never changed (a read-only touch, or an
+				// operation that failed before mutating it): the open chain
+				// entry duplicates the live bytes and retains nothing.
+				c.s.dropOpenVersion(id)
+			}
+		}
+		// Lower the in-flux flag after Commit's stamp: the release/acquire
+		// pair on the flag is what publishes the new pageLSN to snapshot
+		// readers that go on to read the live bytes.
+		e.f.influx.Store(false)
 		if e.deferred > 0 {
 			if n := e.f.pins.Add(-e.deferred); n < 0 {
 				panic("pagestore: capture pin accounting underflow")
 			}
 		}
+	}
+	c.mu.Unlock()
+	if pushed {
+		// Opportunistic retirement: every capture close is a chance to drop
+		// chain entries no active snapshot can reach anymore.
+		c.s.PruneVersions(c.s.snapshotWatermark())
 	}
 }

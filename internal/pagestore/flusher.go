@@ -41,6 +41,10 @@ func (s *Store) startFlusher(flushEvery, ckptEvery time.Duration) {
 				return
 			case <-flushC:
 				s.FlushDirty()
+				// Retire version-chain entries below the oldest active
+				// snapshot on the same cadence (no-op when versioning is
+				// off: the watermark reads 0).
+				s.PruneVersions(s.snapshotWatermark())
 			case <-ckptC:
 				if fn := s.checkpointer.Load(); fn != nil {
 					_ = (*fn)()

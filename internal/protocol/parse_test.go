@@ -104,7 +104,7 @@ func TestParseListTable(t *testing.T) {
 
 func TestGroupsAndHelp(t *testing.T) {
 	gs := Groups()
-	if len(gs) != 3 {
+	if len(gs) != 4 {
 		t.Fatalf("Groups() = %v", gs)
 	}
 	help := NamesHelp()

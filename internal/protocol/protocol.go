@@ -267,12 +267,14 @@ func ByName(name string) (Protocol, error) {
 	return p, nil
 }
 
-// All returns the 11 protocols in the paper's presentation order.
+// All returns the registered protocols in presentation order: the paper's
+// 11 contestants followed by the snapshot-reads contestant.
 func All() []Protocol {
 	order := map[string]int{
 		"Node2PL": 0, "NO2PL": 1, "OO2PL": 2, "Node2PLa": 3,
 		"IRX": 4, "IRIX": 5, "URIX": 6,
 		"taDOM2": 7, "taDOM2+": 8, "taDOM3": 9, "taDOM3+": 10,
+		"snapshot": 11,
 	}
 	out := make([]Protocol, 0, len(registry))
 	for _, p := range registry {

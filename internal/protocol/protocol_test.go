@@ -14,9 +14,10 @@ func TestRegistryComplete(t *testing.T) {
 		"Node2PL", "NO2PL", "OO2PL", "Node2PLa",
 		"IRX", "IRIX", "URIX",
 		"taDOM2", "taDOM2+", "taDOM3", "taDOM3+",
+		"snapshot",
 	}
 	got := Names()
-	if len(got) != 11 {
+	if len(got) != 12 {
 		t.Fatalf("registered %d protocols: %v", len(got), got)
 	}
 	for i, name := range want {

@@ -1,0 +1,40 @@
+package protocol
+
+// The 12th contestant: multiversion snapshot reads. The protocol itself is
+// taDOM3+ — writers lock exactly like the paper's best protocol — but
+// engines that detect it (via UsesSnapshotReads) run read-only transactions
+// at tx.LevelSnapshot against copy-on-write page versions pinned to a
+// commit-consistent WAL position. Those readers never touch the lock
+// manager at all: the contest's lock-overhead axis collapses to zero for
+// the read side, at the price of version storage and stale-but-consistent
+// results.
+type snapshotProto struct {
+	Protocol
+}
+
+// Name implements Protocol.
+func (snapshotProto) Name() string { return "snapshot" }
+
+// Group implements Protocol: the MVCC family of one.
+func (snapshotProto) Group() string { return "MVCC" }
+
+// DepthAware implements Protocol: the embedded taDOM3+ honors the
+// lock-depth parameter for writing transactions.
+func (snapshotProto) DepthAware() bool { return true }
+
+// SnapshotReads marks the protocol for snapshot-read routing.
+func (snapshotProto) SnapshotReads() bool { return true }
+
+// SnapshotReader is implemented by protocols whose read-only transactions
+// should bypass the lock manager through MVCC snapshot views.
+type SnapshotReader interface{ SnapshotReads() bool }
+
+// UsesSnapshotReads reports whether p routes read-only transactions through
+// snapshot reads.
+func UsesSnapshotReads(p Protocol) bool {
+	sr, ok := p.(SnapshotReader)
+	return ok && sr.SnapshotReads()
+}
+
+// Snapshot is the registered snapshot-reads contestant.
+var Snapshot = register(snapshotProto{Protocol: TaDOM3Plus})

@@ -30,6 +30,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/node"
 	"repro/internal/protocol"
+	"repro/internal/tx"
 	"repro/internal/wire"
 )
 
@@ -112,6 +113,11 @@ type Server struct {
 	mu       sync.Mutex
 	engines  map[string]*engineSlot
 	sessions map[uint32]*session
+	// fates are tombstones for finished sessions: the outcome of each one's
+	// last transaction, kept so a reconnecting client's OpResumeSession can
+	// learn whether its severed commit landed. Consumed (deleted) by resume;
+	// cleared wholesale past fateTombstoneCap — fate reporting is best-effort.
+	fates    map[uint32]fateRecord
 	conns    map[*conn]struct{}
 	nextSess uint32
 	draining bool
@@ -183,6 +189,7 @@ func Listen(cfg Config) (*Server, error) {
 		cancel:   cancel,
 		engines:  map[string]*engineSlot{},
 		sessions: map[uint32]*session{},
+		fates:    map[uint32]fateRecord{},
 		conns:    map[*conn]struct{}{},
 
 		mAccepted: cfg.Metrics.Counter("server.sessions_accepted"),
@@ -573,15 +580,23 @@ func (s *Server) openSession(c *conn, m wire.Msg) {
 		c.replyErr(m, wire.StatusBadRequest, r.Err())
 		return
 	}
-	s.admitSession(c, m, open)
+	s.admitSession(c, m, open, nil)
 }
+
+// resumeFateWait bounds how long a resume waits for the stale session's
+// worker to finish so the fate of its last transaction is final. A worker
+// wedged past this resumes with FateUnknown rather than blocking the client.
+const resumeFateWait = 5 * time.Second
 
 // resumeSession re-establishes a session for a reconnected client: evict the
 // stale predecessor if it survived (its transaction aborts and its locks
 // release through the cancellation path — the old connection may be dead
 // without the server having noticed yet), then admit a replacement with the
 // same parameters. The old transaction is gone either way; resumption
-// restores the session slot, not in-flight work.
+// restores the session slot, not in-flight work — but the response reports
+// the FATE of the old session's last transaction (committed/aborted), so a
+// client whose commit reply was severed learns the true outcome instead of
+// living with at-least-once ambiguity.
 func (s *Server) resumeSession(c *conn, m wire.Msg) {
 	r := wire.NewReader(m.Body)
 	rs := r.ResumeSession()
@@ -595,15 +610,35 @@ func (s *Server) resumeSession(c *conn, m wire.Msg) {
 	if stale != nil {
 		s.logf("server: resume evicting stale session %d", rs.Old)
 		stale.cancel()
+		// The fate is final only once the stale worker exited (a teardown
+		// abort must be recorded before we claim anything).
+		select {
+		case <-stale.done:
+		case <-time.After(resumeFateWait):
+		}
 	}
+	fate := wire.ResumeResult{Fate: wire.FateUnknown}
+	s.mu.Lock()
+	if fr, ok := s.fates[rs.Old]; ok {
+		fate.Fate, fate.FateTxn = fr.fate, fr.txn
+		delete(s.fates, rs.Old)
+	}
+	s.mu.Unlock()
 	s.mResumed.Add(1)
-	s.admitSession(c, m, rs.Open)
+	s.admitSession(c, m, rs.Open, &fate)
 }
 
 // admitSession runs admission control and, when admitted, registers the new
-// session and starts its worker — the shared tail of open and resume.
-func (s *Server) admitSession(c *conn, m wire.Msg, open wire.OpenSession) {
+// session and starts its worker — the shared tail of open and resume. resume
+// is nil for a fresh open; a resume passes the fate report to deliver, and
+// the reply carries it after the session id.
+func (s *Server) admitSession(c *conn, m wire.Msg, open wire.OpenSession, resume *wire.ResumeResult) {
 	p, err := protocol.Parse(open.Protocol)
+	if err != nil {
+		c.replyErr(m, wire.StatusBadRequest, err)
+		return
+	}
+	iso, err := isolationLevel(open.Isolation)
 	if err != nil {
 		c.replyErr(m, wire.StatusBadRequest, err)
 		return
@@ -628,15 +663,21 @@ func (s *Server) admitSession(c *conn, m wire.Msg, open wire.OpenSession) {
 		c.replyErr(m, wire.StatusErr, err)
 		return
 	}
+	if iso == tx.LevelSnapshot && !eng.Mgr.SnapshotsEnabled() {
+		c.replyErr(m, wire.StatusBadRequest, fmt.Errorf(
+			"server: engine for %s has no snapshot reads (no WAL attached)", p.Name()))
+		return
+	}
 
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	sess := &session{
 		eng:    eng,
-		iso:    isolationLevel(open.Isolation),
+		iso:    iso,
 		c:      c,
 		queue:  make(chan wire.Msg, s.cfg.SessionQueue),
 		ctx:    ctx,
 		cancel: cancel,
+		done:   make(chan struct{}),
 	}
 	sess.touch()
 
@@ -657,6 +698,11 @@ func (s *Server) admitSession(c *conn, m wire.Msg, open wire.OpenSession) {
 	s.mActive.Add(1)
 	s.sessWG.Add(1)
 	go s.sessionWorker(sess)
+	if resume != nil {
+		resume.ID = sess.id
+		c.reply(m, wire.StatusOK, wire.AppendResumeResult(nil, *resume))
+		return
+	}
 	c.reply(m, wire.StatusOK, wire.AppendUvarint(nil, uint64(sess.id)))
 }
 

@@ -30,9 +30,36 @@ type session struct {
 	// txn is the active transaction; touched only by the worker goroutine.
 	txn *tx.Txn
 
+	// done is closed when the session worker exits; after that the fate
+	// fields below are final (they are written only by the worker goroutine,
+	// and resumeSession reads them through the server's fate tombstones).
+	done chan struct{}
+	// lastTxnID and lastTxnFate record the outcome of the session's most
+	// recent transaction (wire.Fate* codes) for resume-fate reporting.
+	lastTxnID   uint64
+	lastTxnFate uint8
+
 	// lastUsed is the idle clock the reaper reads: UnixNano of the last
 	// dispatched request or session-scoped heartbeat.
 	lastUsed atomic.Int64
+}
+
+// fateRecord is the server-side tombstone of a finished session: what became
+// of its last transaction.
+type fateRecord struct {
+	txn  uint64
+	fate uint8
+}
+
+// fateTombstoneCap bounds the tombstone map; past it the map is cleared
+// wholesale (fate reporting is best-effort, and a well-behaved client
+// consumes its tombstone on resume).
+const fateTombstoneCap = 8192
+
+// noteFate records the outcome of the session's most recent transaction.
+// Worker goroutine only.
+func (sess *session) noteFate(id uint64, fate uint8) {
+	sess.lastTxnID, sess.lastTxnFate = id, fate
 }
 
 // touch refreshes the session's idle clock.
@@ -40,14 +67,16 @@ func (sess *session) touch() {
 	sess.lastUsed.Store(time.Now().UnixNano())
 }
 
-// isolationLevel decodes the wire isolation byte, clamping junk to the
-// paper's default comparison level.
-func isolationLevel(b uint8) tx.Level {
+// isolationLevel validates the wire isolation byte. An out-of-range value is
+// a malformed request to reject (StatusBadRequest), not a preference to
+// silently coerce — a client asking for an isolation level this server does
+// not know must not run at a different one without noticing.
+func isolationLevel(b uint8) (tx.Level, error) {
 	l := tx.Level(b)
-	if l < tx.LevelNone || l > tx.LevelRepeatable {
-		return tx.LevelRepeatable
+	if l < tx.LevelNone || l > tx.LevelSnapshot {
+		return 0, fmt.Errorf("server: invalid isolation level %d", b)
 	}
-	return l
+	return l, nil
 }
 
 // statusOf maps an engine error to its wire status, preserving the
@@ -74,6 +103,7 @@ func statusOf(err error) wire.Status {
 // context is canceled (connection death or server drain).
 func (s *Server) sessionWorker(sess *session) {
 	defer s.sessWG.Done()
+	defer close(sess.done)
 	for {
 		select {
 		case <-sess.ctx.Done():
@@ -93,9 +123,33 @@ func (s *Server) sessionWorker(sess *session) {
 	}
 }
 
-// teardown reaps a canceled session: abort the in-flight transaction,
-// answer everything still queued with StatusShutdown, release the slot.
+// teardown reaps a canceled session: execute any transaction-resolving
+// request that fully arrived before the cancellation, abort whatever is
+// still in flight, answer everything else queued with StatusShutdown, and
+// release the slot.
 func (s *Server) teardown(sess *session) {
+	// A commit (or abort) frame the connection delivered before dying was
+	// received — the readLoop enqueues it before the failed read that closes
+	// the connection, so it is already in the queue when the cancellation
+	// fires, racing the worker's select. Discarding it would abort a commit
+	// the server took delivery of and make the resume fate report claim
+	// FateAborted for a request the client is entitled to see honored.
+	// Execute it instead; the reply is likely lost with the connection, but
+	// the fate tombstone finishSession leaves carries the outcome.
+	for drained := false; !drained; {
+		select {
+		case m := <-sess.queue:
+			s.mQueue.Add(-1)
+			if (m.Op == wire.OpCommit || m.Op == wire.OpAbort) &&
+				sess.txn != nil && sess.txn.Active() {
+				s.handle(sess, m)
+				continue
+			}
+			sess.c.replyErr(m, wire.StatusShutdown, errors.New("server: session closed"))
+		default:
+			drained = true
+		}
+	}
 	s.finishSession(sess)
 	for {
 		select {
@@ -108,13 +162,19 @@ func (s *Server) teardown(sess *session) {
 	}
 }
 
-// finishSession aborts any active transaction and unregisters the session.
+// finishSession aborts any active transaction and unregisters the session,
+// leaving a fate tombstone so a later resume can report what became of the
+// session's last transaction.
 func (s *Server) finishSession(sess *session) {
 	if sess.txn != nil && sess.txn.Active() {
 		// The session is going away; the abort itself must not hang on its
 		// canceled context, so detach it first. Abort only releases locks —
 		// it never acquires — but stay safe against future protocols.
-		sess.txn.LockTx().SetContext(context.Background())
+		// Snapshot transactions have no lock context to detach.
+		if ltx := sess.txn.LockTx(); ltx != nil {
+			ltx.SetContext(context.Background())
+		}
+		sess.noteFate(sess.txn.ID(), wire.FateAborted)
 		if err := sess.txn.Abort(); err != nil {
 			s.logf("server: session %d: abort on teardown: %v", sess.id, err)
 		}
@@ -125,6 +185,12 @@ func (s *Server) finishSession(sess *session) {
 	if s.sessions[sess.id] == sess {
 		delete(s.sessions, sess.id)
 		s.mActive.Add(-1)
+	}
+	if sess.lastTxnFate != wire.FateUnknown {
+		if len(s.fates) >= fateTombstoneCap {
+			s.fates = map[uint32]fateRecord{}
+		}
+		s.fates[sess.id] = fateRecord{txn: sess.lastTxnID, fate: sess.lastTxnFate}
 	}
 	delete(sess.c.sessions, sess.id)
 	s.mu.Unlock()
@@ -142,9 +208,10 @@ func (s *Server) handle(sess *session, m wire.Msg) {
 		defer cancel()
 	}
 	if sess.txn != nil && sess.txn.Active() {
-		ltx := sess.txn.LockTx()
-		ltx.SetContext(ctx)
-		defer ltx.SetContext(sess.ctx)
+		if ltx := sess.txn.LockTx(); ltx != nil {
+			ltx.SetContext(ctx)
+			defer ltx.SetContext(sess.ctx)
+		}
 	}
 
 	body, err := s.execute(sess, m, ctx)
@@ -170,21 +237,39 @@ func (s *Server) execute(sess *session, m wire.Msg, ctx context.Context) ([]byte
 			return nil, fmt.Errorf("server: session %d already has transaction %d", sess.id, sess.txn.ID())
 		}
 		sess.txn = mgr.Begin(sess.iso)
-		sess.txn.LockTx().SetContext(ctx)
+		// Snapshot transactions hold no lock context.
+		if ltx := sess.txn.LockTx(); ltx != nil {
+			ltx.SetContext(ctx)
+		}
 		return wire.AppendUvarint(nil, sess.txn.ID()), nil
 	case wire.OpCommit:
 		if sess.txn == nil {
 			return nil, errNoTxn
 		}
+		id := sess.txn.ID()
 		err := sess.txn.Commit()
+		if err != nil && sess.txn.Active() {
+			// A durability failure leaves the transaction active; roll it
+			// back so its locks release and the recorded fate is the truth.
+			if aerr := sess.txn.Abort(); aerr != nil {
+				s.logf("server: session %d: abort after failed commit: %v", sess.id, aerr)
+			}
+		}
 		sess.txn = nil
+		if err == nil {
+			sess.noteFate(id, wire.FateCommitted)
+		} else {
+			sess.noteFate(id, wire.FateAborted)
+		}
 		return nil, err
 	case wire.OpAbort:
 		if sess.txn == nil {
 			return nil, errNoTxn
 		}
+		id := sess.txn.ID()
 		err := sess.txn.Abort()
 		sess.txn = nil
+		sess.noteFate(id, wire.FateAborted)
 		return nil, err
 	case wire.OpCatalog:
 		return wire.AppendCatalog(nil, sess.eng.Catalog), nil

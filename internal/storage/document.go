@@ -34,14 +34,23 @@ var ErrNodeExists = errors.New("storage: node already exists")
 // matching the bib document's id attributes used for direct jumps.
 const IDAttrName = "id"
 
-// Document is one stored XML document.
+// Document is one stored XML document. The embedded reader serves every
+// read-only operation over the live trees (see reader.go); the Tree fields
+// here are the same trees, kept for the write paths, which need the full
+// mutating API.
 type Document struct {
+	reader
+
 	store *pagestore.Store
 	doc   *btree.Tree // SPLID -> node record, document order
 	elem  *btree.Tree // name surrogate + SPLID -> nil (element index)
 	ids   *btree.Tree // id-attribute value -> element SPLID
 	vocab *xmlmodel.Vocabulary
 	alloc splid.Allocator
+
+	// roots is the tree-root history for point-in-time snapshots (seeded by
+	// AttachWAL, appended by logOp via noteRoots; see reader.go).
+	roots rootLog
 
 	mu   sync.RWMutex // guards meta-level state (vocabulary is self-locking)
 	size int          // stored node count
@@ -134,6 +143,7 @@ func Create(backend pagestore.Backend, rootName string, opts Options) (*Document
 		vocab: xmlmodel.NewVocabulary(),
 		alloc: splid.Allocator{Dist: opts.Dist},
 	}
+	d.reader = liveReader(doc, elem, ids, d.vocab)
 	sur, err := d.vocab.Intern(rootName)
 	if err != nil {
 		return nil, err
@@ -171,29 +181,6 @@ func (d *Document) Size() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	return d.size
-}
-
-// GetNode fetches the node labeled id.
-func (d *Document) GetNode(id splid.ID) (xmlmodel.Node, error) {
-	if id.IsNull() {
-		return xmlmodel.Node{}, fmt.Errorf("%w: null SPLID", ErrNodeNotFound)
-	}
-	v, err := d.doc.Get(id.Encode())
-	if err == btree.ErrNotFound {
-		return xmlmodel.Node{}, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
-	}
-	if err != nil {
-		return xmlmodel.Node{}, err
-	}
-	return xmlmodel.DecodeRecord(id, v)
-}
-
-// Exists reports whether a node is stored under id.
-func (d *Document) Exists(id splid.ID) (bool, error) {
-	if id.IsNull() {
-		return false, nil
-	}
-	return d.doc.Has(id.Encode())
 }
 
 // insertRaw stores a node and maintains the secondary indexes. The parent
@@ -356,26 +343,6 @@ func (d *Document) setAttributeLocked(el splid.ID, name string, value []byte) (x
 	return n, encodeUndoDelete(attrID), nil
 }
 
-// Value returns the character data of a text or attribute node.
-func (d *Document) Value(id splid.ID) ([]byte, error) {
-	n, err := d.GetNode(id)
-	if err != nil {
-		return nil, err
-	}
-	switch n.Kind {
-	case xmlmodel.KindText, xmlmodel.KindAttribute:
-		s, err := d.GetNode(id.StringNode())
-		if err != nil {
-			return nil, err
-		}
-		return append([]byte(nil), s.Value...), nil
-	case xmlmodel.KindString:
-		return append([]byte(nil), n.Value...), nil
-	default:
-		return nil, fmt.Errorf("storage: node %v (%v) has no value", id, n.Kind)
-	}
-}
-
 // SetValue overwrites the character data of a text or attribute node.
 func (d *Document) SetValue(id splid.ID, value []byte) error {
 	return d.ForTx(SystemTxn).SetValue(id, value)
@@ -521,41 +488,6 @@ func (d *Document) restoreSubtreeLocked(nodes []xmlmodel.Node) error {
 		}
 	}
 	return nil
-}
-
-// ElementByID resolves an id-attribute value to the owning element's SPLID —
-// the getElementById direct jump.
-func (d *Document) ElementByID(value []byte) (splid.ID, error) {
-	v, err := d.ids.Get(value)
-	if err == btree.ErrNotFound {
-		return splid.Null, fmt.Errorf("%w: id %q", ErrNodeNotFound, value)
-	}
-	if err != nil {
-		return splid.Null, err
-	}
-	return splid.Decode(v)
-}
-
-// ElementsByName visits the SPLIDs of all elements with the given name in
-// document order (the node-reference index of Figure 6b).
-func (d *Document) ElementsByName(name string, fn func(splid.ID) bool) error {
-	sur, ok := d.vocab.Lookup(name)
-	if !ok {
-		return nil
-	}
-	var prefix [2]byte
-	binary.BigEndian.PutUint16(prefix[:], uint16(sur))
-	limit := []byte{prefix[0], prefix[1] + 1}
-	if prefix[1] == 0xFF {
-		limit = []byte{prefix[0] + 1, 0}
-	}
-	return d.elem.Ascend(prefix[:], limit, func(k, _ []byte) bool {
-		id, err := splid.Decode(append([]byte(nil), k[2:]...))
-		if err != nil {
-			return true
-		}
-		return fn(id)
-	})
 }
 
 // DocStats summarizes a document's physical shape — the storage-density

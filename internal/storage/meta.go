@@ -118,5 +118,6 @@ func Open(backend pagestore.Backend, opts Options) (*Document, error) {
 		alloc: splid.Allocator{Dist: dist},
 		size:  docTree.Len(),
 	}
+	d.reader = liveReader(docTree, elemTree, idsTree, vocab)
 	return d, nil
 }

@@ -11,22 +11,26 @@ import (
 // because the document is stored in document order under SPLID keys, every
 // DOM axis reduces to one or two index seeks — the paper's argument for
 // prefix-based labeling (Section 3.2).
+//
+// They are defined on reader, so the same implementations serve the live
+// document (promoted through Document's embedded reader) and point-in-time
+// Snapshot views (whose tree views resolve pages through the version layer).
 
 // ScanSubtree visits the node labeled id and all its descendants (including
 // virtual attribute-root and string nodes) in document order. fn returns
 // false to stop early.
-func (d *Document) ScanSubtree(id splid.ID, fn func(xmlmodel.Node) bool) error {
-	return d.scanRange(id.Encode(), id.SubtreeLimit().Encode(), fn)
+func (r reader) ScanSubtree(id splid.ID, fn func(xmlmodel.Node) bool) error {
+	return r.scanRange(id.Encode(), id.SubtreeLimit().Encode(), fn)
 }
 
 // ScanDocument visits every stored node in document order.
-func (d *Document) ScanDocument(fn func(xmlmodel.Node) bool) error {
-	return d.scanRange(nil, nil, fn)
+func (r reader) ScanDocument(fn func(xmlmodel.Node) bool) error {
+	return r.scanRange(nil, nil, fn)
 }
 
-func (d *Document) scanRange(start, limit []byte, fn func(xmlmodel.Node) bool) error {
+func (r reader) scanRange(start, limit []byte, fn func(xmlmodel.Node) bool) error {
 	var decodeErr error
-	err := d.doc.Ascend(start, limit, func(k, v []byte) bool {
+	err := r.doc.Ascend(start, limit, func(k, v []byte) bool {
 		id, err := splid.Decode(append([]byte(nil), k...))
 		if err != nil {
 			decodeErr = err
@@ -48,7 +52,7 @@ func (d *Document) scanRange(start, limit []byte, fn func(xmlmodel.Node) bool) e
 // ScanChildren visits the direct children of id in document order,
 // excluding the reserved attribute-root and string-node children (they are
 // not DOM children). fn returns false to stop.
-func (d *Document) ScanChildren(id splid.ID, fn func(xmlmodel.Node) bool) error {
+func (r reader) ScanChildren(id splid.ID, fn func(xmlmodel.Node) bool) error {
 	// Children are exactly the level+1 nodes inside the subtree; skip whole
 	// child subtrees between siblings by seeking to each SubtreeLimit.
 	childLevel := id.Level() + 1
@@ -58,7 +62,7 @@ func (d *Document) ScanChildren(id splid.ID, fn func(xmlmodel.Node) bool) error 
 		var child splid.ID
 		var node xmlmodel.Node
 		found := false
-		err := d.scanRange(cur, limit, func(n xmlmodel.Node) bool {
+		err := r.scanRange(cur, limit, func(n xmlmodel.Node) bool {
 			if n.ID.Equal(id) {
 				return true // the subtree root itself
 			}
@@ -78,7 +82,7 @@ func (d *Document) ScanChildren(id splid.ID, fn func(xmlmodel.Node) bool) error 
 			// the first key past the previous child's subtree limit is the
 			// next child itself; reaching a deeper node first would mean an
 			// orphaned subtree. Re-fetch defensively.
-			n, err := d.GetNode(child)
+			n, err := r.GetNode(child)
 			if err != nil {
 				return err
 			}
@@ -95,9 +99,9 @@ func (d *Document) ScanChildren(id splid.ID, fn func(xmlmodel.Node) bool) error 
 
 // FirstChild returns the first regular (non-reserved) child of id, or a
 // null-ID node when there is none.
-func (d *Document) FirstChild(id splid.ID) (xmlmodel.Node, error) {
+func (r reader) FirstChild(id splid.ID) (xmlmodel.Node, error) {
 	var out xmlmodel.Node
-	err := d.ScanChildren(id, func(n xmlmodel.Node) bool {
+	err := r.ScanChildren(id, func(n xmlmodel.Node) bool {
 		out = n
 		return false
 	})
@@ -105,8 +109,8 @@ func (d *Document) FirstChild(id splid.ID) (xmlmodel.Node, error) {
 }
 
 // LastChild returns the last regular child of id, or a null-ID node.
-func (d *Document) LastChild(id splid.ID) (xmlmodel.Node, error) {
-	k, v, err := d.doc.SeekLT(id.SubtreeLimit().Encode())
+func (r reader) LastChild(id splid.ID) (xmlmodel.Node, error) {
+	k, v, err := r.doc.SeekLT(id.SubtreeLimit().Encode())
 	if err != nil {
 		return xmlmodel.Node{}, err
 	}
@@ -125,17 +129,17 @@ func (d *Document) LastChild(id splid.ID) (xmlmodel.Node, error) {
 		n, err := xmlmodel.DecodeRecord(child, v)
 		return n, err
 	}
-	return d.GetNode(child)
+	return r.GetNode(child)
 }
 
 // NextSibling returns the following regular sibling of id, or a null-ID
 // node when id is the last child.
-func (d *Document) NextSibling(id splid.ID) (xmlmodel.Node, error) {
+func (r reader) NextSibling(id splid.ID) (xmlmodel.Node, error) {
 	parent := id.Parent()
 	if parent.IsNull() {
 		return xmlmodel.Node{}, nil // root has no siblings
 	}
-	k, v, err := d.doc.SeekGE(id.SubtreeLimit().Encode())
+	k, v, err := r.doc.SeekGE(id.SubtreeLimit().Encode())
 	if err == btree.ErrNotFound {
 		return xmlmodel.Node{}, nil // id closes the document
 	}
@@ -155,12 +159,12 @@ func (d *Document) NextSibling(id splid.ID) (xmlmodel.Node, error) {
 
 // PrevSibling returns the preceding regular sibling of id, or a null-ID
 // node when id is the first child.
-func (d *Document) PrevSibling(id splid.ID) (xmlmodel.Node, error) {
+func (r reader) PrevSibling(id splid.ID) (xmlmodel.Node, error) {
 	parent := id.Parent()
 	if parent.IsNull() {
 		return xmlmodel.Node{}, nil
 	}
-	k, _, err := d.doc.SeekLT(id.Encode())
+	k, _, err := r.doc.SeekLT(id.Encode())
 	if err != nil {
 		return xmlmodel.Node{}, err
 	}
@@ -175,26 +179,26 @@ func (d *Document) PrevSibling(id splid.ID) (xmlmodel.Node, error) {
 	if sib.IsReservedChild() {
 		return xmlmodel.Node{}, nil // only the attribute root precedes id
 	}
-	return d.GetNode(sib)
+	return r.GetNode(sib)
 }
 
 // Parent returns the parent node of id, or a null-ID node for the root.
-func (d *Document) Parent(id splid.ID) (xmlmodel.Node, error) {
+func (r reader) Parent(id splid.ID) (xmlmodel.Node, error) {
 	p := id.Parent()
 	if p.IsNull() {
 		return xmlmodel.Node{}, nil
 	}
-	return d.GetNode(p)
+	return r.GetNode(p)
 }
 
 // Attributes visits the attribute nodes of element el in storage order.
-func (d *Document) Attributes(el splid.ID, fn func(xmlmodel.Node) bool) error {
+func (r reader) Attributes(el splid.ID, fn func(xmlmodel.Node) bool) error {
 	ar := el.AttributeRoot()
-	if ok, err := d.Exists(ar); err != nil || !ok {
+	if ok, err := r.Exists(ar); err != nil || !ok {
 		return err
 	}
 	stop := false
-	return d.ScanSubtree(ar, func(n xmlmodel.Node) bool {
+	return r.ScanSubtree(ar, func(n xmlmodel.Node) bool {
 		if stop {
 			return false
 		}
@@ -210,13 +214,13 @@ func (d *Document) Attributes(el splid.ID, fn func(xmlmodel.Node) bool) error {
 
 // AttributeByName returns the attribute node of el with the given name, or
 // a null-ID node.
-func (d *Document) AttributeByName(el splid.ID, name string) (xmlmodel.Node, error) {
-	sur, ok := d.vocab.Lookup(name)
+func (r reader) AttributeByName(el splid.ID, name string) (xmlmodel.Node, error) {
+	sur, ok := r.vocab.Lookup(name)
 	if !ok {
 		return xmlmodel.Node{}, nil
 	}
 	var out xmlmodel.Node
-	err := d.Attributes(el, func(n xmlmodel.Node) bool {
+	err := r.Attributes(el, func(n xmlmodel.Node) bool {
 		if n.Name == sur {
 			out = n
 			return false
@@ -227,16 +231,16 @@ func (d *Document) AttributeByName(el splid.ID, name string) (xmlmodel.Node, err
 }
 
 // CountChildren returns the number of regular children of id.
-func (d *Document) CountChildren(id splid.ID) (int, error) {
+func (r reader) CountChildren(id splid.ID) (int, error) {
 	n := 0
-	err := d.ScanChildren(id, func(xmlmodel.Node) bool { n++; return true })
+	err := r.ScanChildren(id, func(xmlmodel.Node) bool { n++; return true })
 	return n, err
 }
 
 // SubtreeSize returns the number of stored nodes (all kinds) in the subtree
 // rooted at id.
-func (d *Document) SubtreeSize(id splid.ID) (int, error) {
+func (r reader) SubtreeSize(id splid.ID) (int, error) {
 	n := 0
-	err := d.ScanSubtree(id, func(xmlmodel.Node) bool { n++; return true })
+	err := r.ScanSubtree(id, func(xmlmodel.Node) bool { n++; return true })
 	return n, err
 }

@@ -1,0 +1,253 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/btree"
+	"repro/internal/pagestore"
+	"repro/internal/splid"
+	"repro/internal/xmlmodel"
+)
+
+// treeView is the read surface the document layer needs from a B*-tree. It
+// is satisfied by both *btree.Tree (the live tree) and *btree.SnapView (the
+// tree as of one WAL snapshot LSN), which is what lets every navigation
+// primitive serve live and snapshot reads from a single implementation.
+type treeView interface {
+	Get(key []byte) ([]byte, error)
+	Has(key []byte) (bool, error)
+	Ascend(start, limit []byte, fn func(key, val []byte) bool) error
+	SeekGE(target []byte) (key, val []byte, err error)
+	SeekLT(target []byte) (key, val []byte, err error)
+}
+
+var (
+	_ treeView = (*btree.Tree)(nil)
+	_ treeView = (*btree.SnapView)(nil)
+)
+
+// reader bundles the three tree views plus the vocabulary and implements
+// every read-only document operation (lookups in reader.go, the navigation
+// axes in navigate.go). Document embeds a reader over its live trees, so
+// all existing read calls promote through it unchanged; Snapshot embeds a
+// reader over SnapViews pinned at one LSN. The vocabulary is shared between
+// the two: it is append-only with stable surrogates, so a name interned
+// after the snapshot simply resolves to a name no snapshot node references.
+type reader struct {
+	doc   treeView // SPLID -> node record, document order
+	elem  treeView // name surrogate + SPLID -> nil (element index)
+	ids   treeView // id-attribute value -> element SPLID
+	vocab *xmlmodel.Vocabulary
+}
+
+// liveReader builds the reader a Document embeds over its live trees.
+func liveReader(doc, elem, ids *btree.Tree, vocab *xmlmodel.Vocabulary) reader {
+	return reader{doc: doc, elem: elem, ids: ids, vocab: vocab}
+}
+
+// GetNode fetches the node labeled id.
+func (r reader) GetNode(id splid.ID) (xmlmodel.Node, error) {
+	if id.IsNull() {
+		return xmlmodel.Node{}, fmt.Errorf("%w: null SPLID", ErrNodeNotFound)
+	}
+	v, err := r.doc.Get(id.Encode())
+	if err == btree.ErrNotFound {
+		return xmlmodel.Node{}, fmt.Errorf("%w: %v", ErrNodeNotFound, id)
+	}
+	if err != nil {
+		return xmlmodel.Node{}, err
+	}
+	return xmlmodel.DecodeRecord(id, v)
+}
+
+// Exists reports whether a node is stored under id.
+func (r reader) Exists(id splid.ID) (bool, error) {
+	if id.IsNull() {
+		return false, nil
+	}
+	return r.doc.Has(id.Encode())
+}
+
+// Value returns the character data of a text or attribute node.
+func (r reader) Value(id splid.ID) ([]byte, error) {
+	n, err := r.GetNode(id)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Kind {
+	case xmlmodel.KindText, xmlmodel.KindAttribute:
+		s, err := r.GetNode(id.StringNode())
+		if err != nil {
+			return nil, err
+		}
+		return append([]byte(nil), s.Value...), nil
+	case xmlmodel.KindString:
+		return append([]byte(nil), n.Value...), nil
+	default:
+		return nil, fmt.Errorf("storage: node %v (%v) has no value", id, n.Kind)
+	}
+}
+
+// ElementByID resolves an id-attribute value to the owning element's SPLID —
+// the getElementById direct jump.
+func (r reader) ElementByID(value []byte) (splid.ID, error) {
+	v, err := r.ids.Get(value)
+	if err == btree.ErrNotFound {
+		return splid.Null, fmt.Errorf("%w: id %q", ErrNodeNotFound, value)
+	}
+	if err != nil {
+		return splid.Null, err
+	}
+	return splid.Decode(v)
+}
+
+// ElementsByName visits the SPLIDs of all elements with the given name in
+// document order (the node-reference index of Figure 6b).
+func (r reader) ElementsByName(name string, fn func(splid.ID) bool) error {
+	sur, ok := r.vocab.Lookup(name)
+	if !ok {
+		return nil
+	}
+	var prefix [2]byte
+	binary.BigEndian.PutUint16(prefix[:], uint16(sur))
+	limit := []byte{prefix[0], prefix[1] + 1}
+	if prefix[1] == 0xFF {
+		limit = []byte{prefix[0] + 1, 0}
+	}
+	return r.elem.Ascend(prefix[:], limit, func(k, _ []byte) bool {
+		id, err := splid.Decode(append([]byte(nil), k[2:]...))
+		if err != nil {
+			return true
+		}
+		return fn(id)
+	})
+}
+
+// ReadView is the read-only operation surface shared by the live *Document
+// and point-in-time *Snapshot views: every method is implemented once on
+// reader and promoted into both. Callers that must work against either —
+// the node manager routing a snapshot transaction, tests comparing live and
+// frozen state — program against this interface.
+type ReadView interface {
+	GetNode(id splid.ID) (xmlmodel.Node, error)
+	Exists(id splid.ID) (bool, error)
+	Value(id splid.ID) ([]byte, error)
+	ElementByID(value []byte) (splid.ID, error)
+	ElementsByName(name string, fn func(splid.ID) bool) error
+	ScanSubtree(id splid.ID, fn func(xmlmodel.Node) bool) error
+	ScanDocument(fn func(xmlmodel.Node) bool) error
+	ScanChildren(id splid.ID, fn func(xmlmodel.Node) bool) error
+	FirstChild(id splid.ID) (xmlmodel.Node, error)
+	LastChild(id splid.ID) (xmlmodel.Node, error)
+	NextSibling(id splid.ID) (xmlmodel.Node, error)
+	PrevSibling(id splid.ID) (xmlmodel.Node, error)
+	Parent(id splid.ID) (xmlmodel.Node, error)
+	Attributes(el splid.ID, fn func(xmlmodel.Node) bool) error
+	AttributeByName(el splid.ID, name string) (xmlmodel.Node, error)
+	CountChildren(id splid.ID) (int, error)
+	SubtreeSize(id splid.ID) (int, error)
+}
+
+var (
+	_ ReadView = (*Document)(nil)
+	_ ReadView = (*Snapshot)(nil)
+)
+
+// Snapshot is a read-only view of a document frozen at one WAL snapshot
+// LSN: every promoted reader method resolves pages through the version
+// layer, so the view observes exactly the state committed as of LSN() no
+// matter what concurrent writers do. Snapshots hold no locks, no pins, and
+// no resources — drop one when done.
+type Snapshot struct {
+	reader
+	lsn uint64
+}
+
+// LSN returns the WAL position the snapshot reads at.
+func (s *Snapshot) LSN() uint64 { return s.lsn }
+
+// rootEntry records the tree roots in effect for snapshots at or above lsn
+// (up to the next entry). Appended by noteRoots whenever a logged operation
+// moved a root; the lsn is the operation record's, which strictly precedes
+// any commit-consistent snapshot LSN that can see the change.
+type rootEntry struct {
+	lsn            uint64
+	doc, elem, ids pagestore.PageID
+}
+
+// rootLog is the in-memory history of tree-root movements since AttachWAL,
+// the structure-at-S complement of the page version chains: page versions
+// reconstruct old pages, the root log says where to start descending.
+// Snapshots do not survive restart, so neither does the log — AttachWAL
+// re-seeds it after recovery.
+type rootLog struct {
+	mu      sync.Mutex
+	entries []rootEntry
+}
+
+// seed resets the log to a single entry covering every LSN.
+func (l *rootLog) seed(e rootEntry) {
+	l.mu.Lock()
+	l.entries = []rootEntry{e}
+	l.mu.Unlock()
+}
+
+// note appends e when it moves any root; no-op when the log is unseeded
+// (no WAL attached).
+func (l *rootLog) note(e rootEntry) {
+	l.mu.Lock()
+	if n := len(l.entries); n > 0 {
+		last := l.entries[n-1]
+		if last.doc != e.doc || last.elem != e.elem || last.ids != e.ids {
+			l.entries = append(l.entries, e)
+		}
+	}
+	l.mu.Unlock()
+}
+
+// at returns the roots in effect for a snapshot at s; ok is false when the
+// log is unseeded.
+func (l *rootLog) at(s uint64) (rootEntry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(l.entries) - 1; i >= 0; i-- {
+		if l.entries[i].lsn <= s {
+			return l.entries[i], true
+		}
+	}
+	return rootEntry{}, false
+}
+
+// noteRoots records the current tree roots as of the operation record at
+// lsn. Called by logOp under d.latch, after the record's LSN is stamped.
+func (d *Document) noteRoots(lsn uint64) {
+	d.roots.note(rootEntry{
+		lsn:  lsn,
+		doc:  d.doc.Root(),
+		elem: d.elem.Root(),
+		ids:  d.ids.Root(),
+	})
+}
+
+// AtSnapshot returns a read-only view of the document as of WAL position s
+// (a commit-consistent LSN obtained from wal.Log.SnapshotLSN, typically via
+// a tx.LevelSnapshot transaction). The view requires an attached WAL and an
+// installed snapshot source (node.Manager.EnableSnapshotReads); without
+// them it degenerates to reading the live trees.
+func (d *Document) AtSnapshot(s uint64) *Snapshot {
+	e, ok := d.roots.at(s)
+	if !ok {
+		e = rootEntry{doc: d.doc.Root(), elem: d.elem.Root(), ids: d.ids.Root()}
+	}
+	return &Snapshot{
+		reader: reader{
+			doc:   d.doc.ViewAt(e.doc, s),
+			elem:  d.elem.ViewAt(e.elem, s),
+			ids:   d.ids.ViewAt(e.ids, s),
+			vocab: d.vocab,
+		},
+		lsn: s,
+	}
+}

@@ -73,6 +73,16 @@ func (d *Document) AttachWAL(log *wal.Log) error {
 	d.wal = log
 	d.walMeta = d.metaSig()
 	d.store.SetWAL(log)
+	// Seed the tree-root history for point-in-time snapshots: the current
+	// roots cover every snapshot LSN until an operation moves one (lsn 0
+	// sorts below any real snapshot). Re-seeding on a post-recovery
+	// re-attach is correct — snapshots do not survive restart.
+	d.roots.seed(rootEntry{
+		lsn:  0,
+		doc:  d.doc.Root(),
+		elem: d.elem.Root(),
+		ids:  d.ids.Root(),
+	})
 	// Wire the buffer pool's checkpoint tick (Options.CheckpointInterval)
 	// to the log: each tick takes one fuzzy checkpoint over this
 	// document's dirty-page table.
@@ -161,6 +171,10 @@ func (d *Document) logOp(txn uint64, fn func() (undo []byte, err error)) error {
 	lsn, appendErr := d.wal.AppendOp(txn, undo, deltas)
 	if appendErr == nil {
 		cap.Commit(lsn)
+		// Record any root movement under the operation's LSN — before the
+		// transaction's commit record can exist, so every snapshot LSN that
+		// sees the commit already finds the entry.
+		d.noteRoots(lsn)
 	}
 	switch {
 	case opErr != nil:

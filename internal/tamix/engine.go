@@ -26,7 +26,10 @@ type Txn interface {
 // errors.Is(storage.ErrNodeNotFound).
 type Engine interface {
 	// Begin starts a transaction (the isolation level is fixed per engine).
-	Begin() (Txn, error)
+	// readOnly declares that the transaction body performs no updates;
+	// engines with snapshot reads enabled downgrade such transactions to
+	// tx.LevelSnapshot, all others ignore the flag.
+	Begin(readOnly bool) (Txn, error)
 	JumpToID(t Txn, value string) (xmlmodel.Node, error)
 	FirstChild(t Txn, id splid.ID) (xmlmodel.Node, error)
 	LastChild(t Txn, id splid.ID) (xmlmodel.Node, error)
@@ -48,6 +51,9 @@ type Engine interface {
 type localEngine struct {
 	m   *node.Manager
 	iso tx.Level
+	// snapReads routes read-only transactions to tx.LevelSnapshot (set when
+	// the manager has EnableSnapshotReads on — the "snapshot" contestant).
+	snapReads bool
 }
 
 // newLocalEngine wraps an in-process node manager.
@@ -65,7 +71,13 @@ func localTxn(t Txn) *tx.Txn {
 	return txn
 }
 
-func (e *localEngine) Begin() (Txn, error) { return e.m.Begin(e.iso), nil }
+func (e *localEngine) Begin(readOnly bool) (Txn, error) {
+	iso := e.iso
+	if readOnly && e.snapReads {
+		iso = tx.LevelSnapshot
+	}
+	return e.m.Begin(iso), nil
+}
 
 func (e *localEngine) JumpToID(t Txn, value string) (xmlmodel.Node, error) {
 	return e.m.JumpToID(localTxn(t), value)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/splid"
 	"repro/internal/storage"
+	"repro/internal/tx"
 	"repro/internal/xmlmodel"
 )
 
@@ -35,7 +36,10 @@ func newRemoteEngine(sess *client.Session) *remoteEngine {
 	return &remoteEngine{sess: sess, names: map[string]nameEntry{}}
 }
 
-func (e *remoteEngine) Begin() (Txn, error) { return e.sess.Begin() }
+// Begin ignores the read-only flag: a remote session's isolation level is
+// fixed at OpenSession, so snapshot routing happens per-slot (runRemote
+// opens the read-only slots' sessions at tx.LevelSnapshot).
+func (e *remoteEngine) Begin(bool) (Txn, error) { return e.sess.Begin() }
 
 func (e *remoteEngine) JumpToID(_ Txn, value string) (xmlmodel.Node, error) {
 	return e.sess.JumpToID(value)
@@ -212,7 +216,14 @@ func runRemote(cfg Config) (*Result, error) {
 				wg.Add(1)
 				go func(txType TxType, seed int64) {
 					defer wg.Done()
-					sess, err := pool.OpenSession(p.Name(), cfg.Isolation, cfg.Depth)
+					// A session's isolation level is fixed at open, so the
+					// snapshot contestant's read-only slots open whole
+					// sessions at tx.LevelSnapshot.
+					iso := cfg.Isolation
+					if protocol.UsesSnapshotReads(p) && txType.ReadOnly() {
+						iso = tx.LevelSnapshot
+					}
+					sess, err := pool.OpenSession(p.Name(), iso, cfg.Depth)
 					if err != nil {
 						fail(fmt.Errorf("tamix: %s: open session: %w", txType, err))
 						return

@@ -264,6 +264,10 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The snapshot contestant needs commit-consistent WAL positions to pin
+	// its read views to, so it always runs with the log attached.
+	snapReads := protocol.UsesSnapshotReads(p)
+	useWAL := cfg.WAL || snapReads
 	var backend pagestore.Backend = pagestore.NewMemBackend()
 	var fb *pagestore.FaultBackend
 	if cfg.Faults != nil {
@@ -282,7 +286,7 @@ func Run(cfg Config) (*Result, error) {
 		doc.Store().SetRetryPolicy(*cfg.Retry)
 	}
 	var wlog *wal.Log
-	if cfg.WAL {
+	if useWAL {
 		wlog, err = wal.Open(wal.NewMemSegmentStore(), wal.Config{Metrics: cfg.Metrics})
 		if err != nil {
 			return nil, err
@@ -344,6 +348,9 @@ func Run(cfg Config) (*Result, error) {
 	if wlog != nil {
 		mgr.TxManager().SetWAL(wlog)
 	}
+	if snapReads {
+		mgr.EnableSnapshotReads()
+	}
 	for _, t := range TxTypes {
 		res.PerType[t] = NewTypeStats()
 	}
@@ -362,6 +369,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	eng := newLocalEngine(mgr, cfg.Isolation)
+	eng.snapReads = snapReads
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	if fb != nil {
@@ -429,6 +437,20 @@ func Run(cfg Config) (*Result, error) {
 	if err := mgr.LockManager().LeakCheck(); err != nil {
 		return nil, fmt.Errorf("tamix: run under %s leaked locks: %w", cfg.Protocol, err)
 	}
+	if snapReads {
+		// Snapshot runs audit the version layer the same way: every snapshot
+		// registration must have been dropped, and after a final prune at the
+		// drained watermark no retired page version may survive.
+		if err := mgr.TxManager().SnapshotLeakCheck(); err != nil {
+			return nil, fmt.Errorf("tamix: run under %s leaked snapshots: %w", cfg.Protocol, err)
+		}
+		w := mgr.TxManager().SnapshotWatermark()
+		doc.Store().PruneVersions(w)
+		if n := doc.Store().StaleVersions(w); n > 0 {
+			return nil, fmt.Errorf("tamix: run under %s retained %d stale page versions below watermark %d",
+				cfg.Protocol, n, w)
+		}
+	}
 
 	for _, t := range TxTypes {
 		st := res.PerType[t]
@@ -461,7 +483,7 @@ func runOnce(ctx context.Context, cfg Config, eng Engine, r *runner,
 	restarts := 0
 	backoff := backoffBase
 	for {
-		txn, err := eng.Begin()
+		txn, err := eng.Begin(txType.ReadOnly())
 		if err != nil {
 			fail(fmt.Errorf("tamix: %s: begin: %w", txType, err))
 			return false
@@ -489,9 +511,11 @@ func runOnce(ctx context.Context, cfg Config, eng Engine, r *runner,
 			}
 			// An abort-worthy commit failure (connection lost to a server
 			// bounce, request canceled by a draining server) falls through to
-			// the restart path: count it as an abort and rerun. At-least-once
-			// caveat: a commit interrupted mid-flight may have landed, so a
-			// remote run's committed count is a lower bound across restarts.
+			// the restart path: count it as an abort and rerun. The resume's
+			// fate report resolves interrupted commits that actually landed
+			// (those return nil above); only a commit whose fate was
+			// unknowable — the server process itself died — still leaves the
+			// committed count a lower bound across restarts.
 		}
 		if aerr := txn.Abort(); aerr != nil && !errors.Is(aerr, tx.ErrNotActive) {
 			// A failed rollback is unrecoverable: the document may hold

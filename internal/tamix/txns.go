@@ -54,6 +54,11 @@ func (t TxType) String() string {
 // TxTypes lists all transaction types in presentation order.
 var TxTypes = []TxType{TAqueryBook, TAchapter, TAdelBook, TAlendAndReturn, TArenameTopic}
 
+// ReadOnly reports whether the transaction type never updates the document.
+// TAqueryBook is the mix's pure reader; engines with snapshot reads run it
+// at tx.LevelSnapshot so it bypasses the lock manager entirely.
+func (t TxType) ReadOnly() bool { return t == TAqueryBook }
+
 // runner executes transaction bodies against one engine (in-process or
 // remote; see Engine).
 type runner struct {

@@ -36,6 +36,12 @@ const (
 	// LevelRepeatable takes long read and write locks, released at commit —
 	// the level all 11 protocols are compared under.
 	LevelRepeatable
+	// LevelSnapshot is MVCC snapshot isolation for read-only transactions:
+	// Begin pins the WAL's newest commit-consistent LSN and every read
+	// resolves pages as of that position through the version layer — zero
+	// lock-manager traffic. Write operations are rejected; writers keep
+	// their taDOM protocol at one of the locking levels above.
+	LevelSnapshot
 )
 
 // String implements fmt.Stringer.
@@ -49,6 +55,8 @@ func (l Level) String() string {
 		return "committed"
 	case LevelRepeatable:
 		return "repeatable"
+	case LevelSnapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("Level(%d)", int(l))
 	}
@@ -65,6 +73,8 @@ func ParseLevel(s string) (Level, error) {
 		return LevelCommitted, nil
 	case "repeatable":
 		return LevelRepeatable, nil
+	case "snapshot":
+		return LevelSnapshot, nil
 	default:
 		return 0, fmt.Errorf("tx: unknown isolation level %q", s)
 	}
@@ -109,6 +119,14 @@ type Txn struct {
 	// cannot import the protocol layer, hence the untyped slot. Owner
 	// goroutine only.
 	protoCtx any
+
+	// snapLSN is the commit-consistent WAL position a LevelSnapshot
+	// transaction reads at (0 otherwise, or when no WAL is attached).
+	snapLSN uint64
+	// snapView caches the storage-layer snapshot accessor, the snapshot
+	// analogue of protoCtx: same untyped-slot pattern, same owner-goroutine
+	// discipline.
+	snapView any
 }
 
 // ID returns the transaction identifier.
@@ -126,6 +144,16 @@ func (t *Txn) ProtoCtx() any { return t.protoCtx }
 
 // SetProtoCtx caches the protocol context for reuse across operations.
 func (t *Txn) SetProtoCtx(c any) { t.protoCtx = c }
+
+// SnapshotLSN returns the WAL position a LevelSnapshot transaction reads
+// at; 0 for every other level.
+func (t *Txn) SnapshotLSN() uint64 { return t.snapLSN }
+
+// SnapView returns the cached snapshot accessor (nil until SetSnapView).
+func (t *Txn) SnapView() any { return t.snapView }
+
+// SetSnapView caches the snapshot accessor for reuse across operations.
+func (t *Txn) SetSnapView(v any) { t.snapView = v }
 
 // Start returns the begin time.
 func (t *Txn) Start() time.Time { return t.start }
@@ -181,6 +209,15 @@ type Manager struct {
 	activeMu sync.Mutex
 	active   map[uint64]*Txn
 
+	// snaps maps every active LevelSnapshot transaction to its pinned
+	// snapshot LSN. snapMu is held across the wal.SnapshotLSN read AND the
+	// registration in Begin, and across the min-scan in SnapshotWatermark —
+	// that span is what makes the watermark sound: a pruner can never
+	// compute a watermark above a snapshot that is about to register below
+	// it.
+	snapMu sync.Mutex
+	snaps  map[uint64]uint64
+
 	// Latency histograms (nil without SetMetrics): the Commit call (undo
 	// discard + durability force + lock release) and the Abort call
 	// (rollback + lock release).
@@ -191,7 +228,11 @@ type Manager struct {
 // NewManager builds a transaction manager over lm (which may be nil only if
 // every transaction uses isolation level none).
 func NewManager(lm *lock.Manager) *Manager {
-	return &Manager{lm: lm, active: make(map[uint64]*Txn)}
+	return &Manager{
+		lm:     lm,
+		active: make(map[uint64]*Txn),
+		snaps:  make(map[uint64]uint64),
+	}
 }
 
 // ActiveTxns returns the IDs of all transactions begun but not yet
@@ -212,6 +253,53 @@ func (m *Manager) dropActive(id uint64) {
 	m.activeMu.Lock()
 	delete(m.active, id)
 	m.activeMu.Unlock()
+}
+
+// dropSnap unregisters a finished snapshot transaction, releasing its pin
+// on the version-retirement watermark.
+func (m *Manager) dropSnap(id uint64) {
+	m.snapMu.Lock()
+	delete(m.snaps, id)
+	m.snapMu.Unlock()
+}
+
+// SnapshotWatermark returns the version-retirement watermark: the oldest
+// LSN any active snapshot transaction reads at, or — with no snapshots
+// active — the log's current commit-consistent position (every future
+// snapshot will pin at or above it; the snapshot LSN is monotonic). Zero
+// means "retire nothing" (no WAL attached). This is the function installed
+// as the pagestore's snapshot source.
+func (m *Manager) SnapshotWatermark() uint64 {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	if len(m.snaps) > 0 {
+		// LSN 0 is a valid pin (a snapshot begun before any logged commit),
+		// so it cannot double as the "uninitialized" sentinel here.
+		first := true
+		var min uint64
+		for _, s := range m.snaps {
+			if first || s < min {
+				min, first = s, false
+			}
+		}
+		return min
+	}
+	if m.wal != nil {
+		return m.wal.SnapshotLSN()
+	}
+	return 0
+}
+
+// SnapshotLeakCheck fails when snapshot transactions are still registered —
+// the drain-time residue audit for the version layer, mirroring
+// lock.Manager.LeakCheck.
+func (m *Manager) SnapshotLeakCheck() error {
+	m.snapMu.Lock()
+	defer m.snapMu.Unlock()
+	if n := len(m.snaps); n > 0 {
+		return fmt.Errorf("tx: %d snapshot transaction(s) still pin the version watermark", n)
+	}
+	return nil
 }
 
 // LockManager returns the underlying lock manager.
@@ -251,8 +339,20 @@ func (m *Manager) Begin(iso Level) *Txn {
 		mgr:   m,
 		start: time.Now(),
 	}
-	if iso != LevelNone && m.lm != nil {
+	if iso != LevelNone && iso != LevelSnapshot && m.lm != nil {
 		t.ltx = m.lm.Begin()
+	}
+	if iso == LevelSnapshot {
+		// Read the snapshot LSN and register under one snapMu hold: a
+		// concurrent SnapshotWatermark either sees this entry or runs
+		// before the read — it can never return a watermark above the LSN
+		// this transaction is pinning.
+		m.snapMu.Lock()
+		if m.wal != nil {
+			t.snapLSN = m.wal.SnapshotLSN()
+		}
+		m.snaps[t.id] = t.snapLSN
+		m.snapMu.Unlock()
 	}
 	m.activeMu.Lock()
 	m.active[t.id] = t
@@ -272,7 +372,12 @@ func (t *Txn) Commit() error {
 	}
 	t.mu.Unlock()
 	t0 := t.mgr.hCommit.Start()
-	if w := t.mgr.wal; w != nil {
+	// Only transactions with logged work need a commit record. Snapshot
+	// transactions never log; other read-only transactions skip the record
+	// (and its log force) too — recovery ignores transactions it saw no
+	// operations from, and an unearned record would advance the WAL's
+	// snapshot position to an LSN no writer produced.
+	if w := t.mgr.wal; w != nil && t.iso != LevelSnapshot && w.TxnLogged(t.id) {
 		lsn, err := w.AppendCommit(t.id)
 		if err == nil {
 			err = w.Force(lsn)
@@ -290,6 +395,9 @@ func (t *Txn) Commit() error {
 	t.undo = nil
 	t.mu.Unlock()
 	t.mgr.dropActive(t.id)
+	if t.iso == LevelSnapshot {
+		t.mgr.dropSnap(t.id)
+	}
 	if t.ltx != nil {
 		t.mgr.lm.ReleaseAll(t.ltx)
 	}
@@ -313,6 +421,9 @@ func (t *Txn) Abort() error {
 	t.undo = nil
 	t.mu.Unlock()
 	t.mgr.dropActive(t.id)
+	if t.iso == LevelSnapshot {
+		t.mgr.dropSnap(t.id)
+	}
 	t0 := t.mgr.hAbort.Start()
 
 	var errs []error
@@ -321,11 +432,12 @@ func (t *Txn) Abort() error {
 			errs = append(errs, fmt.Errorf("tx %d: undo step %d: %w", t.id, i, err))
 		}
 	}
-	if w := t.mgr.wal; w != nil {
+	if w := t.mgr.wal; w != nil && t.iso != LevelSnapshot && w.TxnLogged(t.id) {
 		// Mark the rollback complete so recovery skips this transaction.
 		// Best effort, not forced: a crashed log must not block lock
 		// release, and an unlogged end just means recovery re-applies an
-		// idempotent rollback.
+		// idempotent rollback. Transactions with no logged operations need
+		// no end record — recovery never saw them.
 		_, _ = w.AppendEnd(t.id)
 	}
 	if t.ltx != nil {

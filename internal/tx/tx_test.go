@@ -249,8 +249,12 @@ func TestCommitForcesWALAndSurvivesLogCrash(t *testing.T) {
 	}
 	m.SetWAL(log)
 
-	// A committed transaction's commit record is durable immediately.
+	// A committed transaction's commit record is durable immediately. The
+	// transaction must log work first: read-only commits write no record.
 	t1 := m.Begin(LevelRepeatable)
+	if _, err := log.Append(wal.RecOp, t1.ID(), []byte("op")); err != nil {
+		t.Fatal(err)
+	}
 	if err := t1.Commit(); err != nil {
 		t.Fatal(err)
 	}
@@ -263,14 +267,26 @@ func TestCommitForcesWALAndSurvivesLogCrash(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if len(types) != 1 || types[0] != wal.RecCommit || txns[0] != t1.ID() {
+	if len(types) != 2 || types[1] != wal.RecCommit || txns[1] != t1.ID() {
 		t.Fatalf("log after commit: types %v txns %v", types, txns)
 	}
 
-	// With a crashed log, Commit must fail and the transaction must STAY
-	// ACTIVE so the caller can still roll it back.
-	log.CrashNow()
+	// With a crashed log, a writer's Commit must fail and the transaction
+	// must STAY ACTIVE so the caller can still roll it back. The op record
+	// lands before the crash so the transaction owes a commit record.
 	t2 := m.Begin(LevelRepeatable)
+	if _, err := log.Append(wal.RecOp, t2.ID(), []byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	log.CrashNow()
+
+	// A read-only transaction has nothing to make durable: its commit must
+	// succeed even on a crashed log.
+	ro := m.Begin(LevelRepeatable)
+	if err := ro.Commit(); err != nil {
+		t.Fatalf("read-only commit on crashed log = %v, want nil", err)
+	}
+
 	if err := t2.Commit(); !errors.Is(err, wal.ErrCrashed) {
 		t.Fatalf("commit on crashed log = %v, want ErrCrashed", err)
 	}
@@ -295,8 +311,17 @@ func TestAbortAppendsEndRecord(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.SetWAL(log)
+	// An aborted transaction WITH logged work owes the log an end record; a
+	// read-only one owes nothing (recovery never saw it).
 	t1 := m.Begin(LevelRepeatable)
+	if _, err := log.Append(wal.RecOp, t1.ID(), []byte("op")); err != nil {
+		t.Fatal(err)
+	}
 	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	t2 := m.Begin(LevelRepeatable)
+	if err := t2.Abort(); err != nil {
 		t.Fatal(err)
 	}
 	if err := log.Close(); err != nil {
@@ -311,6 +336,9 @@ func TestAbortAppendsEndRecord(t *testing.T) {
 	if err := log2.Scan(func(r wal.Record) error {
 		if r.Type == wal.RecEnd && r.Txn == t1.ID() {
 			found = true
+		}
+		if r.Txn == t2.ID() {
+			t.Errorf("read-only aborted transaction left a %d record in the log", r.Type)
 		}
 		return nil
 	}); err != nil {

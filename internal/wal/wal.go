@@ -140,6 +140,14 @@ type Log struct {
 	// LSN. Maintained by Append, rebuilt by Open's parse, snapshotted into
 	// checkpoint records so recovery's undo set is bounded.
 	att map[uint64]LSN
+	// snapLSN is the newest commit-consistent log position: the LSN of the
+	// last non-RecOp record appended while the active-transaction table was
+	// empty. Every page stamp with pageLSN <= snapLSN belongs to a committed
+	// (or fully rolled-back) operation, and the stamp itself has already been
+	// applied — commit/end records are appended only after their operations'
+	// Capture.Commit stamps. Snapshot transactions pin this value; it stalls
+	// (stale but consistent) while writers continuously overlap.
+	snapLSN LSN
 	// bases maps a segment index to the LSN of its first byte. Seeded by
 	// Open (from the master record once GC has unlinked prefix segments)
 	// and extended by the flusher at rotation; ScanFrom and gcPlan use it
@@ -345,6 +353,35 @@ func (l *Log) noteRecord(rec Record) {
 	case RecCommit, RecEnd:
 		delete(l.att, rec.Txn)
 	}
+	// Advance the commit-consistent snapshot position. RecOp records are
+	// excluded: an op's page stamps land only after its record is appended
+	// (Capture.Commit), so the op's own LSN is not yet a safe visibility
+	// bound when the record enters the log.
+	if rec.Type != RecOp && len(l.att) == 0 {
+		l.snapLSN = rec.LSN
+	}
+}
+
+// SnapshotLSN returns the newest commit-consistent log position: a snapshot
+// reader that treats exactly the pages with pageLSN <= SnapshotLSN() as
+// visible observes the committed state as of that LSN. Zero means "before
+// any logged commit" (only never-stamped pages are visible).
+func (l *Log) SnapshotLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(l.snapLSN)
+}
+
+// TxnLogged reports whether txn has appended at least one operation record
+// not yet closed by a commit or end record. A transaction that never logged
+// needs no commit record at all: recovery only classifies transactions it
+// saw operations from, so the record would be pure log noise — and the
+// force() it drags along, a wasted fsync per read-only transaction.
+func (l *Log) TxnLogged(txn uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.att[txn]
+	return ok
 }
 
 // NextLSN returns the LSN the next appended record will receive.

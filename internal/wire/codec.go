@@ -352,3 +352,43 @@ func (r *Reader) ResumeSession() ResumeSession {
 		Open: r.OpenSession(),
 	}
 }
+
+// Fate codes carried in the OpResumeSession response: what happened to the
+// resumed session's last in-flight transaction. They close the classic
+// lost-reply hole — a client whose commit round trip was severed learns from
+// the resume whether that commit landed.
+const (
+	// FateUnknown means the server cannot say (no record of the session, or
+	// its teardown did not finish within the resume's wait budget).
+	FateUnknown uint8 = 0
+	// FateCommitted means the transaction committed durably.
+	FateCommitted uint8 = 1
+	// FateAborted means the transaction rolled back.
+	FateAborted uint8 = 2
+)
+
+// ResumeResult is the decoded OpResumeSession response body.
+type ResumeResult struct {
+	// ID is the replacement session's id.
+	ID uint32
+	// Fate reports the outcome of the old session's last transaction.
+	Fate uint8
+	// FateTxn is the transaction id Fate refers to (0 with FateUnknown).
+	FateTxn uint64
+}
+
+// AppendResumeResult appends an OpResumeSession response body.
+func AppendResumeResult(dst []byte, rr ResumeResult) []byte {
+	dst = binary.AppendUvarint(dst, uint64(rr.ID))
+	dst = append(dst, rr.Fate)
+	return binary.AppendUvarint(dst, rr.FateTxn)
+}
+
+// ResumeResult reads an OpResumeSession response body.
+func (r *Reader) ResumeResult() ResumeResult {
+	return ResumeResult{
+		ID:      uint32(r.Uvarint()),
+		Fate:    r.Byte(),
+		FateTxn: r.Uvarint(),
+	}
+}
